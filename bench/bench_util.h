@@ -1,0 +1,84 @@
+#ifndef WEBDIS_BENCH_BENCH_UTIL_H_
+#define WEBDIS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace webdis::bench {
+
+/// Minimal aligned-table printer for the experiment harnesses: every bench
+/// prints the rows/series its table or figure reports, paper-style.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const std::string& h : headers_) widths_.push_back(h.size());
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string rule;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      rule += std::string(widths_[i], '-');
+      rule += "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const std::vector<std::string>& row : rows_) {
+      PrintRow(row);
+    }
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      line += cells[i];
+      if (i < widths_.size() && widths_[i] > cells[i].size()) {
+        line += std::string(widths_[i] - cells[i].size(), ' ');
+      }
+      line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders simulated microseconds as milliseconds with 1 decimal.
+inline std::string Ms(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(t) / 1000.0);
+  return buf;
+}
+
+/// Renders a byte count as KB with 1 decimal.
+inline std::string Kb(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(bytes) / 1024.0);
+  return buf;
+}
+
+inline std::string Num(uint64_t v) { return std::to_string(v); }
+
+/// Ratio with 1 decimal, e.g. "12.3x".
+inline std::string Ratio(double num, double den) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", den == 0 ? 0.0 : num / den);
+  return buf;
+}
+
+}  // namespace webdis::bench
+
+#endif  // WEBDIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// T1 — the headline comparison (Section 1 / 3.2): query shipping (WEBDIS)
+// vs data shipping (centralized WebSQL-style download-and-evaluate) on the
+// same synthetic webs and the same two-stage query. Reports bytes moved,
+// messages, virtual response time, and user-site load, sweeping web size.
+//
+// Expected shape (the paper's claim): the data-shipping engine downloads
+// every document on the traversal, so its byte volume grows with total
+// document volume, while query shipping moves only compact clones and
+// result rows — a widening gap as the web grows.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "web/synth.h"
+
+namespace webdis {
+namespace {
+
+int Main() {
+  std::printf(
+      "T1 — Query shipping vs data shipping (web size sweep)\n"
+      "Query: start (L|G)*2 q1[title~alpha] then G.(L*1) q2[body~beta]\n\n");
+
+  bench::TablePrinter table({
+      "sites", "docs", "web KB", "QS KB", "DS KB", "DS/QS bytes",
+      "QS msgs", "DS msgs", "QS ms", "DS ms", "rows",
+  });
+
+  for (int sites : {4, 8, 16, 32, 64}) {
+    web::SynthWebOptions web_options;
+    web_options.seed = 1000 + static_cast<uint64_t>(sites);
+    web_options.num_sites = sites;
+    web_options.docs_per_site = 12;
+    web_options.filler_paragraphs = 4;
+    const web::WebGraph web = web::GenerateSynthWeb(web_options);
+
+    const std::string disql =
+        "select d1.url, d2.url\n"
+        "from document d1 such that \"" +
+        web::SynthUrl(0, 0) +
+        "\" (L|G)*2 d1,\n"
+        "where d1.title contains \"alpha\"\n"
+        "     document d2 such that d1 G.(L*1) d2,\n"
+        "     relinfon r such that r.delimiter = \"hr\",\n"
+        "where r.text contains \"beta\"\n";
+    auto compiled = disql::CompileDisql(disql);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+
+    core::Engine engine(&web);
+    auto qs = engine.RunCompiled(compiled.value());
+    if (!qs.ok() || !qs->completed) {
+      std::fprintf(stderr, "query-shipping run failed (sites=%d)\n", sites);
+      return 1;
+    }
+    auto ds = core::RunDataShippingBaseline(web, compiled.value());
+    if (!ds.ok()) {
+      std::fprintf(stderr, "data-shipping run failed (sites=%d)\n", sites);
+      return 1;
+    }
+
+    table.AddRow({
+        bench::Num(static_cast<uint64_t>(sites)),
+        bench::Num(web.num_documents()),
+        bench::Kb(web.TotalHtmlBytes()),
+        bench::Kb(qs->traffic.bytes),
+        bench::Kb(ds->traffic.bytes),
+        bench::Ratio(static_cast<double>(ds->traffic.bytes),
+                     static_cast<double>(qs->traffic.bytes)),
+        bench::Num(qs->traffic.messages),
+        bench::Num(ds->traffic.messages),
+        bench::Ms(qs->completion_time - qs->submit_time),
+        bench::Ms(ds->outcome.finish_time - ds->outcome.start_time),
+        bench::Num(qs->TotalRows()),
+    });
+
+    // Sanity: identical answers.
+    size_t ds_rows = 0;
+    for (const relational::ResultSet& rs : ds->outcome.results) {
+      ds_rows += rs.rows.size();
+    }
+    if (ds_rows != qs->TotalRows()) {
+      std::fprintf(stderr,
+                   "ANSWER MISMATCH at sites=%d: QS %zu rows vs DS %zu\n",
+                   sites, qs->TotalRows(), ds_rows);
+      return 1;
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nQS = WEBDIS query shipping, DS = centralized data shipping.\n"
+      "User-site load: DS parses and evaluates every fetched document "
+      "locally;\nQS does no document processing at the user site at all.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace webdis
+
+int main() { return webdis::Main(); }

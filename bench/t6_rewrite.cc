@@ -1,0 +1,162 @@
+// T6 — the superset multiple-rewrite (Section 3.1.1): when a clone arrives
+// at a node with PRE A*m·B and the log holds A*n·B (n < m), only the
+// difference must be processed, via the rewrite A*m·B -> A·A*(m-1)·B.
+// Builds a local chain site, delivers an L*n·G clone followed by an L*m·G
+// clone to the head node, and reports evaluations saved vs recomputing and
+// vs naive dropping (which would lose answers). Sweeps the (m, n) grid.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "serialize/encoder.h"
+#include "web/graph.h"
+#include "web/pagegen.h"
+
+namespace webdis {
+namespace {
+
+/// A chain of depth local pages on one host, each linking to the next, each
+/// ending in a global link to an answer page that matches q.
+web::WebGraph BuildChainWeb(int depth) {
+  web::WebGraph web;
+  for (int i = 0; i <= depth; ++i) {
+    web::PageSpec spec;
+    spec.title = "chain " + std::to_string(i);
+    if (i < depth) {
+      spec.links.push_back(
+          {"/n" + std::to_string(i + 1), "next"});
+    }
+    spec.links.push_back(
+        {"http://answers.example/a" + std::to_string(i), "answer"});
+    const Status status = web.AddDocument(
+        "http://chain.example/n" + std::to_string(i),
+        web::RenderHtml(spec));
+    if (!status.ok()) std::abort();
+  }
+  for (int i = 0; i <= depth; ++i) {
+    web::PageSpec spec;
+    spec.title = "terminal alpha " + std::to_string(i);
+    const Status status = web.AddDocument(
+        "http://answers.example/a" + std::to_string(i),
+        web::RenderHtml(spec));
+    if (!status.ok()) std::abort();
+  }
+  return web;
+}
+
+struct Outcome {
+  uint64_t evaluations = 0;
+  uint64_t rewrites = 0;
+  uint64_t duplicates = 0;
+  size_t rows = 0;
+  bool ok = false;
+};
+
+/// Submits L*n·G then L*m·G as two *separate* user queries is wrong (log
+/// keys include the query id) — instead we submit one query whose PRE is the
+/// alternation picking both bounds through different alternatives arriving
+/// at different times. Simpler and faithful: submit the n-bounded query
+/// first, then the m-bounded query under the SAME query id by replaying a
+/// crafted clone. Easiest correct setup: one query whose StartNode set sends
+/// the same head node two clones with different rem PREs cannot be expressed
+/// in DISQL — so we drive the server directly through the engine's network.
+Outcome RunPair(int n, int m, bool dedup) {
+  const int depth = 8;
+  web::WebGraph web = BuildChainWeb(depth);
+  core::EngineOptions options;
+  options.server.dedup_enabled = dedup;
+  // The replayed clone below arrives after the first traversal completed;
+  // keep the result socket open so it is processed rather than passively
+  // terminated.
+  options.client.close_socket_on_completion = false;
+  core::Engine engine(&web, options);
+
+  // Build the compiled query with PRE L*n·G, submit, run to completion.
+  const auto disql_for = [](int bound) {
+    return "select d.url from document d such that "
+           "\"http://chain.example/n0\" L*" +
+           std::to_string(bound) +
+           ".G d where d.title contains \"alpha\"";
+  };
+  auto first = disql::CompileDisql(disql_for(n));
+  auto second = disql::CompileDisql(disql_for(m));
+  Outcome outcome;
+  if (!first.ok() || !second.ok()) return outcome;
+
+  auto id1 = engine.Submit(first.value());
+  if (!id1.ok()) return outcome;
+  engine.network().RunUntilIdle();
+
+  // Replay the wider query under the SAME query id so the log table sees
+  // the paper's scenario (same query revisiting with a wider bound).
+  query::WebQuery clone = second->web_query.Clone();
+  clone.id = id1.value();
+  clone.dest_urls = {"http://chain.example/n0"};
+  serialize::Encoder enc;
+  clone.EncodeTo(&enc);
+  const Status send = engine.network().Send(
+      net::Endpoint{"user.site", id1->reply_port},
+      net::Endpoint{"chain.example", server::kQueryServerPort},
+      net::MessageType::kWebQuery, enc.Release());
+  if (!send.ok()) return outcome;
+  engine.network().RunUntilIdle();
+
+  const client::UserSite::QueryRun* run = engine.user_site().Find(id1.value());
+  const server::QueryServerStats stats = engine.AggregateServerStats();
+  outcome.evaluations = stats.node_queries_evaluated;
+  outcome.rewrites = stats.superset_rewrites;
+  outcome.duplicates = stats.duplicates_dropped;
+  outcome.rows = 0;
+  for (const relational::ResultSet& rs : run->results) {
+    outcome.rows += rs.rows.size();
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+int Main() {
+  std::printf(
+      "T6 — Superset PRE rewrite (log entry L*n.G, new clone L*m.G)\n"
+      "Chain web: head -L-> ... -L-> depth 8, each node -G-> its answer\n\n");
+
+  bench::TablePrinter table({
+      "n (logged)", "m (incoming)", "evals dedup ON", "evals dedup OFF",
+      "saved", "rewrites", "dups dropped", "rows ON", "rows OFF",
+  });
+  for (const auto& [n, m] : std::vector<std::pair<int, int>>{
+           {1, 3}, {2, 4}, {2, 6}, {4, 6}, {3, 3}, {5, 2}}) {
+    const Outcome on = RunPair(n, m, true);
+    const Outcome off = RunPair(n, m, false);
+    if (!on.ok || !off.ok) {
+      std::fprintf(stderr, "run failed at n=%d m=%d\n", n, m);
+      return 1;
+    }
+    if (on.rows != off.rows) {
+      std::fprintf(stderr, "ANSWER MISMATCH at n=%d m=%d: %zu vs %zu\n", n,
+                   m, on.rows, off.rows);
+      return 1;
+    }
+    table.AddRow({
+        bench::Num(static_cast<uint64_t>(n)),
+        bench::Num(static_cast<uint64_t>(m)),
+        bench::Num(on.evaluations),
+        bench::Num(off.evaluations),
+        bench::Num(off.evaluations - on.evaluations),
+        bench::Num(on.rewrites),
+        bench::Num(on.duplicates),
+        bench::Num(static_cast<uint64_t>(on.rows)),
+        bench::Num(static_cast<uint64_t>(off.rows)),
+    });
+  }
+  table.Print();
+  std::printf(
+      "\nm <= n: the incoming clone is a pure duplicate (dropped, 0 extra\n"
+      "evals). m > n: the rewrite processes only the difference — answers\n"
+      "match the recompute-everything baseline with fewer evaluations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace webdis
+
+int main() { return webdis::Main(); }

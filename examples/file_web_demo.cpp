@@ -1,0 +1,83 @@
+// Serving real HTML files from disk: writes a small two-site web into a
+// temporary directory, loads it with web::LoadWebFromDirectory, and runs a
+// DISQL query over it — the workflow a downstream user with an existing
+// static site would follow. Pass a directory argument to query your own
+// files instead (layout: <dir>/<host>/<path>.html).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/engine.h"
+#include "web/fileweb.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void WriteFile(const fs::path& path, const std::string& contents) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+}
+
+fs::path MakeDemoSite() {
+  const fs::path root = fs::temp_directory_path() / "webdis_file_demo";
+  fs::remove_all(root);
+  WriteFile(root / "lab.example" / "index.html",
+            "<html><head><title>Systems Lab</title></head><body>"
+            "<h1>Systems Lab</h1>"
+            "<a href=\"/people.html\">People</a>"
+            "<a href=\"http://archive.example/papers.html\">Papers</a>"
+            "</body></html>");
+  WriteFile(root / "lab.example" / "people.html",
+            "<html><head><title>Lab People</title></head><body>"
+            "CONVENER Dr. Example<hr>MEMBERS everyone else<hr>"
+            "</body></html>");
+  WriteFile(root / "archive.example" / "papers.html",
+            "<html><head><title>Paper Archive</title></head><body>"
+            "<p>All our papers.</p>"
+            "<a href=\"/index.html\">home</a></body></html>");
+  WriteFile(root / "archive.example" / "index.html",
+            "<html><head><title>Archive Home</title></head><body>"
+            "archive front door</body></html>");
+  WriteFile(root / "archive.example" / "notes.txt", "not html, skipped");
+  return root;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : MakeDemoSite();
+
+  webdis::web::WebGraph web;
+  auto stats = webdis::web::LoadWebFromDirectory(root.string(), &web);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu documents from %zu host directories under %s "
+              "(%zu non-HTML files skipped)\n\n",
+              stats->documents_loaded, stats->hosts, root.string().c_str(),
+              stats->files_skipped);
+  for (const std::string& url : web.AllUrls()) {
+    std::printf("  %s\n", url.c_str());
+  }
+
+  webdis::core::Engine engine(&web);
+  const std::string disql =
+      "select d.url, r.text\n"
+      "from document d such that \"http://lab.example/\" L*1 d,\n"
+      "     relinfon r such that r.delimiter = \"hr\",\n"
+      "where r.text contains \"convener\"\n";
+  std::printf("\nquery:\n%s\n", disql.c_str());
+  auto outcome = engine.Run(disql);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", webdis::core::FormatResults(outcome->results).c_str());
+  return 0;
+}

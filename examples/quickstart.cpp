@@ -1,0 +1,65 @@
+// Quickstart: the complete WEBDIS API in one file.
+//
+// Builds a small synthetic web (the campus web from the paper's Section 5),
+// deploys a simulated WEBDIS federation over it (one query server per site,
+// one user site), submits the paper's Example Query 2 in DISQL, and prints
+// the Figure 8 result table plus the run's cost metrics.
+//
+// The same five steps work against the real-socket transport too — see
+// examples/tcp_demo.cpp.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "web/topologies.h"
+
+int main() {
+  // 1. A web to query. BuildCampusScenario() returns the IISc campus web of
+  //    Figure 7; you can also build your own with WebGraph::AddDocument or
+  //    generate one with web::GenerateSynthWeb.
+  webdis::web::CampusScenario scenario = webdis::web::BuildCampusScenario();
+
+  // 2. A deployment: Engine starts an HTTP server on every host, a WEBDIS
+  //    query server on every participating host, and a user site, all wired
+  //    over a deterministic simulated network. EngineOptions exposes every
+  //    protocol knob (dedup, batching, termination mode, participation...).
+  webdis::core::Engine engine(&scenario.web);
+
+  // 3. A DISQL query. This is the paper's Example Query 2: find the
+  //    Laboratories page of the CSA department, then the convener of each
+  //    lab within one local link of the lab homepage, where the convener's
+  //    name sits in an <hr>-delimited region.
+  std::printf("DISQL query:\n%s\n", scenario.disql.c_str());
+
+  // 4. Run it. Run() parses + compiles the DISQL, submits from the user
+  //    site, drives the network until the CHT detects completion, and
+  //    returns results plus metrics. Errors come back as Status — nothing
+  //    throws.
+  auto outcome = engine.Run(scenario.disql, "maya");
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  // 5. Results, exactly as Figure 8 displays them: one section per
+  //    node-query in the pipeline.
+  std::printf("Results of the query by user maya:\n\n%s",
+              webdis::core::FormatResults(outcome->results).c_str());
+
+  std::printf("query completed:      %s\n",
+              outcome->completed ? "yes (detected via CHT)" : "no");
+  std::printf("virtual response:     %.1f ms\n",
+              static_cast<double>(outcome->completion_time) / 1000.0);
+  std::printf("network traffic:      %llu messages, %llu bytes\n",
+              static_cast<unsigned long long>(outcome->traffic.messages),
+              static_cast<unsigned long long>(outcome->traffic.bytes));
+  std::printf("documents downloaded: %llu (query shipping moves queries, "
+              "not documents)\n",
+              static_cast<unsigned long long>(
+                  outcome->traffic.fetch_messages));
+  std::printf("node-query evals:     %llu across %zu sites\n",
+              static_cast<unsigned long long>(
+                  outcome->server_stats.node_queries_evaluated),
+              engine.participating_hosts().size());
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Interactive DISQL shell — the CLI stand-in for the paper's Swing GUI
+// (Figure 6). Deploys WEBDIS over the campus web (or a synthetic web with
+// --synth) and reads DISQL queries from stdin; each query runs to completion
+// and prints its Figure-8-style result sections plus cost metrics.
+//
+// Usage:
+//   webdis_shell [--synth]
+//   > select d.url from document d such that "http://www.csa.iisc.ernet.in/" L* d
+//   > \urls          -- list all documents in the web
+//   > \hosts         -- list all sites
+//   > \quit
+//
+// Multi-line queries are supported: keep typing, finish with an empty line.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "web/synth.h"
+#include "web/topologies.h"
+
+namespace {
+
+void RunQuery(webdis::core::Engine& engine, const std::string& disql) {
+  auto outcome = engine.Run(disql, "shell");
+  if (!outcome.ok()) {
+    std::printf("error: %s\n", outcome.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", webdis::core::FormatResults(outcome->results).c_str());
+  std::printf("-- %zu rows, %s, %.1f ms virtual, %llu msgs / %llu bytes, "
+              "%llu evals\n\n",
+              outcome->TotalRows(),
+              outcome->completed ? "complete" : "INCOMPLETE",
+              static_cast<double>(outcome->completion_time) / 1000.0,
+              static_cast<unsigned long long>(outcome->traffic.messages),
+              static_cast<unsigned long long>(outcome->traffic.bytes),
+              static_cast<unsigned long long>(
+                  outcome->server_stats.node_queries_evaluated));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool synth = argc > 1 && std::strcmp(argv[1], "--synth") == 0;
+  webdis::web::WebGraph web;
+  if (synth) {
+    webdis::web::SynthWebOptions options;
+    options.num_sites = 6;
+    options.docs_per_site = 8;
+    web = webdis::web::GenerateSynthWeb(options);
+    std::printf("synthetic web: %zu documents on %zu sites "
+                "(keywords: alpha in titles, beta in hr blocks)\n",
+                web.num_documents(), web.Hosts().size());
+  } else {
+    web = std::move(webdis::web::BuildCampusScenario().web);
+    std::printf("campus web loaded (%zu documents); try the paper's "
+                "Example Query 2 or \\example\n",
+                web.num_documents());
+  }
+  webdis::core::Engine engine(&web);
+
+  std::string buffer;
+  std::string line;
+  std::printf("webdis> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\urls") {
+      for (const std::string& url : web.AllUrls()) {
+        std::printf("  %s\n", url.c_str());
+      }
+      std::printf("webdis> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line == "\\hosts") {
+      for (const std::string& host : web.Hosts()) {
+        std::printf("  %s\n", host.c_str());
+      }
+      std::printf("webdis> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line.rfind("\\explain", 0) == 0) {
+      // \explain on its own explains the campus example; otherwise the
+      // buffered query.
+      const std::string text = !buffer.empty()
+                                   ? buffer
+                                   : webdis::web::BuildCampusScenario().disql;
+      auto compiled = webdis::disql::CompileDisql(text);
+      if (compiled.ok()) {
+        std::printf("%s", webdis::disql::ExplainQuery(compiled.value()).c_str());
+      } else {
+        std::printf("error: %s\n", compiled.status().ToString().c_str());
+      }
+      buffer.clear();
+      std::printf("webdis> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (line == "\\example") {
+      const std::string example = webdis::web::BuildCampusScenario().disql;
+      std::printf("%s\n", example.c_str());
+      RunQuery(engine, example);
+      std::printf("webdis> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (!line.empty()) {
+      buffer += line + "\n";
+      // A one-liner that looks complete runs immediately; otherwise keep
+      // accumulating until a blank line.
+      std::printf("      > ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (!buffer.empty()) {
+      RunQuery(engine, buffer);
+      buffer.clear();
+    }
+    std::printf("webdis> ");
+    std::fflush(stdout);
+  }
+  if (!buffer.empty()) RunQuery(engine, buffer);
+  return 0;
+}

@@ -1,0 +1,98 @@
+#ifndef WEBDIS_BASELINE_DATA_SHIPPING_H_
+#define WEBDIS_BASELINE_DATA_SHIPPING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "disql/compiler.h"
+#include "net/sim.h"
+#include "query/report.h"
+#include "web/graph.h"
+
+namespace webdis::baseline {
+
+/// Options of the centralized engine.
+struct DataShippingOptions {
+  /// Cache fetched documents at the client (a revisit along another path
+  /// costs no second download). Off = the naive engine.
+  bool cache_documents = true;
+  /// Client-side fetch port (listens for kFetchResponse).
+  uint16_t fetch_port = 8080;
+};
+
+/// Outcome and cost accounting of a centralized run.
+struct DataShippingOutcome {
+  bool completed = false;
+  std::vector<relational::ResultSet> results;
+  uint64_t documents_fetched = 0;
+  uint64_t fetch_bytes = 0;        // HTML payload bytes downloaded
+  uint64_t fetch_failures = 0;     // missing documents / dead hosts
+  uint64_t cache_hits = 0;
+  uint64_t node_queries_evaluated = 0;
+  uint64_t nodes_visited = 0;
+  SimTime start_time = 0;
+  SimTime finish_time = 0;
+};
+
+/// The data-shipping comparator (Section 1): every document along the PRE
+/// traversal is downloaded to the client site over HTTP and all node-queries
+/// are evaluated locally — the WebSQL/W3QS-style centralized architecture
+/// the paper's distributed scheme is motivated against. Also reused by the
+/// WEBDIS engine as the §7.1 fallback for non-participating sites.
+///
+/// Works against HttpServer fetch responders over a SimNetwork it pumps
+/// synchronously (one outstanding fetch at a time, as 1999 clients did).
+class DataShippingEngine {
+ public:
+  /// `network` must outlive the engine; HttpServers must already be
+  /// listening on the web's hosts (core::Engine starts them).
+  DataShippingEngine(std::string client_host, net::SimNetwork* network,
+                     DataShippingOptions options = DataShippingOptions());
+  ~DataShippingEngine();
+
+  DataShippingEngine(const DataShippingEngine&) = delete;
+  DataShippingEngine& operator=(const DataShippingEngine&) = delete;
+
+  /// Runs the compiled query centrally from its StartNodes.
+  Result<DataShippingOutcome> Run(const disql::CompiledQuery& compiled);
+
+  /// Continues a query centrally from explicit (node, state) pairs — the
+  /// fallback path for clones that could not be delivered to
+  /// non-participating sites.
+  Result<DataShippingOutcome> RunFrom(
+      const disql::CompiledQuery& compiled,
+      const std::vector<query::ChtEntry>& entries);
+
+ private:
+  struct WorkItem {
+    std::string url;
+    size_t stage = 0;
+    pre::Pre rem;
+  };
+
+  Result<DataShippingOutcome> Execute(const disql::CompiledQuery& compiled,
+                                      std::vector<WorkItem> frontier);
+
+  /// Fetches a document's HTML via the HTTP fetch protocol; pumps the
+  /// network until the response lands. Returns NotFound for missing
+  /// documents and ConnectionRefused for dead hosts.
+  Result<std::string> FetchDocument(const std::string& url,
+                                    DataShippingOutcome* outcome);
+
+  std::string client_host_;
+  net::SimNetwork* network_;
+  DataShippingOptions options_;
+  bool listening_ = false;
+  /// Response slot for the single outstanding fetch.
+  bool response_pending_ = false;
+  bool response_found_ = false;
+  std::string response_html_;
+  std::map<std::string, std::string> document_cache_;
+};
+
+}  // namespace webdis::baseline
+
+#endif  // WEBDIS_BASELINE_DATA_SHIPPING_H_

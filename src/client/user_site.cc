@@ -1,0 +1,322 @@
+#include "client/user_site.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "html/url.h"
+#include "serialize/encoder.h"
+#include "server/http_server.h"
+
+namespace webdis::client {
+
+UserSite::UserSite(std::string host, net::Transport* transport,
+                   UserSiteOptions options)
+    : host_(std::move(host)),
+      transport_(transport),
+      options_(options),
+      clock_([] { return SimTime{0}; }),
+      next_port_(options.first_result_port) {}
+
+Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
+                                        const std::string& user) {
+  if (compiled.start_urls.empty()) {
+    return Status::InvalidArgument("compiled query has no StartNodes");
+  }
+  query::QueryId id;
+  id.user = user;
+  id.reply_host = host_;
+  id.reply_port = next_port_++;
+  id.query_number = next_query_number_++;
+
+  auto run = std::make_unique<QueryRun>(options_.cht_dedup,
+                                        options_.robust_completion);
+  run->id = id;
+  run->compiled.web_query = compiled.web_query.Clone();
+  run->compiled.start_urls = compiled.start_urls;
+  run->compiled.select_labels = compiled.select_labels;
+  run->submit_time = clock_();
+  QueryRun* raw = run.get();
+
+  // Open the listening result socket; its port travels in the QueryId.
+  WEBDIS_RETURN_IF_ERROR(transport_->Listen(
+      net::Endpoint{host_, id.reply_port},
+      [this, raw](const net::Endpoint& from, net::MessageType type,
+                  const std::vector<uint8_t>& payload) {
+        OnMessage(raw, from, type, payload);
+      }));
+  runs_.emplace(id.Key(), std::move(run));
+
+  // Group StartNodes by site — the initial dispatch enjoys the same
+  // one-clone-per-site batching as forwarding (§3.2(4)).
+  std::map<std::string, std::vector<std::string>> by_host;
+  for (const std::string& url : compiled.start_urls) {
+    auto parsed = html::ParseUrl(url);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          StringPrintf("bad StartNode URL '%s'", url.c_str()));
+    }
+    by_host[parsed->host].push_back(parsed->ResourceKey());
+  }
+
+  const query::CloneState initial_state{
+      static_cast<uint32_t>(compiled.web_query.remaining_queries.size()),
+      compiled.web_query.rem_pre};
+  const net::Endpoint self{host_, id.reply_port};
+  uint64_t next_root_token = 1;
+  for (const auto& [site_host, urls] : by_host) {
+    // Figure 2: enter the CHT entries, then dispatch.
+    if (!options_.ack_tree_termination) {
+      for (const std::string& url : urls) {
+        raw->cht.Add(url, initial_state);
+      }
+    }
+    query::WebQuery clone = compiled.web_query.Clone();
+    clone.id = id;
+    clone.dest_urls = urls;
+    uint64_t root_token = 0;
+    if (options_.ack_tree_termination) {
+      root_token = next_root_token++;
+      clone.ack_mode = true;
+      clone.ack_parent_host = host_;
+      clone.ack_parent_port = id.reply_port;
+      clone.ack_token = root_token;
+      raw->outstanding_root_acks.insert(root_token);
+    }
+    serialize::Encoder enc;
+    clone.EncodeTo(&enc);
+    const Status status = transport_->Send(
+        self, net::Endpoint{site_host, server::kQueryServerPort},
+        net::MessageType::kWebQuery, enc.Release());
+    if (!status.ok()) {
+      // StartNode site runs no query server: clear the entries and record
+      // the nodes for centralized fallback.
+      if (options_.ack_tree_termination) {
+        raw->outstanding_root_acks.erase(root_token);
+      } else {
+        for (const std::string& url : urls) {
+          raw->cht.MarkDeleted(url, initial_state);
+        }
+      }
+      for (const std::string& url : urls) {
+        raw->fallback_nodes.push_back(query::ChtEntry{url, initial_state});
+      }
+    }
+  }
+  MaybeComplete(raw);
+  return id;
+}
+
+const UserSite::QueryRun* UserSite::Find(const query::QueryId& id) const {
+  auto it = runs_.find(id.Key());
+  return it == runs_.end() ? nullptr : it->second.get();
+}
+
+bool UserSite::IsComplete(const query::QueryId& id) const {
+  const QueryRun* run = Find(id);
+  return run != nullptr && run->completed;
+}
+
+void UserSite::Cancel(const query::QueryId& id) {
+  auto it = runs_.find(id.Key());
+  if (it == runs_.end()) return;
+  QueryRun* run = it->second.get();
+  if (run->completed || run->cancelled) return;
+  run->cancelled = true;
+  if (options_.active_termination) {
+    // Send kTerminate to every site with an active clone.
+    std::set<std::string> hosts;
+    for (const CurrentHostsTable::Entry& entry : run->cht.entries()) {
+      if (entry.deleted) continue;
+      auto parsed = html::ParseUrl(entry.node_url);
+      if (parsed.ok()) hosts.insert(parsed->host);
+    }
+    serialize::Encoder enc;
+    id.EncodeTo(&enc);
+    const std::vector<uint8_t> payload = enc.Release();
+    const net::Endpoint self{host_, id.reply_port};
+    for (const std::string& site_host : hosts) {
+      const Status status = transport_->Send(
+          self, net::Endpoint{site_host, server::kQueryServerPort},
+          net::MessageType::kTerminate, payload);
+      if (status.ok()) ++run->stats.termination_messages_sent;
+    }
+  }
+  // Passive termination (both modes): close the socket; every later result
+  // dispatch is refused and servers purge the query locally (Section 2.8).
+  CloseResultSocket(run);
+}
+
+void UserSite::FinishWithTimeout(const query::QueryId& id,
+                                 SimDuration timeout) {
+  auto it = runs_.find(id.Key());
+  if (it == runs_.end()) return;
+  QueryRun* run = it->second.get();
+  if (run->completed) return;
+  run->completed = true;
+  const SimTime base =
+      run->stats.reports_received > 0 ? run->last_report_time
+                                      : run->submit_time;
+  run->completion_time = base + timeout;
+  CloseResultSocket(run);
+}
+
+size_t UserSite::AbandonStalled(const query::QueryId& id) {
+  auto it = runs_.find(id.Key());
+  if (it == runs_.end()) return 0;
+  QueryRun* run = it->second.get();
+  if (run->completed) return 0;
+  const std::vector<CurrentHostsTable::Entry> outstanding =
+      run->cht.DrainOutstanding();
+  for (const CurrentHostsTable::Entry& entry : outstanding) {
+    run->fallback_nodes.push_back(
+        query::ChtEntry{entry.node_url, entry.state});
+  }
+  run->completed = true;
+  run->completion_time = clock_();
+  CloseResultSocket(run);
+  return outstanding.size();
+}
+
+void UserSite::CloseResultSocket(QueryRun* run) {
+  transport_->CloseListener(net::Endpoint{host_, run->id.reply_port});
+}
+
+void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
+                         net::MessageType type,
+                         const std::vector<uint8_t>& payload) {
+  (void)from;
+  if (type == net::MessageType::kAck && options_.ack_tree_termination) {
+    serialize::Decoder dec(payload);
+    uint64_t token = 0;
+    if (!dec.GetU64(&token).ok()) return;
+    ++run->stats.root_acks_received;
+    run->outstanding_root_acks.erase(token);
+    MaybeComplete(run);
+    return;
+  }
+  if (type != net::MessageType::kReport) {
+    WEBDIS_LOG(kWarning) << "user site ignoring message of type "
+                         << net::MessageTypeToString(type);
+    return;
+  }
+  serialize::Decoder dec(payload);
+  query::QueryReport report;
+  if (const Status status = query::QueryReport::DecodeFrom(&dec, &report);
+      !status.ok()) {
+    WEBDIS_LOG(kWarning) << "bad report: " << status.ToString();
+    return;
+  }
+  if (!(report.id == run->id)) {
+    WEBDIS_LOG(kWarning) << "report for unknown query " << report.id.Key();
+    return;
+  }
+  HandleReport(run, report);
+}
+
+void UserSite::HandleReport(QueryRun* run,
+                            const query::QueryReport& report) {
+  ++run->stats.reports_received;
+  run->last_report_time = clock_();
+  for (const query::NodeReport& nr : report.node_reports) {
+    ++run->stats.node_reports;
+    // Mark the topmost entry (the processed node in its received state)
+    // deleted. Unmatched deletes are tolerated: the entry may have been
+    // suppressed by CHT dedup. (The ack-tree baseline keeps no CHT.)
+    if (!options_.ack_tree_termination) {
+      run->cht.MarkDeleted(nr.node_url, nr.received_state);
+    }
+    if (nr.duplicate_drop) {
+      ++run->stats.duplicate_drop_reports;
+      continue;
+    }
+    if (nr.undeliverable) {
+      ++run->stats.undeliverable_reports;
+      run->fallback_nodes.push_back(
+          query::ChtEntry{nr.node_url, nr.received_state});
+      continue;
+    }
+    if (!options_.ack_tree_termination) {
+      for (const query::ChtEntry& entry : nr.next_entries) {
+        run->cht.Add(entry.node_url, entry.state);
+      }
+    }
+    for (const relational::ResultSet& rs : nr.result_sets) {
+      MergeResults(run, rs);
+    }
+  }
+  // Approximate-query budget: enough rows collected -> stop the traversal
+  // via the ordinary passive-termination machinery.
+  if (options_.row_limit > 0 && !run->completed && !run->cancelled) {
+    size_t unique_rows = 0;
+    for (const relational::ResultSet& rs : run->results) {
+      unique_rows += rs.rows.size();
+    }
+    if (unique_rows >= options_.row_limit) {
+      run->truncated = true;
+      run->completed = true;
+      run->completion_time = clock_();
+      CloseResultSocket(run);
+      return;
+    }
+  }
+  MaybeComplete(run);
+}
+
+void UserSite::MergeResults(QueryRun* run, const relational::ResultSet& rs) {
+  const std::string signature = Join(rs.column_labels, "\x1f");
+  std::set<std::string>& seen = seen_rows_[run->id.Key()];
+  relational::ResultSet* target = nullptr;
+  for (relational::ResultSet& existing : run->results) {
+    if (existing.column_labels == rs.column_labels) {
+      target = &existing;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    relational::ResultSet fresh;
+    fresh.column_labels = rs.column_labels;
+    run->results.push_back(std::move(fresh));
+    target = &run->results.back();
+  }
+  for (const relational::Tuple& row : rs.rows) {
+    ++run->stats.result_rows_received;
+    std::string key = signature;
+    for (const relational::Value& v : row) {
+      key += '\x1e';
+      key += v.ToString();
+    }
+    if (!seen.insert(std::move(key)).second) {
+      // Duplicate rows reach the user when recomputation suppression is
+      // disabled ("the same set of results will be received multiple times
+      // and these will have to be filtered", Section 3.1).
+      ++run->stats.duplicate_rows_filtered;
+      continue;
+    }
+    target->rows.push_back(row);
+  }
+}
+
+void UserSite::MaybeComplete(QueryRun* run) {
+  if (run->completed || run->cancelled) return;
+  if (options_.ack_tree_termination) {
+    if (run->outstanding_root_acks.empty()) {
+      run->completed = true;
+      run->completion_time = clock_();
+      if (options_.close_socket_on_completion) {
+        CloseResultSocket(run);
+      }
+    }
+    return;
+  }
+  if (!options_.use_cht) return;
+  if (run->cht.AllDeleted()) {
+    run->completed = true;
+    run->completion_time = clock_();
+    if (options_.close_socket_on_completion) {
+      CloseResultSocket(run);
+    }
+  }
+}
+
+}  // namespace webdis::client

@@ -1,0 +1,155 @@
+#ifndef WEBDIS_CLIENT_USER_SITE_H_
+#define WEBDIS_CLIENT_USER_SITE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "client/cht.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "disql/compiler.h"
+#include "net/transport.h"
+#include "query/report.h"
+
+namespace webdis::client {
+
+/// Configuration of the WEBDIS client process (Section 4.3).
+struct UserSiteOptions {
+  /// Mirror the log-table rules in the CHT (Section 3.1.1's modification).
+  bool cht_dedup = true;
+  /// Use the CHT protocol for completion detection. When false the client
+  /// records arrival times only and the harness applies a timeout rule —
+  /// the strawman Section 2.7 argues against.
+  bool use_cht = true;
+  /// Cancel() sends explicit kTerminate messages to every active CHT host
+  /// instead of the paper's passive close-the-socket scheme (ablation).
+  bool active_termination = false;
+  /// Balance-counted completion (robust against message reordering; see
+  /// CurrentHostsTable). Requires servers to report duplicate drops. False =
+  /// the paper's original entry-matching rule.
+  bool robust_completion = true;
+  /// Ack-tree termination detection instead of the CHT — the Related Work
+  /// [4] baseline: every clone acks its parent once its whole forwarding
+  /// subtree has been processed; completion = all StartNode clones acked.
+  /// Reports then carry results only (no CHT entries).
+  bool ack_tree_termination = false;
+  /// First result-socket port; each query gets the next port.
+  uint16_t first_result_port = 9000;
+  /// Close the result socket as soon as completion is detected (the normal
+  /// behaviour). Harnesses that replay extra clones under a completed
+  /// query's id (e.g. the T6 rewrite experiment) set this to false.
+  bool close_socket_on_completion = true;
+  /// Approximate queries (§7.1 future work): stop after this many unique
+  /// result rows. The cancel rides on passive termination — the user site
+  /// simply closes its socket and the distributed traversal dies out.
+  /// 0 = exact (no limit).
+  uint64_t row_limit = 0;
+};
+
+/// Per-query client-side statistics.
+struct QueryRunStats {
+  uint64_t reports_received = 0;
+  uint64_t node_reports = 0;
+  uint64_t duplicate_drop_reports = 0;
+  uint64_t undeliverable_reports = 0;
+  uint64_t result_rows_received = 0;
+  uint64_t duplicate_rows_filtered = 0;
+  uint64_t termination_messages_sent = 0;
+  uint64_t root_acks_received = 0;  // ack-tree termination baseline
+};
+
+/// The WEBDIS client process at the user site: parses nothing itself (takes
+/// a CompiledQuery), opens the listening result socket, dispatches the query
+/// to the StartNode sites (Figure 2 send_query), collects results, maintains
+/// the CHT (Figure 2 receive_results), detects completion, and supports both
+/// passive (Section 2.8) and active termination.
+class UserSite {
+ public:
+  /// `transport` must outlive the user site.
+  UserSite(std::string host, net::Transport* transport,
+           UserSiteOptions options = UserSiteOptions());
+
+  /// Virtual-clock source for timestamps (wired to SimNetwork::now by the
+  /// engine); defaults to a constant 0.
+  void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  /// Everything the client knows about one submitted query.
+  struct QueryRun {
+    query::QueryId id;
+    disql::CompiledQuery compiled;
+    CurrentHostsTable cht;
+    /// Result sets merged by column-label signature, duplicates filtered.
+    std::vector<relational::ResultSet> results;
+    bool completed = false;
+    bool cancelled = false;
+    /// Set when the row_limit cut the query short (approximate answer).
+    bool truncated = false;
+    SimTime submit_time = 0;
+    SimTime completion_time = 0;
+    SimTime last_report_time = 0;
+    QueryRunStats stats;
+    /// Nodes whose clones could not be delivered (non-participating sites);
+    /// state captured for centralized fallback processing.
+    std::vector<query::ChtEntry> fallback_nodes;
+    /// Ack-tree mode: tokens of StartNode clones not yet acked.
+    std::set<uint64_t> outstanding_root_acks;
+
+    QueryRun(bool cht_dedup, bool robust) : cht(cht_dedup, robust) {}
+  };
+
+  /// Submits a compiled query on behalf of `user`: opens the result socket,
+  /// enters the StartNodes into the CHT, and dispatches the initial clones
+  /// (batched per StartNode site). Returns the query id.
+  Result<query::QueryId> Submit(const disql::CompiledQuery& compiled,
+                                const std::string& user);
+
+  /// Lookup; nullptr if unknown.
+  const QueryRun* Find(const query::QueryId& id) const;
+
+  bool IsComplete(const query::QueryId& id) const;
+
+  /// Cancels an ongoing query: passive mode closes the result socket (later
+  /// result dispatches get connection-refused and servers purge locally);
+  /// active mode additionally sends kTerminate to every active CHT host.
+  void Cancel(const query::QueryId& id);
+
+  /// Timeout-completion harness hook: marks the query complete with
+  /// completion_time = last_report_time + timeout (only meaningful when
+  /// use_cht is false, after the network has gone idle).
+  void FinishWithTimeout(const query::QueryId& id, SimDuration timeout);
+
+  /// Graceful recovery from node failures (§7.1 future work): gives up on
+  /// every CHT entry still outstanding (e.g. held by crashed sites), moving
+  /// them to the fallback list for centralized processing, and marks the
+  /// query complete. Returns how many entries were abandoned.
+  size_t AbandonStalled(const query::QueryId& id);
+
+  const UserSiteOptions& options() const { return options_; }
+  const std::string& host() const { return host_; }
+
+ private:
+  void OnMessage(QueryRun* run, const net::Endpoint& from,
+                 net::MessageType type, const std::vector<uint8_t>& payload);
+  void HandleReport(QueryRun* run, const query::QueryReport& report);
+  void MergeResults(QueryRun* run, const relational::ResultSet& rs);
+  void MaybeComplete(QueryRun* run);
+  void CloseResultSocket(QueryRun* run);
+
+  std::string host_;
+  net::Transport* transport_;
+  UserSiteOptions options_;
+  std::function<SimTime()> clock_;
+  uint16_t next_port_;
+  uint32_t next_query_number_ = 1;
+  std::map<std::string, std::unique_ptr<QueryRun>> runs_;  // by QueryId::Key
+  /// Per-run row filter: label signature + row rendering already seen.
+  std::map<std::string, std::set<std::string>> seen_rows_;
+};
+
+}  // namespace webdis::client
+
+#endif  // WEBDIS_CLIENT_USER_SITE_H_

@@ -1,0 +1,22 @@
+#ifndef WEBDIS_COMMON_CLOCK_H_
+#define WEBDIS_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace webdis {
+
+/// Simulated time, in microseconds since simulation start. The discrete-event
+/// network simulator advances this; it never refers to wall-clock time, so
+/// experiment timings are deterministic.
+using SimTime = uint64_t;
+
+/// Durations share the representation of SimTime (microseconds).
+using SimDuration = uint64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+}  // namespace webdis
+
+#endif  // WEBDIS_COMMON_CLOCK_H_

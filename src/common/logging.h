@@ -1,0 +1,64 @@
+#ifndef WEBDIS_COMMON_LOGGING_H_
+#define WEBDIS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace webdis {
+
+/// Log severity, lowest to highest.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is emitted (default: kWarning, so
+/// tests and benchmarks stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction (and aborts if fatal). Not for
+/// direct use — use the WEBDIS_LOG / WEBDIS_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace webdis
+
+/// Usage: WEBDIS_LOG(kInfo) << "forwarded " << n << " clones";
+#define WEBDIS_LOG(severity)                                              \
+  if (::webdis::LogLevel::severity < ::webdis::GetLogLevel()) {           \
+  } else                                                                  \
+    ::webdis::internal_logging::LogMessage(::webdis::LogLevel::severity,  \
+                                           __FILE__, __LINE__)            \
+        .stream()
+
+/// Fatal invariant check: prints and aborts. Used for programmer errors only
+/// (never for data/network errors, which return Status).
+#define WEBDIS_CHECK(cond)                                             \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::webdis::internal_logging::LogMessage(::webdis::LogLevel::kError, \
+                                           __FILE__, __LINE__, true)   \
+            .stream()                                                  \
+        << "CHECK failed: " #cond " "
+
+#endif  // WEBDIS_COMMON_LOGGING_H_

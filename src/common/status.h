@@ -1,0 +1,151 @@
+#ifndef WEBDIS_COMMON_STATUS_H_
+#define WEBDIS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace webdis {
+
+/// Canonical error codes used across the WEBDIS codebase. Modeled after the
+/// RocksDB/Arrow status idiom: the library never throws; every fallible
+/// operation returns a Status (or Result<T>).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kIoError,
+  kNetworkError,
+  kConnectionRefused,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+  kCancelled,
+  kTimedOut,
+};
+
+/// Human-readable name of a status code ("Ok", "ParseError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy when OK (no message
+/// allocation); carries a code plus a context message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status ConnectionRefused(std::string msg) {
+    return Status(StatusCode::kConnectionRefused, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: enables `return value;` in functions returning
+  /// Result<T>, mirroring absl::StatusOr.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; Status::OK() if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace webdis
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define WEBDIS_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::webdis::Status _webdis_status = (expr);        \
+    if (!_webdis_status.ok()) return _webdis_status; \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which must already be declared).
+#define WEBDIS_ASSIGN_OR_RETURN(lhs, expr)              \
+  do {                                                  \
+    auto _webdis_result = (expr);                       \
+    if (!_webdis_result.ok()) {                         \
+      return _webdis_result.status();                   \
+    }                                                   \
+    lhs = std::move(_webdis_result).value();            \
+  } while (false)
+
+#endif  // WEBDIS_COMMON_STATUS_H_

@@ -1,0 +1,296 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace webdis::core {
+
+size_t RunOutcome::TotalRows() const {
+  size_t total = 0;
+  for (const relational::ResultSet& rs : results) total += rs.rows.size();
+  return total;
+}
+
+std::string FormatResults(const std::vector<relational::ResultSet>& results) {
+  std::string out;
+  for (const relational::ResultSet& rs : results) {
+    const size_t cols = rs.column_labels.size();
+    std::vector<size_t> widths(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      widths[c] = rs.column_labels[c].size();
+    }
+    std::vector<std::vector<std::string>> cells;
+    for (const relational::Tuple& row : rs.rows) {
+      std::vector<std::string> rendered;
+      for (size_t c = 0; c < cols && c < row.size(); ++c) {
+        std::string cell = row[c].ToString();
+        if (cell.size() > 60) cell = cell.substr(0, 57) + "...";
+        widths[c] = std::max(widths[c], cell.size());
+        rendered.push_back(std::move(cell));
+      }
+      cells.push_back(std::move(rendered));
+    }
+    const auto pad = [](const std::string& s, size_t w) {
+      return s + std::string(w - s.size(), ' ');
+    };
+    for (size_t c = 0; c < cols; ++c) {
+      out += pad(rs.column_labels[c], widths[c]) + "  ";
+    }
+    out += "\n";
+    for (size_t c = 0; c < cols; ++c) {
+      out += std::string(widths[c], '-') + "  ";
+    }
+    out += "\n";
+    for (const std::vector<std::string>& row : cells) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        out += pad(row[c], widths[c]) + "  ";
+      }
+      out += "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Engine::Engine(const web::WebGraph* web, EngineOptions options)
+    : web_(web), options_(options) {
+  network_ = std::make_unique<net::SimNetwork>(options_.network);
+  const std::vector<std::string> hosts = web_->Hosts();
+
+  // Every host serves plain HTTP (it is, after all, the web).
+  for (const std::string& host : hosts) {
+    auto http = std::make_unique<server::HttpServer>(host, web_,
+                                                     network_.get());
+    const Status status = http->Start();
+    WEBDIS_CHECK(status.ok()) << status.ToString();
+    http_servers_.push_back(std::move(http));
+  }
+
+  // A deterministic subset of hosts participates in WEBDIS.
+  Rng rng(options_.participation_seed);
+  for (const std::string& host : hosts) {
+    const bool forced =
+        std::find(options_.forced_participants.begin(),
+                  options_.forced_participants.end(),
+                  host) != options_.forced_participants.end();
+    const bool participates =
+        forced || options_.participation_fraction >= 1.0 ||
+        rng.Bernoulli(options_.participation_fraction);
+    if (!participates) continue;
+    auto qs = std::make_unique<server::QueryServer>(
+        host, web_, network_.get(), options_.server);
+    const Status status = qs->Start();
+    WEBDIS_CHECK(status.ok()) << status.ToString();
+    participating_hosts_.push_back(host);
+    query_servers_.emplace(host, std::move(qs));
+  }
+
+  user_site_ = std::make_unique<client::UserSite>(
+      kClientHost, network_.get(), options_.client);
+  user_site_->SetClock([this] { return network_->now(); });
+}
+
+Engine::~Engine() = default;
+
+server::QueryServer* Engine::server_for(const std::string& host) {
+  auto it = query_servers_.find(host);
+  return it == query_servers_.end() ? nullptr : it->second.get();
+}
+
+void Engine::ObserveVisits(server::QueryServer::VisitObserver observer) {
+  for (auto& [host, qs] : query_servers_) {
+    qs->SetVisitObserver(observer);
+  }
+}
+
+TrafficSummary Engine::TrafficSnapshot() const {
+  TrafficSummary t;
+  t.messages = network_->total_traffic().messages;
+  t.bytes = network_->total_traffic().bytes;
+  t.inter_host_messages = network_->inter_host_traffic().messages;
+  t.inter_host_bytes = network_->inter_host_traffic().bytes;
+  const auto& q = network_->traffic_for(net::MessageType::kWebQuery);
+  t.query_messages = q.messages;
+  t.query_bytes = q.bytes;
+  const auto& r = network_->traffic_for(net::MessageType::kReport);
+  t.report_messages = r.messages;
+  t.report_bytes = r.bytes;
+  const auto& freq = network_->traffic_for(net::MessageType::kFetchRequest);
+  const auto& fresp = network_->traffic_for(net::MessageType::kFetchResponse);
+  t.fetch_messages = freq.messages + fresp.messages;
+  t.fetch_bytes = freq.bytes + fresp.bytes;
+  t.terminate_messages =
+      network_->traffic_for(net::MessageType::kTerminate).messages;
+  t.connection_refused = network_->connection_refused_count();
+  return t;
+}
+
+namespace {
+
+TrafficSummary Subtract(const TrafficSummary& a, const TrafficSummary& b) {
+  TrafficSummary d;
+  d.messages = a.messages - b.messages;
+  d.bytes = a.bytes - b.bytes;
+  d.inter_host_messages = a.inter_host_messages - b.inter_host_messages;
+  d.inter_host_bytes = a.inter_host_bytes - b.inter_host_bytes;
+  d.query_messages = a.query_messages - b.query_messages;
+  d.query_bytes = a.query_bytes - b.query_bytes;
+  d.report_messages = a.report_messages - b.report_messages;
+  d.report_bytes = a.report_bytes - b.report_bytes;
+  d.fetch_messages = a.fetch_messages - b.fetch_messages;
+  d.fetch_bytes = a.fetch_bytes - b.fetch_bytes;
+  d.terminate_messages = a.terminate_messages - b.terminate_messages;
+  d.connection_refused = a.connection_refused - b.connection_refused;
+  return d;
+}
+
+}  // namespace
+
+server::QueryServerStats Engine::AggregateServerStats() const {
+  server::QueryServerStats total;
+  for (const auto& [host, qs] : query_servers_) {
+    const server::QueryServerStats& s = qs->stats();
+    total.clones_received += s.clones_received;
+    total.nodes_processed += s.nodes_processed;
+    total.node_queries_evaluated += s.node_queries_evaluated;
+    total.answers_found += s.answers_found;
+    total.db_constructions += s.db_constructions;
+    total.db_cache_hits += s.db_cache_hits;
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.superset_rewrites += s.superset_rewrites;
+    total.clones_forwarded += s.clones_forwarded;
+    total.dead_ends += s.dead_ends;
+    total.missing_documents += s.missing_documents;
+    total.passive_terminations += s.passive_terminations;
+    total.active_terminations += s.active_terminations;
+    total.undeliverable_forwards += s.undeliverable_forwards;
+    total.decode_errors += s.decode_errors;
+    total.acks_sent += s.acks_sent;
+    total.acks_received += s.acks_received;
+  }
+  return total;
+}
+
+Result<query::QueryId> Engine::Submit(const disql::CompiledQuery& compiled,
+                                      const std::string& user) {
+  return user_site_->Submit(compiled, user);
+}
+
+RunOutcome Engine::CollectOutcome(const query::QueryId& id,
+                                  const TrafficSummary& baseline_traffic) {
+  RunOutcome outcome;
+  outcome.id = id;
+  const client::UserSite::QueryRun* run = user_site_->Find(id);
+  WEBDIS_CHECK(run != nullptr);
+  outcome.completed = run->completed;
+  outcome.results = run->results;
+  outcome.submit_time = run->submit_time;
+  outcome.completion_time = run->completion_time;
+  outcome.last_report_time = run->last_report_time;
+  outcome.client_stats = run->stats;
+  outcome.cht_total_entries = run->cht.total_count();
+  outcome.cht_max_active = run->cht.max_active();
+  outcome.cht_suppressed = run->cht.suppressed_count();
+  outcome.cht_unmatched_deletes = run->cht.unmatched_deletes();
+  outcome.fallback_node_count = run->fallback_nodes.size();
+  outcome.server_stats = AggregateServerStats();
+  outcome.traffic = Subtract(TrafficSnapshot(), baseline_traffic);
+  return outcome;
+}
+
+Result<RunOutcome> Engine::RunCompiled(const disql::CompiledQuery& compiled,
+                                       const std::string& user) {
+  const TrafficSummary before = TrafficSnapshot();
+  query::QueryId id;
+  WEBDIS_ASSIGN_OR_RETURN(id, user_site_->Submit(compiled, user));
+  network_->RunUntilIdle();
+
+  const client::UserSite::QueryRun* run = user_site_->Find(id);
+  WEBDIS_CHECK(run != nullptr);
+  if (!options_.client.use_cht && !run->completed) {
+    // Timeout-completion strawman: the user declares the query done only a
+    // full timeout after the last arrival.
+    user_site_->FinishWithTimeout(id, options_.completion_timeout);
+  }
+
+  // §7.1 fallback: continue centrally for undeliverable nodes.
+  RunOutcome outcome = CollectOutcome(id, before);
+  if (options_.fallback_processing && !run->fallback_nodes.empty()) {
+    baseline::DataShippingEngine fallback_engine(kClientHost, network_.get());
+    auto fb = fallback_engine.RunFrom(run->compiled, run->fallback_nodes);
+    if (fb.ok()) {
+      outcome.fallback = std::move(fb).value();
+      // Merge fallback rows into the outcome's result sets.
+      for (const relational::ResultSet& rs : outcome.fallback.results) {
+        relational::ResultSet* target = nullptr;
+        for (relational::ResultSet& existing : outcome.results) {
+          if (existing.column_labels == rs.column_labels) {
+            target = &existing;
+            break;
+          }
+        }
+        if (target == nullptr) {
+          outcome.results.push_back(rs);
+        } else {
+          for (const relational::Tuple& row : rs.rows) {
+            const bool seen = std::any_of(
+                target->rows.begin(), target->rows.end(),
+                [&row](const relational::Tuple& existing) {
+                  if (existing.size() != row.size()) return false;
+                  for (size_t i = 0; i < row.size(); ++i) {
+                    if (!(existing[i] == row[i])) return false;
+                  }
+                  return true;
+                });
+            if (!seen) target->rows.push_back(row);
+          }
+        }
+      }
+      // Refresh traffic to include fallback fetches.
+      outcome.traffic = Subtract(TrafficSnapshot(), before);
+    } else {
+      WEBDIS_LOG(kWarning) << "fallback processing failed: "
+                           << fb.status().ToString();
+    }
+  }
+  return outcome;
+}
+
+Result<RunOutcome> Engine::Run(const std::string& disql,
+                               const std::string& user) {
+  disql::CompiledQuery compiled;
+  WEBDIS_ASSIGN_OR_RETURN(compiled, disql::CompileDisql(disql));
+  return RunCompiled(compiled, user);
+}
+
+Result<BaselineRun> RunDataShippingBaseline(
+    const web::WebGraph& web, const disql::CompiledQuery& compiled,
+    net::SimNetworkOptions network_options,
+    baseline::DataShippingOptions options) {
+  net::SimNetwork network(network_options);
+  std::vector<std::unique_ptr<server::HttpServer>> http_servers;
+  for (const std::string& host : web.Hosts()) {
+    auto http = std::make_unique<server::HttpServer>(host, &web, &network);
+    WEBDIS_RETURN_IF_ERROR(http->Start());
+    http_servers.push_back(std::move(http));
+  }
+  baseline::DataShippingEngine engine(Engine::kClientHost, &network, options);
+  BaselineRun run;
+  WEBDIS_ASSIGN_OR_RETURN(run.outcome, engine.Run(compiled));
+  const auto& total = network.total_traffic();
+  run.traffic.messages = total.messages;
+  run.traffic.bytes = total.bytes;
+  run.traffic.inter_host_messages = network.inter_host_traffic().messages;
+  run.traffic.inter_host_bytes = network.inter_host_traffic().bytes;
+  const auto& freq = network.traffic_for(net::MessageType::kFetchRequest);
+  const auto& fresp = network.traffic_for(net::MessageType::kFetchResponse);
+  run.traffic.fetch_messages = freq.messages + fresp.messages;
+  run.traffic.fetch_bytes = freq.bytes + fresp.bytes;
+  run.traffic.connection_refused = network.connection_refused_count();
+  return run;
+}
+
+}  // namespace webdis::core

@@ -1,0 +1,154 @@
+#ifndef WEBDIS_CORE_ENGINE_H_
+#define WEBDIS_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/data_shipping.h"
+#include "client/user_site.h"
+#include "common/status.h"
+#include "disql/compiler.h"
+#include "net/sim.h"
+#include "server/http_server.h"
+#include "server/query_server.h"
+#include "web/graph.h"
+
+namespace webdis::core {
+
+/// End-to-end configuration of a simulated WEBDIS deployment.
+struct EngineOptions {
+  net::SimNetworkOptions network;
+  server::QueryServerOptions server;
+  client::UserSiteOptions client;
+  /// Fraction of web hosts that run a WEBDIS query server (1.0 = every
+  /// host participates; lower values exercise the §7.1 migration path).
+  double participation_fraction = 1.0;
+  uint64_t participation_seed = 1;
+  /// Hosts that run a query server regardless of the sampled fraction
+  /// (e.g. the StartNode site, which a user would naturally pick from the
+  /// participating federation).
+  std::vector<std::string> forced_participants;
+  /// Centrally process clones that could not be delivered to
+  /// non-participating sites, via the data-shipping fallback.
+  bool fallback_processing = true;
+  /// Timeout used when client.use_cht is false (the strawman completion
+  /// rule of Section 2.7).
+  SimDuration completion_timeout = 10 * kSecond;
+};
+
+/// Aggregated network traffic for one run (deltas over the run).
+struct TrafficSummary {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t inter_host_messages = 0;
+  uint64_t inter_host_bytes = 0;
+  uint64_t query_messages = 0;
+  uint64_t query_bytes = 0;
+  uint64_t report_messages = 0;
+  uint64_t report_bytes = 0;
+  uint64_t fetch_messages = 0;
+  uint64_t fetch_bytes = 0;
+  uint64_t terminate_messages = 0;
+  uint64_t connection_refused = 0;
+};
+
+/// Everything measured about one query run.
+struct RunOutcome {
+  query::QueryId id;
+  bool completed = false;
+  std::vector<relational::ResultSet> results;
+  SimTime submit_time = 0;
+  SimTime completion_time = 0;     // when the user site *knew* it was done
+  SimTime last_report_time = 0;    // when the last result actually arrived
+  client::QueryRunStats client_stats;
+  server::QueryServerStats server_stats;  // summed over all servers
+  size_t cht_total_entries = 0;
+  size_t cht_max_active = 0;
+  uint64_t cht_suppressed = 0;
+  uint64_t cht_unmatched_deletes = 0;
+  size_t fallback_node_count = 0;
+  baseline::DataShippingOutcome fallback;  // §7.1 centralized continuation
+  TrafficSummary traffic;
+
+  /// Total rows across all result sets.
+  size_t TotalRows() const;
+};
+
+/// Renders result sets as aligned text tables (the Figure 8 display).
+std::string FormatResults(const std::vector<relational::ResultSet>& results);
+
+/// A complete single-process WEBDIS deployment over the simulated network:
+/// one HttpServer per web host, one QueryServer per *participating* host,
+/// and a UserSite on a dedicated client host. Run() submits a DISQL query,
+/// drives the network to quiescence, applies the configured completion rule
+/// and optional centralized fallback, and returns results + full metrics.
+class Engine {
+ public:
+  /// `web` must outlive the engine.
+  Engine(const web::WebGraph* web, EngineOptions options = EngineOptions());
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Parses, compiles, submits, and runs a DISQL query to completion.
+  Result<RunOutcome> Run(const std::string& disql,
+                         const std::string& user = "user");
+
+  /// Same, for an already-compiled query.
+  Result<RunOutcome> RunCompiled(const disql::CompiledQuery& compiled,
+                                 const std::string& user = "user");
+
+  // -- Orchestration access (tests and benchmarks drive partial runs) ------
+  net::SimNetwork& network() { return *network_; }
+  client::UserSite& user_site() { return *user_site_; }
+  /// nullptr if the host does not participate.
+  server::QueryServer* server_for(const std::string& host);
+  const std::vector<std::string>& participating_hosts() const {
+    return participating_hosts_;
+  }
+  /// Installs a visit observer on every query server.
+  void ObserveVisits(server::QueryServer::VisitObserver observer);
+
+  /// Submits without driving the network (for step-wise orchestration).
+  Result<query::QueryId> Submit(const disql::CompiledQuery& compiled,
+                                const std::string& user = "user");
+
+  /// Collects the outcome for a query after the caller drove the network.
+  RunOutcome CollectOutcome(const query::QueryId& id,
+                            const TrafficSummary& baseline_traffic);
+
+  /// Snapshot of cumulative traffic (subtract snapshots for deltas).
+  TrafficSummary TrafficSnapshot() const;
+
+  server::QueryServerStats AggregateServerStats() const;
+
+  static constexpr const char* kClientHost = "user.site";
+
+ private:
+  const web::WebGraph* web_;
+  EngineOptions options_;
+  std::unique_ptr<net::SimNetwork> network_;
+  std::vector<std::unique_ptr<server::HttpServer>> http_servers_;
+  std::map<std::string, std::unique_ptr<server::QueryServer>> query_servers_;
+  std::vector<std::string> participating_hosts_;
+  std::unique_ptr<client::UserSite> user_site_;
+};
+
+/// Runs the same compiled query through the data-shipping baseline on a
+/// fresh deployment of the same web (HTTP servers only), returning the
+/// baseline outcome plus its traffic summary. The comparator for T1.
+struct BaselineRun {
+  baseline::DataShippingOutcome outcome;
+  TrafficSummary traffic;
+};
+Result<BaselineRun> RunDataShippingBaseline(
+    const web::WebGraph& web, const disql::CompiledQuery& compiled,
+    net::SimNetworkOptions network_options = net::SimNetworkOptions(),
+    baseline::DataShippingOptions options = baseline::DataShippingOptions());
+
+}  // namespace webdis::core
+
+#endif  // WEBDIS_CORE_ENGINE_H_

@@ -1,0 +1,69 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+
+namespace webdis::core {
+
+TraceCollector::TraceCollector(Engine* engine) {
+  engine->ObserveVisits([this](const server::VisitEvent& event) {
+    events_.push_back(event);
+  });
+}
+
+std::string TraceCollector::DescribeVisit(const server::VisitEvent& event) {
+  if (event.duplicate) return "duplicate dropped";
+  std::string out;
+  if (event.rewritten) out += "superset rewrite; ";
+  if (!event.evaluated) {
+    out += "forwarded";
+    return out;
+  }
+  if (event.answered) {
+    out += "answered";
+    if (event.forward_count > 0) out += " + forwarded";
+  } else if (event.dead_end) {
+    out += "dead-end";
+  } else {
+    out += "no answer, forwarded";
+  }
+  return out;
+}
+
+std::string TraceCollector::Format() const {
+  const std::vector<std::string> headers = {"node", "state received", "role",
+                                            "outcome"};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<size_t> widths;
+  for (const std::string& h : headers) widths.push_back(h.size());
+  for (const server::VisitEvent& event : events_) {
+    std::vector<std::string> row = {
+        event.node_url, event.received_state.ToString(),
+        event.evaluated ? "ServerRouter" : "PureRouter",
+        DescribeVisit(event)};
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+    rows.push_back(std::move(row));
+  }
+  const auto emit = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      line += cells[i];
+      line += std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = emit(headers);
+  std::string rule;
+  for (size_t i = 0; i < headers.size(); ++i) {
+    rule += std::string(widths[i], '-') + "  ";
+  }
+  out += rule + "\n";
+  for (const std::vector<std::string>& row : rows) out += emit(row);
+  return out;
+}
+
+}  // namespace webdis::core

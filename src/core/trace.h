@@ -1,0 +1,45 @@
+#ifndef WEBDIS_CORE_TRACE_H_
+#define WEBDIS_CORE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "server/query_server.h"
+
+namespace webdis::core {
+
+class Engine;
+
+/// Collects per-node visit events from every query server of an Engine and
+/// renders them as the paper's Figure-7-style traversal trace: one line per
+/// visit with the node, the clone state as received, the role the node
+/// played, and the outcome. Attach before running, render after.
+///
+///   core::TraceCollector trace(&engine);
+///   auto outcome = engine.Run(disql);
+///   std::cout << trace.Format();
+class TraceCollector {
+ public:
+  /// Installs itself as the engine's visit observer. The engine must
+  /// outlive the collector; only one observer is active at a time.
+  explicit TraceCollector(Engine* engine);
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  const std::vector<server::VisitEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Aligned text table of the trace.
+  std::string Format() const;
+
+  /// One-line description of a single visit (used by Format and the shell).
+  static std::string DescribeVisit(const server::VisitEvent& event);
+
+ private:
+  std::vector<server::VisitEvent> events_;
+};
+
+}  // namespace webdis::core
+
+#endif  // WEBDIS_CORE_TRACE_H_

@@ -1,0 +1,61 @@
+#ifndef WEBDIS_DISQL_AST_H_
+#define WEBDIS_DISQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pre/pre.h"
+#include "relational/eval.h"
+#include "relational/expr.h"
+
+namespace webdis::disql {
+
+/// An auxiliary virtual-relation declaration inside a step:
+/// `anchor a` or `relinfon r such that r.delimiter = "hr"`.
+struct AuxDecl {
+  std::string relation;  // "anchor" | "relinfon"
+  std::string alias;
+  relational::ExprPtr such_that;  // may be null
+};
+
+/// One traversal step of a DISQL query — a (PRE, node-query) pair:
+/// `document d1 such that d0 G·(L*1) d1, relinfon r ..., where ...`.
+/// The first step's source is a StartNode URL set; later steps chain from
+/// the previous step's document alias.
+struct Step {
+  std::string doc_alias;
+  std::vector<std::string> start_urls;  // first step only
+  std::string source_alias;             // later steps only
+  pre::Pre pre;
+  std::vector<AuxDecl> aux;
+  relational::ExprPtr where;  // may be null
+};
+
+/// A parsed DISQL query: the single user-level select list (split across
+/// node-queries by the compiler, Section 2.3) plus the step chain.
+struct ParsedQuery {
+  std::vector<relational::OutputColumn> select;
+  std::vector<Step> steps;
+
+  /// Pretty-printed DISQL (normalized form) for traces and tests.
+  std::string ToString() const;
+};
+
+/// Parses DISQL text. The grammar follows the paper's two example queries:
+///
+///   query  := 'select' col (',' col)* 'from' step+
+///   col    := ident '.' ident
+///   step   := 'document' ident 'such' 'that' source PRE ident [',']
+///             aux* ['where' expr] [',']
+///   source := string | '(' string (',' string)* ')' | ident
+///   aux    := ('anchor'|'relinfon') ident ['such' 'that' expr] [',']
+///   expr   := the usual and/or/not over comparisons and 'contains'
+///
+/// PREs are parsed from the token stream (link symbols I/L/G/N, '.', '|',
+/// '*k', parentheses). Aliases must not collide with link symbols.
+Result<ParsedQuery> ParseDisql(std::string_view input);
+
+}  // namespace webdis::disql
+
+#endif  // WEBDIS_DISQL_AST_H_

@@ -1,0 +1,50 @@
+#ifndef WEBDIS_DISQL_COMPILER_H_
+#define WEBDIS_DISQL_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "disql/ast.h"
+#include "query/web_query.h"
+
+namespace webdis::disql {
+
+/// The compiled form of a DISQL query: a WebQuery template (query id and
+/// destinations are filled in by the client at submission time), the
+/// StartNode URLs, and the user-level select labels in their original order
+/// (for result display).
+struct CompiledQuery {
+  query::WebQuery web_query;            // rem_pre = p1, all node-queries
+  std::vector<std::string> start_urls;
+  std::vector<std::string> select_labels;
+
+  /// The formal web-query notation `Q = S p1 q1 p2 q2 ...` (Section 2.3),
+  /// used by traces and tests.
+  std::string ToString() const;
+};
+
+/// Compiles a parsed DISQL query per Section 2.3:
+///  * validates the step chain (first step starts from URLs; each later
+///    step's source is the previous step's document alias);
+///  * checks alias uniqueness and that every predicate references only
+///    aliases local to its own step (node-queries must be locally
+///    evaluable);
+///  * type-checks column references against the virtual relation schemas;
+///  * splits the single user-level select list so each node-query projects
+///    only attributes of relations created at its own node.
+Result<CompiledQuery> Compile(const ParsedQuery& parsed);
+
+/// Convenience: parse + compile.
+Result<CompiledQuery> CompileDisql(std::string_view disql_text);
+
+/// Renders a human-readable execution plan: StartNodes, then one block per
+/// (PRE, node-query) stage with the PRE, whether the stage's node-query is
+/// evaluated at distance zero (the PRE admits the empty path), the link
+/// types the traversal fans out on, and the local select. The distributed
+/// analogue of EXPLAIN.
+std::string ExplainQuery(const CompiledQuery& compiled);
+
+}  // namespace webdis::disql
+
+#endif  // WEBDIS_DISQL_COMPILER_H_

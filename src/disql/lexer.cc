@@ -1,0 +1,220 @@
+#include "disql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace webdis::disql {
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::string_view kKeywords[] = {
+    "select", "from", "where",    "document", "anchor", "relinfon",
+    "such",   "that", "contains", "and",      "or",     "not",
+};
+
+bool IsKeywordWord(std::string_view word) {
+  return std::find(std::begin(kKeywords), std::end(kKeywords), word) !=
+         std::end(kKeywords);
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const auto push = [&](TokenKind kind, std::string text, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: "--" to end of line.
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    // UTF-8 middle dot (the paper's concatenation operator).
+    if (static_cast<unsigned char>(c) == 0xC2 && i + 1 < input.size() &&
+        static_cast<unsigned char>(input[i + 1]) == 0xB7) {
+      push(TokenKind::kDot, ".", start);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        continue;
+      case '|':
+        push(TokenKind::kPipe, "|", start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError(
+            StringPrintf("stray '!' at offset %zu", start));
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        continue;
+      case '"': {
+        ++i;
+        std::string value;
+        while (i < input.size() && input[i] != '"') {
+          value.push_back(input[i++]);
+        }
+        if (i >= input.size()) {
+          return Status::ParseError(StringPrintf(
+              "unterminated string starting at offset %zu", start));
+        }
+        ++i;  // closing quote
+        push(TokenKind::kString, std::move(value), start);
+        continue;
+      }
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t value = 0;
+      std::string text;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        value = value * 10 + static_cast<uint64_t>(input[i] - '0');
+        if (value > 1000000000ULL) {
+          return Status::ParseError(
+              StringPrintf("number too large at offset %zu", start));
+        }
+        text.push_back(input[i++]);
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::move(text);
+      t.number = value;
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::string word;
+      while (i < input.size() && IsIdentChar(input[i])) {
+        word.push_back(input[i++]);
+      }
+      const std::string lower = ToLower(word);
+      if (IsKeywordWord(lower)) {
+        push(TokenKind::kKeyword, lower, start);
+      } else {
+        push(TokenKind::kIdent, std::move(word), start);
+      }
+      continue;
+    }
+    return Status::ParseError(StringPrintf(
+        "illegal character '%c' (0x%02x) at offset %zu", c,
+        static_cast<unsigned char>(c), start));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace webdis::disql

@@ -1,0 +1,56 @@
+#ifndef WEBDIS_DISQL_LEXER_H_
+#define WEBDIS_DISQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace webdis::disql {
+
+/// DISQL token kinds. Keywords are case-insensitive and lexed as kKeyword
+/// with lower-cased text; identifiers keep their case.
+enum class TokenKind : uint8_t {
+  kKeyword,     // select from where document anchor relinfon such that
+                // contains and or not
+  kIdent,       // aliases: d0, a, r, ...
+  kString,      // "..." (no escapes; 1999-era strings)
+  kNumber,      // decimal integer
+  kComma,       // ,
+  kDot,         // . or the paper's middle dot ·
+  kStar,        // *
+  kPipe,        // |
+  kLParen,      // (
+  kRParen,      // )
+  kEq,          // =
+  kNe,          // != or <>
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kEnd,         // end of input
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+/// One DISQL token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // keyword (lower-cased) / ident / string / number
+  uint64_t number = 0;    // kNumber only
+  size_t offset = 0;
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+/// Tokenizes a DISQL query. Fails on unterminated strings or illegal
+/// characters. A kEnd token is always appended.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace webdis::disql
+
+#endif  // WEBDIS_DISQL_LEXER_H_

@@ -1,0 +1,101 @@
+#include "html/entities.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace webdis::html {
+
+namespace {
+
+struct NamedEntity {
+  const char* name;
+  char value;
+};
+
+constexpr NamedEntity kEntities[] = {
+    {"amp", '&'}, {"lt", '<'},   {"gt", '>'},
+    {"quot", '"'}, {"apos", '\''}, {"nbsp", ' '},
+};
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    const size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(s[i++]);
+      continue;
+    }
+    const std::string_view body = s.substr(i + 1, semi - i - 1);
+    bool decoded = false;
+    if (!body.empty() && body[0] == '#') {
+      uint32_t code = 0;
+      bool valid = body.size() > 1;
+      for (size_t j = 1; j < body.size(); ++j) {
+        if (!std::isdigit(static_cast<unsigned char>(body[j]))) {
+          valid = false;
+          break;
+        }
+        code = code * 10 + static_cast<uint32_t>(body[j] - '0');
+        if (code > 0x10FFFF) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid && code > 0 && code < 128) {
+        out.push_back(static_cast<char>(code));
+        decoded = true;
+      } else if (valid) {
+        out.push_back('?');  // non-ASCII: placeholder, like 1990s terminals
+        decoded = true;
+      }
+    } else {
+      for (const NamedEntity& e : kEntities) {
+        if (body == e.name) {
+          out.push_back(e.value);
+          decoded = true;
+          break;
+        }
+      }
+    }
+    if (decoded) {
+      i = semi + 1;
+    } else {
+      out.push_back(s[i++]);
+    }
+  }
+  return out;
+}
+
+std::string EscapeForHtml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace webdis::html

@@ -1,0 +1,19 @@
+#ifndef WEBDIS_HTML_ENTITIES_H_
+#define WEBDIS_HTML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace webdis::html {
+
+/// Decodes the HTML 2.0 character entities that appear in the synthetic web
+/// (&amp; &lt; &gt; &quot; &nbsp; and numeric &#NN;). Unknown entities are
+/// passed through verbatim, as browsers of the paper's era did.
+std::string DecodeEntities(std::string_view s);
+
+/// Escapes &, <, > and " for embedding text into generated HTML.
+std::string EscapeForHtml(std::string_view s);
+
+}  // namespace webdis::html
+
+#endif  // WEBDIS_HTML_ENTITIES_H_

@@ -1,0 +1,185 @@
+#include "html/parser.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/strings.h"
+#include "html/entities.h"
+#include "html/tokenizer.h"
+
+namespace webdis::html {
+
+namespace {
+
+constexpr std::string_view kContainerTags[] = {
+    "b", "i", "em", "strong", "h1", "h2", "h3", "h4", "h5", "h6",
+    "p", "li", "td", "th", "pre", "center", "font", "blockquote",
+};
+
+constexpr std::string_view kSeparatorTags[] = {"hr", "br"};
+
+bool IsContainerTag(std::string_view name) {
+  return std::find(std::begin(kContainerTags), std::end(kContainerTags),
+                   name) != std::end(kContainerTags);
+}
+
+bool IsSeparatorTag(std::string_view name) {
+  return std::find(std::begin(kSeparatorTags), std::end(kSeparatorTags),
+                   name) != std::end(kSeparatorTags);
+}
+
+/// An open container element awaiting its end tag.
+struct OpenElement {
+  std::string tag;
+  size_t text_offset;  // offset into the raw text accumulator when opened
+};
+
+}  // namespace
+
+ParsedDocument ParseDocument(const Url& url, std::string_view html) {
+  ParsedDocument doc;
+  doc.url = url;
+  doc.length = html.size();
+
+  const std::vector<Token> tokens = Tokenize(html);
+
+  std::string text;             // raw visible text accumulator
+  std::vector<OpenElement> open_stack;
+  bool in_title = false;
+  bool in_skip = false;         // inside <script>/<style>
+  std::string skip_tag;
+  bool in_anchor = false;
+  ParsedAnchor current_anchor;
+  std::string anchor_label;
+  // Per-separator-tag mark of where the current block began.
+  size_t hr_mark = 0;
+  size_t br_mark = 0;
+
+  for (const Token& token : tokens) {
+    switch (token.kind) {
+      case TokenKind::kText: {
+        if (in_skip) break;
+        if (in_title) {
+          doc.title += DecodeEntities(token.text);
+          break;
+        }
+        text += DecodeEntities(token.text);
+        if (in_anchor) anchor_label += DecodeEntities(token.text);
+        break;
+      }
+      case TokenKind::kStartTag: {
+        const std::string& tag = token.text;
+        if (in_skip) break;
+        if (tag == "script" || tag == "style") {
+          in_skip = true;
+          skip_tag = tag;
+          break;
+        }
+        if (tag == "title") {
+          in_title = true;
+          break;
+        }
+        if (tag == "a") {
+          const std::string_view href = token.Attr("href");
+          if (!href.empty()) {
+            in_anchor = true;
+            anchor_label.clear();
+            current_anchor = ParsedAnchor();
+            current_anchor.href = std::string(href);
+          }
+          break;
+        }
+        // Frames and image-map areas hyperlink documents exactly like
+        // anchors did in 1999-era sites; they enter the ANCHOR relation
+        // with the tag name as label.
+        if (tag == "frame" || tag == "iframe" || tag == "area") {
+          const std::string_view href =
+              tag == "area" ? token.Attr("href") : token.Attr("src");
+          if (!href.empty()) {
+            ParsedAnchor anchor;
+            anchor.href = std::string(href);
+            anchor.label = "[" + tag + "]";
+            auto resolved = ResolveUrl(url, anchor.href);
+            if (resolved.ok()) {
+              anchor.resolved = std::move(resolved).value();
+              anchor.ltype = ClassifyLink(url, anchor.resolved);
+              doc.anchors.push_back(std::move(anchor));
+            }
+          }
+          break;
+        }
+        if (IsSeparatorTag(tag)) {
+          size_t& mark = (tag == "hr") ? hr_mark : br_mark;
+          const std::string block =
+              CollapseWhitespace(std::string_view(text).substr(mark));
+          if (!block.empty()) {
+            doc.rel_infons.push_back({tag, block});
+          }
+          mark = text.size();
+          // <br> also ends the running line for <hr> purposes? No: the
+          // paper's hr rel-infon spans the visual block above the rule,
+          // which may contain line breaks, so hr_mark is left untouched.
+          break;
+        }
+        if (IsContainerTag(tag) && !token.self_closing) {
+          open_stack.push_back({tag, text.size()});
+        }
+        break;
+      }
+      case TokenKind::kEndTag: {
+        const std::string& tag = token.text;
+        if (in_skip) {
+          if (tag == skip_tag) in_skip = false;
+          break;
+        }
+        if (tag == "title") {
+          in_title = false;
+          break;
+        }
+        if (tag == "a") {
+          if (in_anchor) {
+            in_anchor = false;
+            current_anchor.label = CollapseWhitespace(anchor_label);
+            auto resolved = ResolveUrl(url, current_anchor.href);
+            if (resolved.ok()) {
+              current_anchor.resolved = std::move(resolved).value();
+              current_anchor.ltype =
+                  ClassifyLink(url, current_anchor.resolved);
+              doc.anchors.push_back(std::move(current_anchor));
+            }
+            // Unresolvable hrefs (e.g. "mailto:") are dropped: they are not
+            // part of the paper's web graph model.
+          }
+          break;
+        }
+        if (IsContainerTag(tag)) {
+          // Pop to the innermost matching open element, discarding
+          // mis-nested entries (tolerant recovery).
+          for (size_t i = open_stack.size(); i > 0; --i) {
+            if (open_stack[i - 1].tag == tag) {
+              const std::string body = CollapseWhitespace(
+                  std::string_view(text).substr(open_stack[i - 1].text_offset));
+              if (!body.empty()) {
+                doc.rel_infons.push_back({tag, body});
+              }
+              open_stack.erase(open_stack.begin() +
+                                   static_cast<std::ptrdiff_t>(i - 1),
+                               open_stack.end());
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case TokenKind::kComment:
+      case TokenKind::kDoctype:
+        break;
+    }
+  }
+
+  doc.title = CollapseWhitespace(doc.title);
+  doc.text = CollapseWhitespace(text);
+  return doc;
+}
+
+}  // namespace webdis::html

@@ -1,0 +1,155 @@
+#include "html/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace webdis::html {
+
+std::string_view Token::Attr(std::string_view name) const {
+  for (const Attribute& a : attributes) {
+    if (a.name == name) return a.value;
+  }
+  return {};
+}
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+/// Parses attributes from the inside of a tag (after the name, before '>').
+void ParseAttributes(std::string_view s, Token* token) {
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i >= s.size()) break;
+    if (s[i] == '/') {
+      token->self_closing = true;
+      ++i;
+      continue;
+    }
+    // Attribute name.
+    const size_t name_start = i;
+    while (i < s.size() && IsNameChar(s[i])) ++i;
+    if (i == name_start) {
+      ++i;  // skip junk byte
+      continue;
+    }
+    Attribute attr;
+    attr.name = ToLower(s.substr(name_start, i - name_start));
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i < s.size() && s[i] == '=') {
+      ++i;
+      while (i < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+      if (i < s.size() && (s[i] == '"' || s[i] == '\'')) {
+        const char quote = s[i++];
+        const size_t val_start = i;
+        while (i < s.size() && s[i] != quote) ++i;
+        attr.value = std::string(s.substr(val_start, i - val_start));
+        if (i < s.size()) ++i;  // closing quote
+      } else {
+        const size_t val_start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])) &&
+               s[i] != '/') {
+          ++i;
+        }
+        attr.value = std::string(s.substr(val_start, i - val_start));
+      }
+    }
+    token->attributes.push_back(std::move(attr));
+  }
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view html) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < html.size()) {
+    if (html[i] != '<') {
+      const size_t start = i;
+      while (i < html.size() && html[i] != '<') ++i;
+      Token t;
+      t.kind = TokenKind::kText;
+      t.text = std::string(html.substr(start, i - start));
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Comment.
+    if (html.substr(i).starts_with("<!--")) {
+      const size_t end = html.find("-->", i + 4);
+      Token t;
+      t.kind = TokenKind::kComment;
+      if (end == std::string_view::npos) {
+        t.text = std::string(html.substr(i + 4));
+        i = html.size();
+      } else {
+        t.text = std::string(html.substr(i + 4, end - i - 4));
+        i = end + 3;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Declaration (<!DOCTYPE ...>).
+    if (i + 1 < html.size() && html[i + 1] == '!') {
+      const size_t end = html.find('>', i);
+      Token t;
+      t.kind = TokenKind::kDoctype;
+      if (end == std::string_view::npos) {
+        t.text = std::string(html.substr(i + 2));
+        i = html.size();
+      } else {
+        t.text = std::string(html.substr(i + 2, end - i - 2));
+        i = end + 1;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    const size_t end = html.find('>', i);
+    if (end == std::string_view::npos) {
+      // Unterminated tag: emit the rest as text.
+      Token t;
+      t.kind = TokenKind::kText;
+      t.text = std::string(html.substr(i));
+      tokens.push_back(std::move(t));
+      break;
+    }
+    std::string_view inside = html.substr(i + 1, end - i - 1);
+    i = end + 1;
+    const bool is_end = !inside.empty() && inside[0] == '/';
+    if (is_end) inside = inside.substr(1);
+    // Tag name.
+    size_t j = 0;
+    while (j < inside.size() && IsNameChar(inside[j])) ++j;
+    if (j == 0) {
+      // "<>" or "< junk": treat as literal text.
+      Token t;
+      t.kind = TokenKind::kText;
+      t.text = "<" + std::string(inside) + ">";
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    Token t;
+    t.kind = is_end ? TokenKind::kEndTag : TokenKind::kStartTag;
+    t.text = ToLower(inside.substr(0, j));
+    if (!is_end) {
+      ParseAttributes(inside.substr(j), &t);
+    }
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+}  // namespace webdis::html

@@ -1,0 +1,47 @@
+#ifndef WEBDIS_HTML_TOKENIZER_H_
+#define WEBDIS_HTML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace webdis::html {
+
+/// HTML token kinds produced by the tokenizer. The grammar targeted is
+/// HTML 2.0 (RFC 1866) — the paper's node model assumes documents of that
+/// era — but the tokenizer is tolerant of malformed input: it never fails,
+/// it only degrades (real web pages were already broken in 1999).
+enum class TokenKind : uint8_t {
+  kText,      // character data between tags
+  kStartTag,  // <name attr="v" ...> ; self_closing for <name/>
+  kEndTag,    // </name>
+  kComment,   // <!-- ... -->
+  kDoctype,   // <!DOCTYPE ...> and other <! ...> declarations
+};
+
+/// One attribute on a start tag. Names are lower-cased; values are raw
+/// (entity decoding is the parser's job).
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// A single HTML token.
+struct Token {
+  TokenKind kind = TokenKind::kText;
+  std::string text;                   // text / comment body / tag name
+  std::vector<Attribute> attributes;  // start tags only
+  bool self_closing = false;          // start tags only
+
+  /// Returns the attribute value, or empty string_view if absent.
+  std::string_view Attr(std::string_view name) const;
+};
+
+/// Tokenizes an entire HTML document. Never fails; unterminated constructs
+/// are emitted as best-effort text.
+std::vector<Token> Tokenize(std::string_view html);
+
+}  // namespace webdis::html
+
+#endif  // WEBDIS_HTML_TOKENIZER_H_

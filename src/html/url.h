@@ -1,0 +1,64 @@
+#ifndef WEBDIS_HTML_URL_H_
+#define WEBDIS_HTML_URL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace webdis::html {
+
+/// Hyperlink categories from Section 2 of the paper. A link is Interior if
+/// its destination is within the same web resource (a fragment), Local if on
+/// the same server, Global if on a different server. Null denotes the
+/// resource itself and appears only inside PREs, never on real anchors.
+enum class LinkType : uint8_t {
+  kInterior = 0,  // 'I'
+  kLocal = 1,     // 'L'
+  kGlobal = 2,    // 'G'
+  kNull = 3,      // 'N'
+};
+
+/// Single-character symbol used in PRE syntax: I, L, G, N.
+char LinkTypeSymbol(LinkType t);
+
+/// Parses a PRE link symbol. Fails on anything but I/L/G/N.
+Result<LinkType> LinkTypeFromSymbol(char c);
+
+/// A parsed absolute URL: scheme://host/path#fragment. Query strings are not
+/// modeled (the paper's web model has none).
+struct Url {
+  std::string scheme = "http";
+  std::string host;
+  std::string path = "/";      // always begins with '/'
+  std::string fragment;        // without '#'
+
+  /// Canonical string form. Omits the scheme-default port and empty
+  /// fragment.
+  std::string ToString() const;
+
+  /// The URL without its fragment — identifies the web resource (Node).
+  std::string ResourceKey() const;
+
+  bool operator==(const Url& other) const {
+    return scheme == other.scheme && host == other.host &&
+           path == other.path && fragment == other.fragment;
+  }
+};
+
+/// Parses an absolute URL. Accepts "host/path" without a scheme for
+/// convenience (scheme defaults to http). Fails on empty host.
+Result<Url> ParseUrl(std::string_view s);
+
+/// Resolves `href` against `base` per the subset of RFC 1808 the synthetic
+/// web needs: absolute URLs, host-relative ("/a/b"), document-relative
+/// ("b.html", "../c.html") and pure fragments ("#sec").
+Result<Url> ResolveUrl(const Url& base, std::string_view href);
+
+/// Classifies the link from document `base` to destination `dest`:
+/// same-resource+fragment => Interior, same host => Local, else Global.
+LinkType ClassifyLink(const Url& base, const Url& dest);
+
+}  // namespace webdis::html
+
+#endif  // WEBDIS_HTML_URL_H_

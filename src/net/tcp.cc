@@ -1,0 +1,259 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "serialize/encoder.h"
+#include "serialize/framing.h"
+
+namespace webdis::net {
+
+namespace {
+
+/// Writes the whole buffer, retrying on partial writes / EINTR.
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(
+          StringPrintf("write failed: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct TcpTransport::Listener {
+  Endpoint endpoint;
+  MessageHandler handler;
+  int fd = -1;
+  std::thread accept_thread;
+  std::atomic<bool> stopping{false};
+};
+
+TcpTransport::TcpTransport() = default;
+
+TcpTransport::~TcpTransport() {
+  std::vector<Endpoint> endpoints;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [ep, listener] : listeners_) endpoints.push_back(ep);
+  }
+  for (const Endpoint& ep : endpoints) CloseListener(ep);
+}
+
+Status TcpTransport::Listen(const Endpoint& endpoint,
+                            MessageHandler handler) {
+  auto listener = std::make_unique<Listener>();
+  listener->endpoint = endpoint;
+  listener->handler = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(
+        StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: the registry maps symbolic -> real
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::IoError(StringPrintf(
+        "bind %s: %s", endpoint.ToString().c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const Status status = Status::IoError(
+        StringPrintf("getsockname: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status = Status::IoError(
+        StringPrintf("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  listener->fd = fd;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listeners_.contains(endpoint)) {
+      ::close(fd);
+      return Status::InvalidArgument(StringPrintf(
+          "endpoint %s already bound", endpoint.ToString().c_str()));
+    }
+    real_ports_[endpoint] = ntohs(bound.sin_port);
+    Listener* raw = listener.get();
+    raw->accept_thread = std::thread([this, raw] { AcceptLoop(raw); });
+    listeners_.emplace(endpoint, std::move(listener));
+  }
+  return Status::OK();
+}
+
+uint16_t TcpTransport::ResolvePort(const Endpoint& endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = real_ports_.find(endpoint);
+  return it == real_ports_.end() ? 0 : it->second;
+}
+
+void TcpTransport::CloseListener(const Endpoint& endpoint) {
+  std::unique_ptr<Listener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(endpoint);
+    if (it == listeners_.end()) return;
+    listener = std::move(it->second);
+    listeners_.erase(it);
+    real_ports_.erase(endpoint);
+  }
+  listener->stopping.store(true);
+  // shutdown unblocks the accept() call.
+  ::shutdown(listener->fd, SHUT_RDWR);
+  ::close(listener->fd);
+  if (listener->accept_thread.joinable()) listener->accept_thread.join();
+}
+
+void TcpTransport::AcceptLoop(Listener* listener) {
+  while (!listener->stopping.load()) {
+    const int conn = ::accept(listener->fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    ReadConnection(conn, listener);
+    ::close(conn);
+  }
+}
+
+void TcpTransport::ReadConnection(int fd, Listener* listener) {
+  serialize::FrameReader reader;
+  uint8_t buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) break;  // EOF
+    reader.Feed(buf, static_cast<size_t>(n));
+  }
+  serialize::Frame frame;
+  while (true) {
+    auto next = reader.Next(&frame);
+    if (!next.ok() || !next.value()) break;
+    // Frame payload layout: from_host, from_port, application payload.
+    serialize::Decoder dec(frame.payload);
+    Delivery delivery;
+    if (!dec.GetString(&delivery.from.host).ok()) continue;
+    uint16_t from_port = 0;
+    if (!dec.GetU16(&from_port).ok()) continue;
+    delivery.from.port = from_port;
+    delivery.to = listener->endpoint;
+    delivery.type = static_cast<MessageType>(frame.type);
+    delivery.payload.assign(
+        frame.payload.begin() + static_cast<ssize_t>(dec.position()),
+        frame.payload.end());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(std::move(delivery));
+    }
+    cv_.notify_all();
+  }
+}
+
+Status TcpTransport::Send(const Endpoint& from, const Endpoint& to,
+                          MessageType type, std::vector<uint8_t> payload) {
+  const uint16_t real_port = ResolvePort(to);
+  if (real_port == 0) {
+    return Status::ConnectionRefused(StringPrintf(
+        "no listener registered for %s", to.ToString().c_str()));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(
+        StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(real_port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == ECONNREFUSED) {
+      return Status::ConnectionRefused(StringPrintf(
+          "connect %s: %s", to.ToString().c_str(), std::strerror(err)));
+    }
+    return Status::NetworkError(StringPrintf(
+        "connect %s: %s", to.ToString().c_str(), std::strerror(err)));
+  }
+  serialize::Encoder body;
+  body.PutString(from.host);
+  body.PutU16(from.port);
+  body.PutRaw(payload.data(), payload.size());
+  const std::vector<uint8_t> frame =
+      serialize::EncodeFrame(static_cast<uint8_t>(type), body.data());
+  const Status status = WriteAll(fd, frame.data(), frame.size());
+  ::shutdown(fd, SHUT_WR);
+  // Wait for the peer to finish reading (it closes when done).
+  uint8_t sink;
+  while (::read(fd, &sink, 1) > 0) {
+  }
+  ::close(fd);
+  return status;
+}
+
+size_t TcpTransport::ProcessPending() {
+  size_t dispatched = 0;
+  while (true) {
+    Delivery delivery;
+    MessageHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) break;
+      delivery = std::move(pending_.front());
+      pending_.pop_front();
+      auto it = listeners_.find(delivery.to);
+      if (it == listeners_.end()) continue;  // listener closed: drop
+      handler = it->second->handler;
+    }
+    handler(delivery.from, delivery.type, delivery.payload);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+size_t TcpTransport::PumpUntilIdle(int quiesce_ms) {
+  size_t total = 0;
+  while (true) {
+    total += ProcessPending();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!pending_.empty()) continue;
+    const bool got_more = cv_.wait_for(
+        lock, std::chrono::milliseconds(quiesce_ms),
+        [this] { return !pending_.empty(); });
+    if (!got_more) break;
+  }
+  return total;
+}
+
+}  // namespace webdis::net

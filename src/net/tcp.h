@@ -1,0 +1,78 @@
+#ifndef WEBDIS_NET_TCP_H_
+#define WEBDIS_NET_TCP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/transport.h"
+
+namespace webdis::net {
+
+/// Real-socket transport over localhost. Symbolic endpoints (host, port) are
+/// mapped to ephemeral 127.0.0.1 ports via an in-process registry, so many
+/// "hosts" can all listen on the WEBDIS well-known port concurrently (as a
+/// real deployment would across machines). Messages are frames
+/// (serialize/framing.h) carrying the sender endpoint plus the payload, one
+/// connection per message — the paper's WEBDIS used exactly this
+/// one-shot-socket style between Java sites.
+///
+/// Threading model: accept/read happen on background threads, but handler
+/// dispatch is *pumped by the caller* via ProcessPending()/PumpUntilIdle(),
+/// so client/server code stays single-threaded like with SimNetwork.
+class TcpTransport : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // -- Transport ------------------------------------------------------------
+  /// Binds an ephemeral 127.0.0.1 port and registers it for the symbolic
+  /// endpoint.
+  Status Listen(const Endpoint& endpoint, MessageHandler handler) override;
+  void CloseListener(const Endpoint& endpoint) override;
+  /// Resolves the symbolic endpoint, connects, writes one frame, closes.
+  /// Synchronous ConnectionRefused when nothing is listening (unregistered
+  /// endpoints count too — exactly the semantics passive termination needs).
+  Status Send(const Endpoint& from, const Endpoint& to, MessageType type,
+              std::vector<uint8_t> payload) override;
+
+  /// The real 127.0.0.1 port bound for a symbolic endpoint (0 if none).
+  uint16_t ResolvePort(const Endpoint& endpoint) const;
+
+  // -- Dispatch pump --------------------------------------------------------
+  /// Dispatches all received-but-undelivered messages. Returns how many.
+  size_t ProcessPending();
+
+  /// Pumps until no message arrives for `quiesce_ms` milliseconds. Returns
+  /// total dispatched. Use after submitting work to let the exchange settle.
+  size_t PumpUntilIdle(int quiesce_ms = 200);
+
+ private:
+  struct Listener;
+  struct Delivery {
+    Endpoint from;
+    Endpoint to;
+    MessageType type;
+    std::vector<uint8_t> payload;
+  };
+
+  void AcceptLoop(Listener* listener);
+  void ReadConnection(int fd, Listener* listener);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Endpoint, std::unique_ptr<Listener>> listeners_;
+  std::map<Endpoint, uint16_t> real_ports_;  // symbolic -> bound 127.0.0.1 port
+  std::deque<Delivery> pending_;
+};
+
+}  // namespace webdis::net
+
+#endif  // WEBDIS_NET_TCP_H_

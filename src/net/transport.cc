@@ -1,0 +1,29 @@
+#include "net/transport.h"
+
+#include "common/strings.h"
+
+namespace webdis::net {
+
+std::string_view MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kWebQuery:
+      return "WebQuery";
+    case MessageType::kReport:
+      return "Report";
+    case MessageType::kTerminate:
+      return "Terminate";
+    case MessageType::kFetchRequest:
+      return "FetchRequest";
+    case MessageType::kFetchResponse:
+      return "FetchResponse";
+    case MessageType::kAck:
+      return "Ack";
+  }
+  return "Unknown";
+}
+
+std::string Endpoint::ToString() const {
+  return StringPrintf("%s:%u", host.c_str(), static_cast<unsigned>(port));
+}
+
+}  // namespace webdis::net

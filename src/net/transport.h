@@ -1,0 +1,73 @@
+#ifndef WEBDIS_NET_TRANSPORT_H_
+#define WEBDIS_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace webdis::net {
+
+/// Application-level message types carried over the transport.
+enum class MessageType : uint8_t {
+  kWebQuery = 1,       // a clone, sent to a query-server's well-known port
+  kReport = 2,         // results + CHT entries, sent to the user-site socket
+  kTerminate = 3,      // active termination (ablation of §2.8's passive mode)
+  kFetchRequest = 4,   // data-shipping baseline: document request
+  kFetchResponse = 5,  // data-shipping baseline: document contents
+  kAck = 6,            // ack-tree termination baseline (Related Work [4])
+};
+
+std::string_view MessageTypeToString(MessageType type);
+
+/// A network address: host + port. In the simulated network hosts are
+/// symbolic names; in the TCP transport every host maps to 127.0.0.1 and
+/// ports distinguish the parties.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const;
+
+  bool operator==(const Endpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+  bool operator<(const Endpoint& other) const {
+    if (host != other.host) return host < other.host;
+    return port < other.port;
+  }
+};
+
+/// Invoked on message delivery. `from` identifies the sender's endpoint.
+using MessageHandler = std::function<void(
+    const Endpoint& from, MessageType type,
+    const std::vector<uint8_t>& payload)>;
+
+/// Message transport between sites. Connection semantics mirror 1999 TCP as
+/// the paper relies on them:
+///  * Send() fails synchronously with ConnectionRefused when nothing listens
+///    on the target endpoint — this is what makes the paper's *passive query
+///    termination* (§2.8) work: the user site closes its result socket and
+///    every later result dispatch fails at connect time;
+///  * once accepted, delivery is asynchronous (the simulated network can be
+///    told to drop accepted messages for failure-injection tests).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a listener. Fails if the endpoint is already bound.
+  virtual Status Listen(const Endpoint& endpoint, MessageHandler handler) = 0;
+
+  /// Stops listening; subsequent Sends to the endpoint are refused.
+  virtual void CloseListener(const Endpoint& endpoint) = 0;
+
+  /// Sends one message. See class comment for failure semantics.
+  virtual Status Send(const Endpoint& from, const Endpoint& to,
+                      MessageType type, std::vector<uint8_t> payload) = 0;
+};
+
+}  // namespace webdis::net
+
+#endif  // WEBDIS_NET_TRANSPORT_H_

@@ -1,0 +1,37 @@
+#include "pre/log_equivalence.h"
+
+namespace webdis::pre {
+
+LogDecision ComparePreForLog(const Pre& incoming, const Pre& logged) {
+  LogDecision decision;
+  if (incoming.Equals(logged)) {
+    decision.comparison = LogComparison::kDuplicate;
+    return decision;
+  }
+  StarPrefix in_sp, log_sp;
+  if (!incoming.DecomposeStarPrefix(&in_sp) ||
+      !logged.DecomposeStarPrefix(&log_sp)) {
+    return decision;  // kUnrelated
+  }
+  if (in_sp.link != log_sp.link || !in_sp.rest.Equals(log_sp.rest)) {
+    return decision;  // kUnrelated
+  }
+  // Same A and same B; compare the bounds m (incoming) vs n (logged).
+  const bool incoming_covers_logged =
+      in_sp.unbounded || (!log_sp.unbounded && in_sp.bound > log_sp.bound);
+  if (!incoming_covers_logged) {
+    // m <= n (or logged unbounded): every path of the incoming PRE was
+    // already explored by the logged clone.
+    decision.comparison = LogComparison::kDuplicate;
+    return decision;
+  }
+  // m > n: only the difference must be processed. The multiple-rewrite
+  // forces this node to act as a PureRouter (the first link of A is consumed
+  // explicitly) and keeps downstream log comparisons unambiguous
+  // (Section 3.1.1's argument against the single-rewrite A^{n+1}·A*(m-n-1)·B).
+  decision.comparison = LogComparison::kSupersetRewrite;
+  decision.rewritten = incoming.MultipleRewriteOnce();
+  return decision;
+}
+
+}  // namespace webdis::pre

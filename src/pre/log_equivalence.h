@@ -1,0 +1,45 @@
+#ifndef WEBDIS_PRE_LOG_EQUIVALENCE_H_
+#define WEBDIS_PRE_LOG_EQUIVALENCE_H_
+
+#include <optional>
+
+#include "pre/pre.h"
+
+namespace webdis::pre {
+
+/// Outcome of comparing an incoming clone's remaining PRE against a log-table
+/// entry for the same (node, query-id, num_q), per Section 3.1.1.
+enum class LogComparison : uint8_t {
+  /// The PREs are structurally identical, or the incoming one is a subset
+  /// (`A*m·B` vs logged `A*n·B` with m <= n): drop the incoming clone.
+  kDuplicate,
+  /// The incoming PRE is a strict superset (`A*m·B` vs logged `A*n·B` with
+  /// m > n): replace the log entry and apply the multiple-rewrite so only
+  /// the difference is processed.
+  kSupersetRewrite,
+  /// No equivalence established: treat as a brand-new entry.
+  kUnrelated,
+};
+
+/// Result of ComparePreForLog: the action plus (for kSupersetRewrite) the
+/// rewritten PRE `A·A*(m-1)·B` the clone should continue with.
+struct LogDecision {
+  LogComparison comparison = LogComparison::kUnrelated;
+  std::optional<Pre> rewritten;  // set iff kSupersetRewrite
+};
+
+/// Implements the paper's log-table equivalence rules for a new clone PRE
+/// `incoming` against an existing logged PRE `logged`:
+///
+///  * identical                      -> kDuplicate
+///  * both `A*m·B` / `A*n·B` (same A, same B):
+///      m <= n                       -> kDuplicate  (paths already covered)
+///      m >  n                       -> kSupersetRewrite with A·A*(m-1)·B
+///    (a logged unbounded `A*·B` covers every bounded `A*m·B`; an incoming
+///    unbounded against a logged bounded is a superset)
+///  * anything else                  -> kUnrelated
+LogDecision ComparePreForLog(const Pre& incoming, const Pre& logged);
+
+}  // namespace webdis::pre
+
+#endif  // WEBDIS_PRE_LOG_EQUIVALENCE_H_

@@ -1,0 +1,88 @@
+#include "query/node_query.h"
+
+#include "serialize/encoder.h"
+
+namespace webdis::query {
+
+NodeQuery NodeQuery::Clone() const {
+  NodeQuery out;
+  out.doc_alias = doc_alias;
+  out.select.from = select.from;
+  out.select.where =
+      select.where == nullptr ? nullptr : select.where->Clone();
+  out.select.select = select.select;
+  out.select.distinct = select.distinct;
+  return out;
+}
+
+std::string NodeQuery::ToString() const {
+  std::string out = "select ";
+  for (size_t i = 0; i < select.select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select.select[i].Label();
+  }
+  out += " from ";
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select.from[i].relation + " " + select.from[i].alias;
+  }
+  if (select.where != nullptr) {
+    out += " where " + select.where->ToString();
+  }
+  return out;
+}
+
+void NodeQuery::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutString(doc_alias);
+  enc->PutVarint(select.from.size());
+  for (const relational::TableRef& ref : select.from) {
+    enc->PutString(ref.relation);
+    enc->PutString(ref.alias);
+  }
+  enc->PutBool(select.where != nullptr);
+  if (select.where != nullptr) {
+    select.where->EncodeTo(enc);
+  }
+  enc->PutVarint(select.select.size());
+  for (const relational::OutputColumn& col : select.select) {
+    enc->PutString(col.alias);
+    enc->PutString(col.column);
+  }
+  enc->PutBool(select.distinct);
+}
+
+Status NodeQuery::DecodeFrom(serialize::Decoder* dec, NodeQuery* out) {
+  WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->doc_alias));
+  uint64_t from_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&from_count));
+  if (from_count > 64) return Status::Corruption("from list too long");
+  out->select.from.clear();
+  for (uint64_t i = 0; i < from_count; ++i) {
+    relational::TableRef ref;
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&ref.relation));
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&ref.alias));
+    out->select.from.push_back(std::move(ref));
+  }
+  bool has_where = false;
+  WEBDIS_RETURN_IF_ERROR(dec->GetBool(&has_where));
+  if (has_where) {
+    WEBDIS_ASSIGN_OR_RETURN(out->select.where,
+                            relational::Expr::DecodeFrom(dec));
+  } else {
+    out->select.where = nullptr;
+  }
+  uint64_t select_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&select_count));
+  if (select_count > 256) return Status::Corruption("select list too long");
+  out->select.select.clear();
+  for (uint64_t i = 0; i < select_count; ++i) {
+    relational::OutputColumn col;
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&col.alias));
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&col.column));
+    out->select.select.push_back(std::move(col));
+  }
+  WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->select.distinct));
+  return Status::OK();
+}
+
+}  // namespace webdis::query

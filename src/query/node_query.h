@@ -1,0 +1,46 @@
+#ifndef WEBDIS_QUERY_NODE_QUERY_H_
+#define WEBDIS_QUERY_NODE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/eval.h"
+
+namespace webdis::serialize {
+class Encoder;
+class Decoder;
+}  // namespace webdis::serialize
+
+namespace webdis::query {
+
+/// One node-query q_k (Section 2.3): a self-contained select over the
+/// virtual relations of a single document, produced by splitting the user's
+/// DISQL query. Shipped between sites inside WebQuery clones, so it is fully
+/// serializable (including its predicate expression tree).
+///
+/// `doc_alias` names the document relation binding (e.g. "d0") — the query
+/// server substitutes the current node's DOCUMENT row for it.
+class NodeQuery {
+ public:
+  NodeQuery() = default;
+
+  /// The alias bound to the current document.
+  std::string doc_alias;
+  /// The local select: from-list (document alias first, then aux relations),
+  /// where-predicate (may be null), projection.
+  relational::SelectQuery select;
+
+  /// Deep copy (the expression tree is owned).
+  NodeQuery Clone() const;
+
+  /// DISQL-ish rendering for traces and tests.
+  std::string ToString() const;
+
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, NodeQuery* out);
+};
+
+}  // namespace webdis::query
+
+#endif  // WEBDIS_QUERY_NODE_QUERY_H_

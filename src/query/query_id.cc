@@ -1,0 +1,29 @@
+#include "query/query_id.h"
+
+#include "common/strings.h"
+#include "serialize/encoder.h"
+
+namespace webdis::query {
+
+std::string QueryId::Key() const {
+  return StringPrintf("%s@%s:%u#%u", user.c_str(), reply_host.c_str(),
+                      static_cast<unsigned>(reply_port),
+                      static_cast<unsigned>(query_number));
+}
+
+void QueryId::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutString(user);
+  enc->PutString(reply_host);
+  enc->PutU16(reply_port);
+  enc->PutU32(query_number);
+}
+
+Status QueryId::DecodeFrom(serialize::Decoder* dec, QueryId* out) {
+  WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->user));
+  WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->reply_host));
+  WEBDIS_RETURN_IF_ERROR(dec->GetU16(&out->reply_port));
+  WEBDIS_RETURN_IF_ERROR(dec->GetU32(&out->query_number));
+  return Status::OK();
+}
+
+}  // namespace webdis::query

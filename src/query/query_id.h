@@ -1,0 +1,41 @@
+#ifndef WEBDIS_QUERY_QUERY_ID_H_
+#define WEBDIS_QUERY_QUERY_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace webdis::serialize {
+class Encoder;
+class Decoder;
+}  // namespace webdis::serialize
+
+namespace webdis::query {
+
+/// Globally-unique query identifier (Section 4.1): the submitting user, the
+/// network location results must be returned to, and a locally-unique query
+/// number. Shipped inside every clone; used for log-table keys and for
+/// routing results straight back to the user site.
+struct QueryId {
+  std::string user;        // login name at the user-site
+  std::string reply_host;  // user-site host ("IP address")
+  uint16_t reply_port = 0; // listening result socket port
+  uint32_t query_number = 0;
+
+  /// Canonical key, e.g. "maya@client0:9000#1". Unique per query.
+  std::string Key() const;
+
+  bool operator==(const QueryId& other) const {
+    return user == other.user && reply_host == other.reply_host &&
+           reply_port == other.reply_port &&
+           query_number == other.query_number;
+  }
+
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, QueryId* out);
+};
+
+}  // namespace webdis::query
+
+#endif  // WEBDIS_QUERY_QUERY_ID_H_

@@ -1,0 +1,135 @@
+#include "query/report.h"
+
+#include "serialize/encoder.h"
+
+namespace webdis::query {
+
+namespace {
+
+void EncodeResultSet(const relational::ResultSet& rs,
+                     serialize::Encoder* enc) {
+  enc->PutVarint(rs.column_labels.size());
+  for (const std::string& label : rs.column_labels) {
+    enc->PutString(label);
+  }
+  enc->PutVarint(rs.rows.size());
+  for (const relational::Tuple& row : rs.rows) {
+    enc->PutVarint(row.size());
+    for (const relational::Value& v : row) {
+      v.EncodeTo(enc);
+    }
+  }
+}
+
+Status DecodeResultSet(serialize::Decoder* dec, relational::ResultSet* out) {
+  uint64_t label_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&label_count));
+  if (label_count > 256) return Status::Corruption("too many result columns");
+  out->column_labels.clear();
+  for (uint64_t i = 0; i < label_count; ++i) {
+    std::string label;
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&label));
+    out->column_labels.push_back(std::move(label));
+  }
+  uint64_t row_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&row_count));
+  if (row_count > 10000000) return Status::Corruption("too many result rows");
+  out->rows.clear();
+  for (uint64_t i = 0; i < row_count; ++i) {
+    uint64_t cell_count = 0;
+    WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&cell_count));
+    if (cell_count > 256) return Status::Corruption("row too wide");
+    relational::Tuple row;
+    row.reserve(cell_count);
+    for (uint64_t j = 0; j < cell_count; ++j) {
+      relational::Value v;
+      WEBDIS_RETURN_IF_ERROR(relational::Value::DecodeFrom(dec, &v));
+      row.push_back(std::move(v));
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void ChtEntry::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutString(node_url);
+  state.EncodeTo(enc);
+}
+
+Status ChtEntry::DecodeFrom(serialize::Decoder* dec, ChtEntry* out) {
+  WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->node_url));
+  WEBDIS_RETURN_IF_ERROR(CloneState::DecodeFrom(dec, &out->state));
+  return Status::OK();
+}
+
+void NodeReport::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutString(node_url);
+  received_state.EncodeTo(enc);
+  enc->PutVarint(next_entries.size());
+  for (const ChtEntry& e : next_entries) {
+    e.EncodeTo(enc);
+  }
+  enc->PutBool(duplicate_drop);
+  enc->PutBool(undeliverable);
+  enc->PutVarint(result_sets.size());
+  for (const relational::ResultSet& rs : result_sets) {
+    EncodeResultSet(rs, enc);
+  }
+}
+
+Status NodeReport::DecodeFrom(serialize::Decoder* dec, NodeReport* out) {
+  WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->node_url));
+  WEBDIS_RETURN_IF_ERROR(
+      CloneState::DecodeFrom(dec, &out->received_state));
+  uint64_t entry_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&entry_count));
+  if (entry_count > 1000000) return Status::Corruption("too many CHT entries");
+  out->next_entries.clear();
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    ChtEntry e;
+    WEBDIS_RETURN_IF_ERROR(ChtEntry::DecodeFrom(dec, &e));
+    out->next_entries.push_back(std::move(e));
+  }
+  WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->duplicate_drop));
+  WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->undeliverable));
+  uint64_t result_set_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&result_set_count));
+  if (result_set_count > 1024) {
+    return Status::Corruption("too many result sets");
+  }
+  out->result_sets.clear();
+  for (uint64_t i = 0; i < result_set_count; ++i) {
+    relational::ResultSet rs;
+    WEBDIS_RETURN_IF_ERROR(DecodeResultSet(dec, &rs));
+    out->result_sets.push_back(std::move(rs));
+  }
+  return Status::OK();
+}
+
+void QueryReport::EncodeTo(serialize::Encoder* enc) const {
+  id.EncodeTo(enc);
+  enc->PutVarint(node_reports.size());
+  for (const NodeReport& r : node_reports) {
+    r.EncodeTo(enc);
+  }
+}
+
+Status QueryReport::DecodeFrom(serialize::Decoder* dec, QueryReport* out) {
+  WEBDIS_RETURN_IF_ERROR(QueryId::DecodeFrom(dec, &out->id));
+  uint64_t report_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&report_count));
+  if (report_count > 1000000) {
+    return Status::Corruption("too many node reports");
+  }
+  out->node_reports.clear();
+  for (uint64_t i = 0; i < report_count; ++i) {
+    NodeReport r;
+    WEBDIS_RETURN_IF_ERROR(NodeReport::DecodeFrom(dec, &r));
+    out->node_reports.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace webdis::query

@@ -1,0 +1,68 @@
+#ifndef WEBDIS_QUERY_REPORT_H_
+#define WEBDIS_QUERY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query_id.h"
+#include "query/web_query.h"
+#include "relational/eval.h"
+
+namespace webdis::query {
+
+/// One (node URL, clone state) pair — the row format of the user-site's
+/// Current Hosts Table (Section 2.7.1).
+struct ChtEntry {
+  std::string node_url;
+  CloneState state;
+
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, ChtEntry* out);
+};
+
+/// Everything a query-server reports back to the user-site about processing
+/// one node: the list the paper describes as "(NextNode, State(Q_clone))
+/// pairs with the node's own URL and received state on top", plus the local
+/// results.
+///
+/// `duplicate_drop` marks a report for a clone that the log table recognized
+/// as a duplicate and purged. The paper handles duplicates by never entering
+/// them in the CHT; we additionally support explicit drop-reports because
+/// CHT-side suppression alone is racy under message reordering (see
+/// DESIGN.md §5) — with drop-reports completion detection is robust no
+/// matter the interleaving.
+struct NodeReport {
+  std::string node_url;                // topmost entry: this node
+  CloneState received_state;           // state of the clone as received
+  std::vector<ChtEntry> next_entries;  // forwarded-clone entries
+  bool duplicate_drop = false;
+  /// Set when a forwarding server could not deliver the clone for this node
+  /// (the target site does not run a query server). The user site clears
+  /// the CHT entry and records the node for centralized fallback
+  /// processing (the paper's §7.1 migration path).
+  bool undeliverable = false;
+  /// One result set per node-query evaluated during this visit (a node can
+  /// evaluate several pipeline stages at once when a later PRE is nullable).
+  /// Empty for PureRouters and dead-ends.
+  std::vector<relational::ResultSet> result_sets;
+
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, NodeReport* out);
+};
+
+/// The wire message sent from a query-server to the user-site's result
+/// socket. Node reports for every node of a multi-destination clone are
+/// batched into one message together with their results — optimization
+/// §3.2(3).
+struct QueryReport {
+  QueryId id;
+  std::vector<NodeReport> node_reports;
+
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, QueryReport* out);
+};
+
+}  // namespace webdis::query
+
+#endif  // WEBDIS_QUERY_REPORT_H_

@@ -1,0 +1,124 @@
+#include "query/web_query.h"
+
+#include "common/strings.h"
+#include "serialize/encoder.h"
+
+namespace webdis::query {
+
+std::string CloneState::ToString() const {
+  return StringPrintf("(%u, %s)", static_cast<unsigned>(num_q),
+                      rem_pre.ToString().c_str());
+}
+
+void CloneState::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutU32(num_q);
+  rem_pre.EncodeTo(enc);
+}
+
+Status CloneState::DecodeFrom(serialize::Decoder* dec, CloneState* out) {
+  WEBDIS_RETURN_IF_ERROR(dec->GetU32(&out->num_q));
+  WEBDIS_ASSIGN_OR_RETURN(out->rem_pre, pre::Pre::DecodeFrom(dec));
+  return Status::OK();
+}
+
+Status WebQuery::Validate() const {
+  if (remaining_queries.empty()) {
+    return Status::InvalidArgument("clone with no remaining node-queries");
+  }
+  if (future_pres.size() + 1 != remaining_queries.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "clone pipeline mismatch: %zu queries vs %zu future PREs",
+        remaining_queries.size(), future_pres.size()));
+  }
+  if (dest_urls.empty()) {
+    return Status::InvalidArgument("clone with no destination nodes");
+  }
+  return Status::OK();
+}
+
+WebQuery WebQuery::Clone() const {
+  WebQuery out;
+  out.id = id;
+  out.remaining_queries.reserve(remaining_queries.size());
+  for (const NodeQuery& q : remaining_queries) {
+    out.remaining_queries.push_back(q.Clone());
+  }
+  out.future_pres = future_pres;
+  out.rem_pre = rem_pre;
+  out.dest_urls = dest_urls;
+  out.ack_mode = ack_mode;
+  out.ack_parent_host = ack_parent_host;
+  out.ack_parent_port = ack_parent_port;
+  out.ack_token = ack_token;
+  return out;
+}
+
+void WebQuery::EncodeTo(serialize::Encoder* enc) const {
+  id.EncodeTo(enc);
+  enc->PutVarint(remaining_queries.size());
+  for (const NodeQuery& q : remaining_queries) {
+    q.EncodeTo(enc);
+  }
+  enc->PutVarint(future_pres.size());
+  for (const pre::Pre& p : future_pres) {
+    p.EncodeTo(enc);
+  }
+  rem_pre.EncodeTo(enc);
+  enc->PutVarint(dest_urls.size());
+  for (const std::string& url : dest_urls) {
+    enc->PutString(url);
+  }
+  enc->PutBool(ack_mode);
+  if (ack_mode) {
+    enc->PutString(ack_parent_host);
+    enc->PutU16(ack_parent_port);
+    enc->PutU64(ack_token);
+  }
+}
+
+Status WebQuery::DecodeFrom(serialize::Decoder* dec, WebQuery* out) {
+  WEBDIS_RETURN_IF_ERROR(QueryId::DecodeFrom(dec, &out->id));
+  uint64_t query_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&query_count));
+  if (query_count > 1024) return Status::Corruption("too many node-queries");
+  out->remaining_queries.clear();
+  for (uint64_t i = 0; i < query_count; ++i) {
+    NodeQuery q;
+    WEBDIS_RETURN_IF_ERROR(NodeQuery::DecodeFrom(dec, &q));
+    out->remaining_queries.push_back(std::move(q));
+  }
+  uint64_t pre_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&pre_count));
+  if (pre_count > 1024) return Status::Corruption("too many PREs");
+  out->future_pres.clear();
+  for (uint64_t i = 0; i < pre_count; ++i) {
+    pre::Pre p;
+    WEBDIS_ASSIGN_OR_RETURN(p, pre::Pre::DecodeFrom(dec));
+    out->future_pres.push_back(std::move(p));
+  }
+  WEBDIS_ASSIGN_OR_RETURN(out->rem_pre, pre::Pre::DecodeFrom(dec));
+  uint64_t dest_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&dest_count));
+  if (dest_count > 100000) return Status::Corruption("too many destinations");
+  out->dest_urls.clear();
+  for (uint64_t i = 0; i < dest_count; ++i) {
+    std::string url;
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&url));
+    out->dest_urls.push_back(std::move(url));
+  }
+  WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->ack_mode));
+  if (out->ack_mode) {
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->ack_parent_host));
+    WEBDIS_RETURN_IF_ERROR(dec->GetU16(&out->ack_parent_port));
+    WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->ack_token));
+  }
+  return out->Validate();
+}
+
+size_t WebQuery::WireSize() const {
+  serialize::Encoder enc;
+  EncodeTo(&enc);
+  return enc.size();
+}
+
+}  // namespace webdis::query

@@ -1,0 +1,86 @@
+#ifndef WEBDIS_QUERY_WEB_QUERY_H_
+#define WEBDIS_QUERY_WEB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pre/pre.h"
+#include "query/node_query.h"
+#include "query/query_id.h"
+
+namespace webdis::query {
+
+/// The processing state of a clone (Section 2.7.1): the number of
+/// node-queries still to be evaluated and the remaining part of the current
+/// PRE. This is what the CHT and the server log tables compare.
+struct CloneState {
+  uint32_t num_q = 0;
+  pre::Pre rem_pre;
+
+  /// e.g. "(2, G.L*1)" — matches the paper's State(Q_clone) notation.
+  std::string ToString() const;
+
+  bool Equals(const CloneState& other) const {
+    return num_q == other.num_q && rem_pre.Equals(other.rem_pre);
+  }
+
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, CloneState* out);
+};
+
+/// The Web-Query Object (Section 4.1): the unit that migrates from site to
+/// site. A clone carries only the *remaining* work:
+///
+///   remaining_queries[0]           — next node-query, guarded by rem_pre
+///   future_pres[k]                 — PRE p guarding remaining_queries[k+1]
+///   rem_pre                        — rem(p_current) after traversal so far
+///   dest_urls                      — destination nodes, all on one site
+///                                    (optimization §3.2(4): one clone per
+///                                    site carries every target node there)
+///
+/// Invariant: future_pres.size() + 1 == remaining_queries.size() whenever
+/// remaining_queries is non-empty.
+class WebQuery {
+ public:
+  WebQuery() = default;
+
+  QueryId id;
+  std::vector<NodeQuery> remaining_queries;
+  std::vector<pre::Pre> future_pres;
+  pre::Pre rem_pre;
+  std::vector<std::string> dest_urls;
+
+  /// Ack-tree termination mode (the Related Work [4] baseline,
+  /// Dijkstra–Scholten style): when set, the processing server must send a
+  /// kAck carrying `ack_token` to `ack_parent` once this clone and every
+  /// clone transitively forwarded from it have been fully processed. Off in
+  /// the paper's CHT design.
+  bool ack_mode = false;
+  std::string ack_parent_host;
+  uint16_t ack_parent_port = 0;
+  uint64_t ack_token = 0;
+
+  /// State(Q_clone) = (num_q, rem(p_i)).
+  CloneState State() const {
+    return CloneState{static_cast<uint32_t>(remaining_queries.size()),
+                      rem_pre};
+  }
+
+  /// Checks the structural invariant; servers reject malformed clones.
+  Status Validate() const;
+
+  /// Deep copy (expression trees are owned by node queries).
+  WebQuery Clone() const;
+
+  /// Full wire round-trip.
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, WebQuery* out);
+
+  /// Serialized size in bytes (what the network meters for this clone).
+  size_t WireSize() const;
+};
+
+}  // namespace webdis::query
+
+#endif  // WEBDIS_QUERY_WEB_QUERY_H_

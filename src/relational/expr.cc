@@ -1,0 +1,351 @@
+#include "relational/expr.h"
+
+#include "common/strings.h"
+#include "serialize/encoder.h"
+
+namespace webdis::relational {
+
+void RowBinding::Bind(std::string alias, const Schema* schema,
+                      const Tuple* tuple) {
+  for (Entry& e : entries_) {
+    if (e.alias == alias) {
+      e.schema = schema;
+      e.tuple = tuple;
+      return;
+    }
+  }
+  entries_.push_back({std::move(alias), schema, tuple});
+}
+
+Result<Value> RowBinding::Lookup(std::string_view alias,
+                                 std::string_view column) const {
+  for (const Entry& e : entries_) {
+    if (e.alias == alias) {
+      const int idx = e.schema->IndexOf(column);
+      if (idx < 0) {
+        return Status::InvalidArgument(
+            StringPrintf("relation aliased '%s' has no column '%s'",
+                         std::string(alias).c_str(),
+                         std::string(column).c_str()));
+      }
+      return (*e.tuple)[static_cast<size_t>(idx)];
+    }
+  }
+  return Status::InvalidArgument(
+      StringPrintf("unbound alias '%s'", std::string(alias).c_str()));
+}
+
+bool RowBinding::Has(std::string_view alias) const {
+  for (const Entry& e : entries_) {
+    if (e.alias == alias) return true;
+  }
+  return false;
+}
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  ExprPtr e(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ColumnRef(std::string alias, std::string column) {
+  ExprPtr e(new Expr(ExprKind::kColumnRef));
+  e->alias_ = std::move(alias);
+  e->column_ = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e(new Expr(ExprKind::kCompare));
+  e->compare_op_ = op;
+  e->left_ = std::move(lhs);
+  e->right_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Contains(ExprPtr haystack, ExprPtr needle) {
+  ExprPtr e(new Expr(ExprKind::kContains));
+  e->left_ = std::move(haystack);
+  e->right_ = std::move(needle);
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e(new Expr(ExprKind::kAnd));
+  e->left_ = std::move(lhs);
+  e->right_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e(new Expr(ExprKind::kOr));
+  e->left_ = std::move(lhs);
+  e->right_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  ExprPtr e(new Expr(ExprKind::kNot));
+  e->left_ = std::move(operand);
+  return e;
+}
+
+namespace {
+
+bool Truthy(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return v.AsInt() != 0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Value> Expr::Eval(const RowBinding& binding) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kColumnRef:
+      return binding.Lookup(alias_, column_);
+    case ExprKind::kCompare: {
+      Value lhs, rhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, left_->Eval(binding));
+      WEBDIS_ASSIGN_OR_RETURN(rhs, right_->Eval(binding));
+      bool result = false;
+      switch (compare_op_) {
+        case CompareOp::kEq:
+          result = lhs.SqlEquals(rhs);
+          break;
+        case CompareOp::kNe:
+          result = !lhs.is_null() && !rhs.is_null() && !lhs.SqlEquals(rhs);
+          break;
+        case CompareOp::kLt:
+          result = lhs.Compare(rhs) < 0;
+          break;
+        case CompareOp::kLe:
+          result = lhs.Compare(rhs) <= 0;
+          break;
+        case CompareOp::kGt:
+          result = lhs.Compare(rhs) > 0;
+          break;
+        case CompareOp::kGe:
+          result = lhs.Compare(rhs) >= 0;
+          break;
+      }
+      return Value(static_cast<int64_t>(result ? 1 : 0));
+    }
+    case ExprKind::kContains: {
+      Value lhs, rhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, left_->Eval(binding));
+      WEBDIS_ASSIGN_OR_RETURN(rhs, right_->Eval(binding));
+      if (lhs.type() != ValueType::kString ||
+          rhs.type() != ValueType::kString) {
+        return Value(static_cast<int64_t>(0));
+      }
+      const bool result = ContainsIgnoreCase(lhs.AsString(), rhs.AsString());
+      return Value(static_cast<int64_t>(result ? 1 : 0));
+    }
+    case ExprKind::kAnd: {
+      // Short-circuit.
+      Value lhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, left_->Eval(binding));
+      if (!Truthy(lhs)) return Value(static_cast<int64_t>(0));
+      Value rhs;
+      WEBDIS_ASSIGN_OR_RETURN(rhs, right_->Eval(binding));
+      return Value(static_cast<int64_t>(Truthy(rhs) ? 1 : 0));
+    }
+    case ExprKind::kOr: {
+      Value lhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, left_->Eval(binding));
+      if (Truthy(lhs)) return Value(static_cast<int64_t>(1));
+      Value rhs;
+      WEBDIS_ASSIGN_OR_RETURN(rhs, right_->Eval(binding));
+      return Value(static_cast<int64_t>(Truthy(rhs) ? 1 : 0));
+    }
+    case ExprKind::kNot: {
+      Value v;
+      WEBDIS_ASSIGN_OR_RETURN(v, left_->Eval(binding));
+      return Value(static_cast<int64_t>(Truthy(v) ? 0 : 1));
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Result<bool> Expr::EvalPredicate(const RowBinding& binding) const {
+  Value v;
+  WEBDIS_ASSIGN_OR_RETURN(v, Eval(binding));
+  return Truthy(v);
+}
+
+ExprPtr Expr::Clone() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return Literal(literal_);
+    case ExprKind::kColumnRef:
+      return ColumnRef(alias_, column_);
+    case ExprKind::kCompare:
+      return Compare(compare_op_, left_->Clone(), right_->Clone());
+    case ExprKind::kContains:
+      return Contains(left_->Clone(), right_->Clone());
+    case ExprKind::kAnd:
+      return And(left_->Clone(), right_->Clone());
+    case ExprKind::kOr:
+      return Or(left_->Clone(), right_->Clone());
+    case ExprKind::kNot:
+      return Not(left_->Clone());
+  }
+  return nullptr;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      if (literal_.type() == ValueType::kString) {
+        return "\"" + literal_.AsString() + "\"";
+      }
+      return literal_.ToString();
+    case ExprKind::kColumnRef:
+      return alias_ + "." + column_;
+    case ExprKind::kCompare:
+      return "(" + left_->ToString() + " " +
+             std::string(CompareOpToString(compare_op_)) + " " +
+             right_->ToString() + ")";
+    case ExprKind::kContains:
+      return "(" + left_->ToString() + " contains " + right_->ToString() +
+             ")";
+    case ExprKind::kAnd:
+      return "(" + left_->ToString() + " and " + right_->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + left_->ToString() + " or " + right_->ToString() + ")";
+    case ExprKind::kNot:
+      return "(not " + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+void Expr::CollectAliases(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    for (const std::string& a : *out) {
+      if (a == alias_) return;
+    }
+    out->push_back(alias_);
+    return;
+  }
+  if (left_) left_->CollectAliases(out);
+  if (right_) right_->CollectAliases(out);
+}
+
+void Expr::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      literal_.EncodeTo(enc);
+      break;
+    case ExprKind::kColumnRef:
+      enc->PutString(alias_);
+      enc->PutString(column_);
+      break;
+    case ExprKind::kCompare:
+      enc->PutU8(static_cast<uint8_t>(compare_op_));
+      left_->EncodeTo(enc);
+      right_->EncodeTo(enc);
+      break;
+    case ExprKind::kContains:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      left_->EncodeTo(enc);
+      right_->EncodeTo(enc);
+      break;
+    case ExprKind::kNot:
+      left_->EncodeTo(enc);
+      break;
+  }
+}
+
+Result<ExprPtr> Expr::DecodeFrom(serialize::Decoder* dec) {
+  return DecodeRecursive(dec, 0);
+}
+
+Result<ExprPtr> Expr::DecodeRecursive(serialize::Decoder* dec, int depth) {
+  constexpr int kMaxDepth = 64;
+  if (depth > kMaxDepth) {
+    return Status::Corruption("expression tree too deep");
+  }
+  uint8_t tag = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetU8(&tag));
+  switch (static_cast<ExprKind>(tag)) {
+    case ExprKind::kLiteral: {
+      Value v;
+      WEBDIS_RETURN_IF_ERROR(Value::DecodeFrom(dec, &v));
+      return Literal(std::move(v));
+    }
+    case ExprKind::kColumnRef: {
+      std::string alias, column;
+      WEBDIS_RETURN_IF_ERROR(dec->GetString(&alias));
+      WEBDIS_RETURN_IF_ERROR(dec->GetString(&column));
+      return ColumnRef(std::move(alias), std::move(column));
+    }
+    case ExprKind::kCompare: {
+      uint8_t op = 0;
+      WEBDIS_RETURN_IF_ERROR(dec->GetU8(&op));
+      if (op > static_cast<uint8_t>(CompareOp::kGe)) {
+        return Status::Corruption("bad compare op tag");
+      }
+      ExprPtr lhs, rhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, DecodeRecursive(dec, depth + 1));
+      WEBDIS_ASSIGN_OR_RETURN(rhs, DecodeRecursive(dec, depth + 1));
+      return Compare(static_cast<CompareOp>(op), std::move(lhs),
+                     std::move(rhs));
+    }
+    case ExprKind::kContains: {
+      ExprPtr lhs, rhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, DecodeRecursive(dec, depth + 1));
+      WEBDIS_ASSIGN_OR_RETURN(rhs, DecodeRecursive(dec, depth + 1));
+      return Contains(std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kAnd: {
+      ExprPtr lhs, rhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, DecodeRecursive(dec, depth + 1));
+      WEBDIS_ASSIGN_OR_RETURN(rhs, DecodeRecursive(dec, depth + 1));
+      return And(std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kOr: {
+      ExprPtr lhs, rhs;
+      WEBDIS_ASSIGN_OR_RETURN(lhs, DecodeRecursive(dec, depth + 1));
+      WEBDIS_ASSIGN_OR_RETURN(rhs, DecodeRecursive(dec, depth + 1));
+      return Or(std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kNot: {
+      ExprPtr operand;
+      WEBDIS_ASSIGN_OR_RETURN(operand, DecodeRecursive(dec, depth + 1));
+      return Not(std::move(operand));
+    }
+    default:
+      return Status::Corruption("bad expr kind tag");
+  }
+}
+
+}  // namespace webdis::relational

@@ -1,0 +1,70 @@
+#ifndef WEBDIS_RELATIONAL_VALUE_H_
+#define WEBDIS_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace webdis::serialize {
+class Encoder;
+class Decoder;
+}  // namespace webdis::serialize
+
+namespace webdis::relational {
+
+/// Column types in the virtual relations. The paper's node model needs only
+/// strings (urls, titles, text, labels) and integers (lengths).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kString = 2,
+};
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// A dynamically-typed cell value.
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    if (std::holds_alternative<std::monostate>(data_)) return ValueType::kNull;
+    if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt;
+    return ValueType::kString;
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  /// Precondition: type() == kInt.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  /// Precondition: type() == kString.
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Display form: "NULL", integer digits, or the raw string.
+  std::string ToString() const;
+
+  /// SQL-style equality: NULL compares unequal to everything (incl. NULL).
+  bool SqlEquals(const Value& other) const;
+
+  /// Three-way ordering for sort/comparison predicates. Nulls sort first;
+  /// cross-type comparison orders by type id (deterministic, never errors).
+  int Compare(const Value& other) const;
+
+  /// Exact structural equality (used by tests and containers).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, Value* out);
+
+ private:
+  std::variant<std::monostate, int64_t, std::string> data_;
+};
+
+}  // namespace webdis::relational
+
+#endif  // WEBDIS_RELATIONAL_VALUE_H_

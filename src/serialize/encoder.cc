@@ -1,0 +1,127 @@
+#include "serialize/encoder.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace webdis::serialize {
+
+void Encoder::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v & 0xFF));
+  buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutVarint(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+void Encoder::PutRaw(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+Status Decoder::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption(
+        StringPrintf("truncated input: need %zu bytes, have %zu at offset %zu",
+                     n, remaining(), pos_));
+  }
+  return Status::OK();
+}
+
+Status Decoder::GetU8(uint8_t* out) {
+  WEBDIS_RETURN_IF_ERROR(Need(1));
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status Decoder::GetU16(uint16_t* out) {
+  WEBDIS_RETURN_IF_ERROR(Need(2));
+  *out = static_cast<uint16_t>(data_[pos_] |
+                               (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status Decoder::GetU32(uint32_t* out) {
+  WEBDIS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status Decoder::GetU64(uint64_t* out) {
+  WEBDIS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status Decoder::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (shift > 63) {
+      return Status::Corruption("varint too long");
+    }
+    uint8_t byte = 0;
+    WEBDIS_RETURN_IF_ERROR(GetU8(&byte));
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status Decoder::GetString(std::string* out) {
+  uint64_t len = 0;
+  WEBDIS_RETURN_IF_ERROR(GetVarint(&len));
+  WEBDIS_RETURN_IF_ERROR(Need(len));
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetBool(bool* out) {
+  uint8_t v = 0;
+  WEBDIS_RETURN_IF_ERROR(GetU8(&v));
+  if (v > 1) {
+    return Status::Corruption("bool byte out of range");
+  }
+  *out = (v == 1);
+  return Status::OK();
+}
+
+}  // namespace webdis::serialize

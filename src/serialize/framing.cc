@@ -1,0 +1,79 @@
+#include "serialize/framing.h"
+
+#include <cstring>
+
+#include "serialize/encoder.h"
+
+namespace webdis::serialize {
+
+std::vector<uint8_t> EncodeFrame(uint8_t type,
+                                 const std::vector<uint8_t>& payload) {
+  Encoder enc;
+  enc.PutU32(kFrameMagic);
+  enc.PutU8(kWireVersion);
+  enc.PutU8(type);
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutRaw(payload.data(), payload.size());
+  return enc.Release();
+}
+
+namespace {
+
+/// Parses a header from at least kFrameHeaderSize bytes. Returns the payload
+/// length via *length.
+Status ParseHeader(const uint8_t* data, uint8_t* type, uint32_t* length) {
+  Decoder dec(data, kFrameHeaderSize);
+  uint32_t magic = 0;
+  WEBDIS_RETURN_IF_ERROR(dec.GetU32(&magic));
+  if (magic != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  uint8_t version = 0;
+  WEBDIS_RETURN_IF_ERROR(dec.GetU8(&version));
+  if (version != kWireVersion) {
+    return Status::Corruption("unsupported wire version");
+  }
+  WEBDIS_RETURN_IF_ERROR(dec.GetU8(type));
+  WEBDIS_RETURN_IF_ERROR(dec.GetU32(length));
+  if (*length > kMaxFrameLength) {
+    return Status::Corruption("frame length exceeds limit");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Frame> DecodeFrame(const std::vector<uint8_t>& data) {
+  if (data.size() < kFrameHeaderSize) {
+    return Status::Corruption("frame shorter than header");
+  }
+  uint8_t type = 0;
+  uint32_t length = 0;
+  WEBDIS_RETURN_IF_ERROR(ParseHeader(data.data(), &type, &length));
+  if (data.size() != kFrameHeaderSize + length) {
+    return Status::Corruption("frame length mismatch");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(data.begin() + kFrameHeaderSize, data.end());
+  return frame;
+}
+
+void FrameReader::Feed(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Result<bool> FrameReader::Next(Frame* out) {
+  if (buf_.size() < kFrameHeaderSize) return false;
+  uint8_t type = 0;
+  uint32_t length = 0;
+  WEBDIS_RETURN_IF_ERROR(ParseHeader(buf_.data(), &type, &length));
+  const size_t total = kFrameHeaderSize + length;
+  if (buf_.size() < total) return false;
+  out->type = type;
+  out->payload.assign(buf_.begin() + kFrameHeaderSize, buf_.begin() + total);
+  buf_.erase(buf_.begin(), buf_.begin() + total);
+  return true;
+}
+
+}  // namespace webdis::serialize

@@ -1,0 +1,64 @@
+#ifndef WEBDIS_SERIALIZE_FRAMING_H_
+#define WEBDIS_SERIALIZE_FRAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace webdis::serialize {
+
+/// Every WEBDIS wire message is wrapped in a frame so that both the simulated
+/// network and the real TCP transport can delimit and validate messages:
+///
+///   magic   u32  'WDIS'
+///   version u8   kWireVersion
+///   type    u8   application message type (opaque to this layer)
+///   length  u32  payload byte count
+///   payload length bytes
+///
+/// The frame header is intentionally fixed-size (10 bytes) so stream
+/// transports can read it before knowing the payload length.
+constexpr uint32_t kFrameMagic = 0x57444953;  // "WDIS"
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kFrameHeaderSize = 10;
+/// Defensive cap: a frame larger than this is treated as corruption rather
+/// than an allocation request.
+constexpr uint32_t kMaxFrameLength = 64u * 1024u * 1024u;
+
+/// Wraps a payload into a full frame.
+std::vector<uint8_t> EncodeFrame(uint8_t type,
+                                 const std::vector<uint8_t>& payload);
+
+/// Parsed view of a decoded frame.
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Decodes one complete frame from `data`; fails on bad magic, version,
+/// length, or trailing garbage.
+Result<Frame> DecodeFrame(const std::vector<uint8_t>& data);
+
+/// Incremental frame assembler for stream transports (TCP): feed arbitrary
+/// chunks, pop complete frames.
+class FrameReader {
+ public:
+  /// Appends raw stream bytes.
+  void Feed(const uint8_t* data, size_t len);
+
+  /// Extracts the next complete frame if one is buffered. Returns:
+  ///  - ok(true)  : *out filled
+  ///  - ok(false) : need more bytes
+  ///  - error     : stream corrupt (caller should drop the connection)
+  Result<bool> Next(Frame* out);
+
+  size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace webdis::serialize
+
+#endif  // WEBDIS_SERIALIZE_FRAMING_H_

@@ -1,0 +1,22 @@
+#ifndef WEBDIS_SERVER_DB_CONSTRUCTOR_H_
+#define WEBDIS_SERVER_DB_CONSTRUCTOR_H_
+
+#include "html/parser.h"
+#include "relational/table.h"
+
+namespace webdis::server {
+
+/// The Database Constructor of Section 4.4: a single pass over one parsed
+/// document materializes the per-node in-memory database of virtual
+/// relations —
+///   DOCUMENT(url, title, text, length)   — exactly one row
+///   ANCHOR(label, base, href, ltype)     — one row per hyperlink
+///   RELINFON(delimiter, url, text, length) — one row per rel-infon
+/// The query server builds this before evaluating a node-query and purges it
+/// afterwards (Section 2.4), unless database caching is enabled
+/// (footnote 3 of the paper).
+relational::Database BuildNodeDatabase(const html::ParsedDocument& doc);
+
+}  // namespace webdis::server
+
+#endif  // WEBDIS_SERVER_DB_CONSTRUCTOR_H_

@@ -1,0 +1,98 @@
+#include "server/http_server.h"
+
+#include "common/logging.h"
+#include "serialize/encoder.h"
+
+namespace webdis::server {
+
+HttpServer::HttpServer(std::string host, const web::WebGraph* web,
+                       net::Transport* transport)
+    : host_(std::move(host)), web_(web), transport_(transport) {}
+
+Status HttpServer::Start() {
+  if (started_) return Status::InvalidArgument("HttpServer already started");
+  const net::Endpoint endpoint{host_, kHttpPort};
+  WEBDIS_RETURN_IF_ERROR(transport_->Listen(
+      endpoint,
+      [this](const net::Endpoint& from, net::MessageType type,
+             const std::vector<uint8_t>& payload) {
+        OnMessage(from, type, payload);
+      }));
+  started_ = true;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  transport_->CloseListener(net::Endpoint{host_, kHttpPort});
+  started_ = false;
+}
+
+void HttpServer::OnMessage(const net::Endpoint& from, net::MessageType type,
+                           const std::vector<uint8_t>& payload) {
+  if (type != net::MessageType::kFetchRequest) {
+    WEBDIS_LOG(kWarning) << "http server on " << host_
+                         << " ignoring message of type "
+                         << net::MessageTypeToString(type);
+    return;
+  }
+  std::string url;
+  if (const Status status = DecodeFetchRequest(payload, &url); !status.ok()) {
+    WEBDIS_LOG(kWarning) << "bad fetch request: " << status.ToString();
+    return;
+  }
+  FetchResponse resp;
+  resp.url = url;
+  const web::WebGraph::Document* doc = web_->Find(url);
+  // Only serve resources actually hosted here (a real web server would not
+  // proxy other sites).
+  if (doc != nullptr && doc->url.host == host_) {
+    resp.found = true;
+    resp.html = doc->raw_html;
+    ++fetches_served_;
+    bytes_served_ += resp.html.size();
+  } else {
+    ++not_found_;
+  }
+  const Status send_status =
+      transport_->Send(net::Endpoint{host_, kHttpPort}, from,
+                       net::MessageType::kFetchResponse,
+                       EncodeFetchResponse(resp));
+  if (!send_status.ok()) {
+    WEBDIS_LOG(kInfo) << "fetch response to " << from.ToString()
+                      << " failed: " << send_status.ToString();
+  }
+}
+
+std::vector<uint8_t> HttpServer::EncodeFetchRequest(const std::string& url) {
+  serialize::Encoder enc;
+  enc.PutString(url);
+  return enc.Release();
+}
+
+Status HttpServer::DecodeFetchRequest(const std::vector<uint8_t>& payload,
+                                      std::string* url) {
+  serialize::Decoder dec(payload);
+  WEBDIS_RETURN_IF_ERROR(dec.GetString(url));
+  return Status::OK();
+}
+
+std::vector<uint8_t> HttpServer::EncodeFetchResponse(
+    const FetchResponse& resp) {
+  serialize::Encoder enc;
+  enc.PutString(resp.url);
+  enc.PutBool(resp.found);
+  enc.PutString(resp.html);
+  return enc.Release();
+}
+
+Status HttpServer::DecodeFetchResponse(const std::vector<uint8_t>& payload,
+                                       FetchResponse* out) {
+  serialize::Decoder dec(payload);
+  WEBDIS_RETURN_IF_ERROR(dec.GetString(&out->url));
+  WEBDIS_RETURN_IF_ERROR(dec.GetBool(&out->found));
+  WEBDIS_RETURN_IF_ERROR(dec.GetString(&out->html));
+  return Status::OK();
+}
+
+}  // namespace webdis::server

@@ -1,0 +1,65 @@
+#ifndef WEBDIS_SERVER_HTTP_SERVER_H_
+#define WEBDIS_SERVER_HTTP_SERVER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "web/graph.h"
+
+namespace webdis::server {
+
+/// Well-known ports of the simulated deployment.
+inline constexpr uint16_t kHttpPort = 80;
+/// The "common pre-specified port number" every WEBDIS query server listens
+/// on (Section 4.4).
+inline constexpr uint16_t kQueryServerPort = 7000;
+
+/// A plain document server: answers kFetchRequest with the raw HTML of a
+/// local resource. Every host runs one (this is "the web"); only
+/// WEBDIS-participating hosts additionally run a QueryServer. The
+/// data-shipping baseline and the non-participant fallback path are built on
+/// these fetches.
+class HttpServer {
+ public:
+  /// `web` must outlive the server.
+  HttpServer(std::string host, const web::WebGraph* web,
+             net::Transport* transport);
+
+  /// Binds (host, kHttpPort).
+  Status Start();
+  void Stop();
+
+  uint64_t fetches_served() const { return fetches_served_; }
+  uint64_t bytes_served() const { return bytes_served_; }
+  uint64_t not_found_count() const { return not_found_; }
+
+  /// Wire helpers shared with clients of the fetch protocol.
+  static std::vector<uint8_t> EncodeFetchRequest(const std::string& url);
+  static Status DecodeFetchRequest(const std::vector<uint8_t>& payload,
+                                   std::string* url);
+  struct FetchResponse {
+    std::string url;
+    bool found = false;
+    std::string html;
+  };
+  static std::vector<uint8_t> EncodeFetchResponse(const FetchResponse& resp);
+  static Status DecodeFetchResponse(const std::vector<uint8_t>& payload,
+                                    FetchResponse* out);
+
+ private:
+  void OnMessage(const net::Endpoint& from, net::MessageType type,
+                 const std::vector<uint8_t>& payload);
+
+  std::string host_;
+  const web::WebGraph* web_;
+  net::Transport* transport_;
+  bool started_ = false;
+  uint64_t fetches_served_ = 0;
+  uint64_t bytes_served_ = 0;
+  uint64_t not_found_ = 0;
+};
+
+}  // namespace webdis::server
+
+#endif  // WEBDIS_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,49 @@
+#include "server/log_table.h"
+
+namespace webdis::server {
+
+pre::LogDecision LogTable::Check(const std::string& node_url,
+                                 const std::string& query_key,
+                                 const query::CloneState& state) {
+  ++stats_.checks;
+  const Key key{node_url, query_key, state.num_q};
+  std::vector<pre::Pre>& logged = entries_[key];
+  for (pre::Pre& existing : logged) {
+    const pre::LogDecision decision =
+        pre::ComparePreForLog(state.rem_pre, existing);
+    switch (decision.comparison) {
+      case pre::LogComparison::kDuplicate:
+        ++stats_.duplicates;
+        return decision;
+      case pre::LogComparison::kSupersetRewrite:
+        // Replace the covered entry with the wider incoming PRE
+        // (Section 3.1.1 step 1), then continue with the rewrite.
+        existing = state.rem_pre;
+        ++stats_.superset_rewrites;
+        return decision;
+      case pre::LogComparison::kUnrelated:
+        break;
+    }
+  }
+  logged.push_back(state.rem_pre);
+  ++stats_.new_entries;
+  return pre::LogDecision{};  // kUnrelated: process normally
+}
+
+void LogTable::PurgeQuery(const std::string& query_key) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.query_key == query_key) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t LogTable::size() const {
+  size_t total = 0;
+  for (const auto& [key, pres] : entries_) total += pres.size();
+  return total;
+}
+
+}  // namespace webdis::server

@@ -1,0 +1,67 @@
+#ifndef WEBDIS_SERVER_LOG_TABLE_H_
+#define WEBDIS_SERVER_LOG_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pre/log_equivalence.h"
+#include "query/web_query.h"
+
+namespace webdis::server {
+
+/// The Node-query Log Table of Section 3.1.1. Records, per (node URL, query
+/// id, num_q), the remaining-PRE states of clones that have already visited,
+/// and decides for each new arrival whether it is a duplicate (purge), a
+/// strict superset (replace the entry and continue with the multiple-rewrite
+/// PRE), or unrelated (log it and process normally).
+class LogTable {
+ public:
+  LogTable() = default;
+
+  /// Per-arrival statistics.
+  struct Stats {
+    uint64_t checks = 0;
+    uint64_t duplicates = 0;
+    uint64_t superset_rewrites = 0;
+    uint64_t new_entries = 0;
+  };
+
+  /// Applies the paper's rules for a clone arriving at `node_url` in
+  /// `state`. Side effects: logs/replaces entries as the rules dictate.
+  pre::LogDecision Check(const std::string& node_url,
+                         const std::string& query_key,
+                         const query::CloneState& state);
+
+  /// Drops every entry (the periodic purge of Section 3.1.1). An
+  /// early purge can only cause duplicate recomputation, never wrong
+  /// results — tested as a property.
+  void Purge() { entries_.clear(); }
+
+  /// Drops entries of one query (e.g. after its termination).
+  void PurgeQuery(const std::string& query_key);
+
+  size_t size() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    std::string node_url;
+    std::string query_key;
+    uint32_t num_q;
+    bool operator<(const Key& other) const {
+      if (node_url != other.node_url) return node_url < other.node_url;
+      if (query_key != other.query_key) return query_key < other.query_key;
+      return num_q < other.num_q;
+    }
+  };
+
+  // One (node, query, num_q) can hold several unrelated PREs.
+  std::map<Key, std::vector<pre::Pre>> entries_;
+  Stats stats_;
+};
+
+}  // namespace webdis::server
+
+#endif  // WEBDIS_SERVER_LOG_TABLE_H_

@@ -1,0 +1,426 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "html/url.h"
+#include "relational/eval.h"
+#include "serialize/encoder.h"
+#include "server/db_constructor.h"
+
+namespace webdis::server {
+
+QueryServer::QueryServer(std::string host, const web::WebGraph* web,
+                         net::Transport* transport,
+                         QueryServerOptions options)
+    : host_(std::move(host)),
+      web_(web),
+      transport_(transport),
+      options_(options) {}
+
+Status QueryServer::Start() {
+  if (started_) return Status::InvalidArgument("QueryServer already started");
+  const net::Endpoint endpoint{host_, kQueryServerPort};
+  WEBDIS_RETURN_IF_ERROR(transport_->Listen(
+      endpoint,
+      [this](const net::Endpoint& from, net::MessageType type,
+             const std::vector<uint8_t>& payload) {
+        OnMessage(from, type, payload);
+      }));
+  started_ = true;
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_) return;
+  transport_->CloseListener(net::Endpoint{host_, kQueryServerPort});
+  started_ = false;
+}
+
+void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
+                            const std::vector<uint8_t>& payload) {
+  (void)from;
+  switch (type) {
+    case net::MessageType::kWebQuery: {
+      serialize::Decoder dec(payload);
+      query::WebQuery clone;
+      const Status status = query::WebQuery::DecodeFrom(&dec, &clone);
+      if (!status.ok()) {
+        ++stats_.decode_errors;
+        WEBDIS_LOG(kWarning) << host_ << ": bad clone: " << status.ToString();
+        return;
+      }
+      ProcessClone(std::move(clone));
+      return;
+    }
+    case net::MessageType::kAck: {
+      serialize::Decoder dec(payload);
+      uint64_t token = 0;
+      if (!dec.GetU64(&token).ok()) {
+        ++stats_.decode_errors;
+        return;
+      }
+      OnAck(token);
+      return;
+    }
+    case net::MessageType::kTerminate: {
+      serialize::Decoder dec(payload);
+      query::QueryId id;
+      if (const Status status = query::QueryId::DecodeFrom(&dec, &id);
+          !status.ok()) {
+        ++stats_.decode_errors;
+        return;
+      }
+      terminated_queries_.insert(id.Key());
+      log_table_.PurgeQuery(id.Key());
+      std::erase_if(pending_acks_, [&id](const auto& entry) {
+        return entry.second.query_key == id.Key();
+      });
+      ++stats_.active_terminations;
+      return;
+    }
+    default:
+      WEBDIS_LOG(kWarning) << host_ << ": unexpected message type "
+                           << net::MessageTypeToString(type);
+  }
+}
+
+const relational::Database& QueryServer::NodeDatabase(
+    const web::WebGraph::Document& doc) {
+  if (options_.cache_databases) {
+    auto it = db_cache_.find(doc.url.ResourceKey());
+    if (it != db_cache_.end()) {
+      ++stats_.db_cache_hits;
+      return it->second;
+    }
+    ++stats_.db_constructions;
+    auto [inserted, ok] =
+        db_cache_.emplace(doc.url.ResourceKey(), BuildNodeDatabase(doc.parsed));
+    return inserted->second;
+  }
+  ++stats_.db_constructions;
+  // Section 2.4: constructed per node-query and purged immediately after —
+  // the scratch slot is overwritten on the next visit.
+  scratch_db_ = BuildNodeDatabase(doc.parsed);
+  return scratch_db_;
+}
+
+void QueryServer::ProcessStage(const query::WebQuery& clone,
+                               const web::WebGraph::Document& doc,
+                               const relational::Database& db, size_t stage,
+                               const pre::Pre& rem,
+                               query::NodeReport* report,
+                               std::vector<Forward>* forwards) {
+  // ServerRouter half: the PRE admits the zero-length path here, so the
+  // stage's node-query is evaluated against this node's virtual relations.
+  if (rem.ContainsNull()) {
+    ++stats_.node_queries_evaluated;
+    const query::NodeQuery& nq = clone.remaining_queries[stage];
+    auto result = relational::Execute(nq.select, db);
+    if (!result.ok()) {
+      WEBDIS_LOG(kWarning) << host_ << ": node-query failed on "
+                           << doc.url.ResourceKey() << ": "
+                           << result.status().ToString();
+    } else if (!result->rows.empty()) {
+      ++stats_.answers_found;
+      report->result_sets.push_back(std::move(result).value());
+      // Advance to the next (PRE, node-query) stage from this node — only
+      // from nodes that answered (Figure 1's node 7 rule).
+      if (stage + 1 < clone.remaining_queries.size()) {
+        const pre::Pre& next_pre = clone.future_pres[stage];
+        ProcessStage(clone, doc, db, stage + 1, next_pre, report, forwards);
+      }
+    } else {
+      ++stats_.dead_ends;
+    }
+  }
+  // PureRouter half: continue along the current PRE's remaining paths
+  // regardless of the local answer (see the class comment on routing
+  // semantics).
+  for (const html::LinkType link_type : rem.FirstLinks()) {
+    const pre::Pre derived = rem.Derive(link_type);
+    for (const html::ParsedAnchor& anchor : doc.parsed.anchors) {
+      if (anchor.ltype != link_type) continue;
+      forwards->push_back(
+          Forward{anchor.resolved.ResourceKey(), stage, derived});
+    }
+  }
+}
+
+void QueryServer::ProcessNode(const query::WebQuery& clone,
+                              const std::string& url,
+                              query::NodeReport* report,
+                              std::vector<Forward>* forwards) {
+  report->node_url = url;
+  report->received_state = clone.State();
+
+  VisitEvent event;
+  event.node_url = url;
+  event.received_state = clone.State();
+
+  pre::Pre rem = clone.rem_pre;
+  if (options_.dedup_enabled) {
+    const pre::LogDecision decision =
+        log_table_.Check(url, clone.id.Key(), clone.State());
+    if (decision.comparison == pre::LogComparison::kDuplicate) {
+      ++stats_.duplicates_dropped;
+      report->duplicate_drop = true;
+      event.duplicate = true;
+      if (visit_observer_) visit_observer_(event);
+      return;
+    }
+    if (decision.comparison == pre::LogComparison::kSupersetRewrite) {
+      // Process only the difference: the rewrite A·A*(m-1)·B is never
+      // nullable, so this node acts as a PureRouter for this clone
+      // (Section 3.1.1).
+      ++stats_.superset_rewrites;
+      rem = *decision.rewritten;
+      event.rewritten = true;
+    }
+  }
+
+  const web::WebGraph::Document* doc = web_->Find(url);
+  if (doc == nullptr || doc->url.host != host_) {
+    // A floating link or a mis-routed clone: report the visit (so the CHT
+    // entry clears) but there is nothing to process or forward.
+    ++stats_.missing_documents;
+    if (visit_observer_) visit_observer_(event);
+    return;
+  }
+
+  ++stats_.nodes_processed;
+  const relational::Database& db = NodeDatabase(*doc);
+  const size_t forwards_before = forwards->size();
+  const size_t results_before = report->result_sets.size();
+  ProcessStage(clone, *doc, db, 0, rem, report, forwards);
+
+  event.evaluated = rem.ContainsNull();
+  event.answered = report->result_sets.size() > results_before;
+  event.forward_count = forwards->size() - forwards_before;
+  event.dead_end = event.evaluated && !event.answered &&
+                   event.forward_count == 0;
+  if (visit_observer_) visit_observer_(event);
+}
+
+void QueryServer::SendAck(const net::Endpoint& parent, uint64_t token) {
+  serialize::Encoder enc;
+  enc.PutU64(token);
+  const Status status =
+      transport_->Send(net::Endpoint{host_, kQueryServerPort}, parent,
+                       net::MessageType::kAck, enc.Release());
+  if (status.ok()) ++stats_.acks_sent;
+}
+
+void QueryServer::OnAck(uint64_t token) {
+  ++stats_.acks_received;
+  auto it = pending_acks_.find(token);
+  if (it == pending_acks_.end()) return;  // stale (query purged)
+  PendingAck& pending = it->second;
+  if (pending.remaining_children > 0) --pending.remaining_children;
+  if (pending.remaining_children == 0) {
+    SendAck(pending.parent, pending.parent_token);
+    pending_acks_.erase(it);
+  }
+}
+
+bool QueryServer::DispatchReports(const query::WebQuery& clone,
+                                  std::vector<query::NodeReport> reports) {
+  if (reports.empty()) return true;
+  const net::Endpoint self{host_, kQueryServerPort};
+  const net::Endpoint user_site{clone.id.reply_host, clone.id.reply_port};
+  std::vector<query::QueryReport> messages;
+  if (options_.batch_reports) {
+    query::QueryReport qr;
+    qr.id = clone.id;
+    qr.node_reports = std::move(reports);
+    messages.push_back(std::move(qr));
+  } else {
+    for (query::NodeReport& nr : reports) {
+      query::QueryReport qr;
+      qr.id = clone.id;
+      qr.node_reports.push_back(std::move(nr));
+      messages.push_back(std::move(qr));
+    }
+  }
+  for (const query::QueryReport& qr : messages) {
+    serialize::Encoder enc;
+    qr.EncodeTo(&enc);
+    const Status status = transport_->Send(
+        self, user_site, net::MessageType::kReport, enc.Release());
+    if (!status.ok()) {
+      // Passive termination (Section 2.8): the user site closed its result
+      // socket; purge the query locally and do not forward.
+      ++stats_.passive_terminations;
+      terminated_queries_.insert(clone.id.Key());
+      log_table_.PurgeQuery(clone.id.Key());
+      return false;
+    }
+  }
+  return true;
+}
+
+void QueryServer::ProcessClone(query::WebQuery clone) {
+  ++stats_.clones_received;
+  if (options_.log_purge_every != 0 &&
+      stats_.clones_received % options_.log_purge_every == 0) {
+    log_table_.Purge();
+  }
+  if (terminated_queries_.contains(clone.id.Key())) {
+    return;  // query was terminated; drop silently
+  }
+  if (const Status status = clone.Validate(); !status.ok()) {
+    ++stats_.decode_errors;
+    WEBDIS_LOG(kWarning) << host_ << ": invalid clone: " << status.ToString();
+    return;
+  }
+
+  std::vector<query::NodeReport> reports;
+  std::vector<Forward> forwards;
+  for (const std::string& url : clone.dest_urls) {
+    query::NodeReport report;
+    const size_t report_index = reports.size();
+    const size_t forwards_before = forwards.size();
+    ProcessNode(clone, url, &report, &forwards);
+    for (size_t i = forwards_before; i < forwards.size(); ++i) {
+      forwards[i].origin_report = report_index;
+    }
+    reports.push_back(std::move(report));
+  }
+
+  // -- Group forwarding intents into clones ---------------------------------
+  // Key: destination site (+ pipeline state). With batching off, every
+  // destination node gets its own clone (ablation of §3.2(4)). A CHT entry
+  // is emitted for exactly the (clone, destination) pairs actually
+  // dispatched — merged duplicate intents must NOT add entries, or the user
+  // site would wait for reports that can never come.
+  struct OutClone {
+    std::string dest_host;
+    size_t queries_consumed;
+    pre::Pre rem;
+    std::vector<std::string> dest_urls;
+  };
+  std::vector<OutClone> out_clones;
+  const uint32_t total_queries =
+      static_cast<uint32_t>(clone.remaining_queries.size());
+  for (const Forward& f : forwards) {
+    auto parsed = html::ParseUrl(f.dest_url);
+    if (!parsed.ok()) continue;
+    const std::string& dest_host = parsed->host;
+    OutClone* slot = nullptr;
+    if (options_.batch_clones_per_site) {
+      for (OutClone& c : out_clones) {
+        if (c.dest_host == dest_host &&
+            c.queries_consumed == f.queries_consumed &&
+            c.rem.Equals(f.rem)) {
+          slot = &c;
+          break;
+        }
+      }
+    }
+    if (slot == nullptr) {
+      out_clones.push_back(
+          OutClone{dest_host, f.queries_consumed, f.rem, {}});
+      slot = &out_clones.back();
+    }
+    if (std::find(slot->dest_urls.begin(), slot->dest_urls.end(),
+                  f.dest_url) != slot->dest_urls.end()) {
+      continue;  // merged with an earlier intent: no dispatch, no entry
+    }
+    slot->dest_urls.push_back(f.dest_url);
+    query::ChtEntry entry;
+    entry.node_url = f.dest_url;
+    entry.state.num_q =
+        total_queries - static_cast<uint32_t>(f.queries_consumed);
+    entry.state.rem_pre = f.rem;
+    reports[f.origin_report].next_entries.push_back(std::move(entry));
+  }
+
+  // The paper's original design drops duplicates silently; the robust
+  // default reports them so CHT balances always settle.
+  if (!options_.report_dropped_duplicates) {
+    std::erase_if(reports, [](const query::NodeReport& r) {
+      return r.duplicate_drop;
+    });
+  }
+  // Ack-tree termination baseline: the CHT machinery is unused, so reports
+  // carry only actual results — drop notices and next-entry lists would be
+  // wasted bytes (the acks below settle completion instead).
+  if (clone.ack_mode) {
+    for (query::NodeReport& r : reports) r.next_entries.clear();
+    std::erase_if(reports, [](const query::NodeReport& r) {
+      return r.result_sets.empty();
+    });
+  }
+
+  // -- Report first, then forward (Section 2.7.1's ordering) ----------------
+  if (!DispatchReports(clone, std::move(reports))) {
+    return;  // passive termination
+  }
+
+  const net::Endpoint self{host_, kQueryServerPort};
+  // Ack-tree mode: children forwarded from this clone ack against a fresh
+  // local token; this clone's own ack to its parent is deferred until all
+  // children report in (Dijkstra–Scholten).
+  const uint64_t ack_token =
+      clone.ack_mode ? next_ack_token_++ : 0;
+  size_t ack_children = 0;
+  std::vector<query::NodeReport> undeliverable_reports;
+  for (const OutClone& out : out_clones) {
+    query::WebQuery next;
+    next.id = clone.id;
+    for (size_t i = out.queries_consumed;
+         i < clone.remaining_queries.size(); ++i) {
+      next.remaining_queries.push_back(clone.remaining_queries[i].Clone());
+    }
+    for (size_t i = out.queries_consumed; i < clone.future_pres.size(); ++i) {
+      next.future_pres.push_back(clone.future_pres[i]);
+    }
+    next.rem_pre = out.rem;
+    next.dest_urls = out.dest_urls;
+    if (clone.ack_mode) {
+      next.ack_mode = true;
+      next.ack_parent_host = host_;
+      next.ack_parent_port = kQueryServerPort;
+      next.ack_token = ack_token;
+    }
+    serialize::Encoder enc;
+    next.EncodeTo(&enc);
+    const Status status =
+        transport_->Send(self, net::Endpoint{out.dest_host, kQueryServerPort},
+                         net::MessageType::kWebQuery, enc.Release());
+    if (!status.ok()) {
+      // The destination runs no query server (non-participating site, or it
+      // crashed). Tell the user site so (a) its CHT entries clear and
+      // (b) it can fall back to centralized processing for those nodes.
+      ++stats_.undeliverable_forwards;
+      for (const std::string& url : out.dest_urls) {
+        query::NodeReport nr;
+        nr.node_url = url;
+        nr.received_state.num_q =
+            static_cast<uint32_t>(next.remaining_queries.size());
+        nr.received_state.rem_pre = next.rem_pre;
+        nr.undeliverable = true;
+        undeliverable_reports.push_back(std::move(nr));
+      }
+    } else {
+      ++stats_.clones_forwarded;
+      ++ack_children;
+    }
+  }
+  if (!undeliverable_reports.empty() && !clone.ack_mode) {
+    DispatchReports(clone, std::move(undeliverable_reports));
+  }
+  if (clone.ack_mode) {
+    const net::Endpoint parent{clone.ack_parent_host, clone.ack_parent_port};
+    if (ack_children == 0) {
+      // Leaf of the forwarding tree: ack immediately.
+      SendAck(parent, clone.ack_token);
+    } else {
+      pending_acks_[ack_token] =
+          PendingAck{parent, clone.ack_token, ack_children, clone.id.Key()};
+    }
+  }
+}
+
+}  // namespace webdis::server

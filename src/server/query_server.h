@@ -1,0 +1,173 @@
+#ifndef WEBDIS_SERVER_QUERY_SERVER_H_
+#define WEBDIS_SERVER_QUERY_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "query/report.h"
+#include "query/web_query.h"
+#include "relational/table.h"
+#include "server/http_server.h"
+#include "server/log_table.h"
+#include "web/graph.h"
+
+namespace webdis::server {
+
+/// Feature toggles of the WEBDIS query server. Defaults are the paper's
+/// design; each toggle ablates one optimization for the benchmarks.
+struct QueryServerOptions {
+  /// Node-query Log Table duplicate suppression (Section 3.1).
+  bool dedup_enabled = true;
+  /// Report duplicate drops to the user site so CHT completion detection is
+  /// robust under arbitrary message interleavings (extension; see
+  /// DESIGN.md §5 — the paper's CHT-side suppression alone can hang).
+  bool report_dropped_duplicates = true;
+  /// One clone per destination site carrying all target nodes (§3.2(4)).
+  bool batch_clones_per_site = true;
+  /// One report message per incoming clone, covering all its destination
+  /// nodes (§3.2(3)); off = one message per node.
+  bool batch_reports = true;
+  /// Retain per-node databases instead of purging after each node-query
+  /// (footnote 3 of Section 2.4).
+  bool cache_databases = false;
+  /// Purge the log table after this many clone arrivals (0 = never). The
+  /// paper purges periodically; an early purge costs only recomputation.
+  uint64_t log_purge_every = 0;
+};
+
+/// Counters exposed for tests and benchmarks.
+struct QueryServerStats {
+  uint64_t clones_received = 0;
+  uint64_t nodes_processed = 0;
+  uint64_t node_queries_evaluated = 0;
+  uint64_t answers_found = 0;
+  uint64_t db_constructions = 0;
+  uint64_t db_cache_hits = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t superset_rewrites = 0;
+  uint64_t clones_forwarded = 0;
+  uint64_t dead_ends = 0;          // node-query evaluated and failed
+  uint64_t missing_documents = 0;  // clone destination not hosted here
+  uint64_t passive_terminations = 0;  // report refused -> query purged
+  uint64_t active_terminations = 0;   // kTerminate received
+  uint64_t undeliverable_forwards = 0;
+  uint64_t decode_errors = 0;
+  uint64_t acks_sent = 0;      // ack-tree termination baseline only
+  uint64_t acks_received = 0;  // ack-tree termination baseline only
+};
+
+/// One per-node visit, emitted to the observer hook (used by the figure
+/// reproductions to trace PureRouter/ServerRouter roles and states).
+struct VisitEvent {
+  std::string node_url;
+  query::CloneState received_state;
+  bool duplicate = false;   // dropped by the log table
+  bool rewritten = false;   // superset multiple-rewrite applied
+  bool evaluated = false;   // acted as ServerRouter (>= 1 node-query eval)
+  bool answered = false;    // >= 1 evaluation produced rows
+  bool dead_end = false;    // evaluated, found nothing, nothing forwarded
+  size_t forward_count = 0; // forwarding intents from this visit
+};
+
+/// The WEBDIS Query Server (Sections 2.4–2.5, 3, 4.4): a daemon at every
+/// participating web site. Receives clones on the common port, recognizes
+/// duplicates via the log table, constructs the per-node virtual-relation
+/// database, evaluates node-queries, reports results + CHT entries to the
+/// user site *before* forwarding (the ordering Section 2.7.1 requires for
+/// correct completion detection), and forwards clones along the PRE.
+///
+/// Routing semantics note: Figure 4 read literally makes a failed node-query
+/// a dead-end even when the current PRE has longer continuations, which
+/// would break the paper's own sample query (a lab homepage without a
+/// convener would hide its /people page under G·(L*1)). We implement the
+/// reading consistent with both Figure 1 and the Section 5 sample run: a
+/// node always routes along rem(p)'s continuations; only advancement to the
+/// *next* (PRE, node-query) stage requires a local answer.
+class QueryServer {
+ public:
+  /// `web` and `transport` must outlive the server.
+  QueryServer(std::string host, const web::WebGraph* web,
+              net::Transport* transport,
+              QueryServerOptions options = QueryServerOptions());
+
+  /// Binds (host, kQueryServerPort).
+  Status Start();
+  void Stop();
+
+  const std::string& host() const { return host_; }
+  const QueryServerStats& stats() const { return stats_; }
+  const LogTable& log_table() const { return log_table_; }
+  void PurgeLogTable() { log_table_.Purge(); }
+
+  using VisitObserver = std::function<void(const VisitEvent&)>;
+  void SetVisitObserver(VisitObserver observer) {
+    visit_observer_ = std::move(observer);
+  }
+
+ private:
+  /// One forwarding intent: destination node plus the pipeline position the
+  /// clone will be in when it arrives. `origin_report` indexes the node
+  /// report of the node that generated the intent (CHT entries are
+  /// attributed to it).
+  struct Forward {
+    std::string dest_url;
+    size_t queries_consumed = 0;  // node-queries evaluated before forwarding
+    pre::Pre rem;                 // derived remaining PRE
+    size_t origin_report = 0;
+  };
+
+  void OnMessage(const net::Endpoint& from, net::MessageType type,
+                 const std::vector<uint8_t>& payload);
+  void ProcessClone(query::WebQuery clone);
+  void ProcessNode(const query::WebQuery& clone, const std::string& url,
+                   query::NodeReport* report, std::vector<Forward>* forwards);
+  void ProcessStage(const query::WebQuery& clone,
+                    const web::WebGraph::Document& doc,
+                    const relational::Database& db, size_t stage,
+                    const pre::Pre& rem, query::NodeReport* report,
+                    std::vector<Forward>* forwards);
+
+  /// Builds (or fetches from cache) the node database.
+  const relational::Database& NodeDatabase(
+      const web::WebGraph::Document& doc);
+
+  /// Sends a report to the clone's user site; on connection-refused performs
+  /// passive termination bookkeeping. Returns whether forwarding may
+  /// proceed.
+  bool DispatchReports(const query::WebQuery& clone,
+                       std::vector<query::NodeReport> reports);
+
+  /// Ack-tree termination baseline (Related Work [4]): a clone's ack is
+  /// deferred until every child clone forwarded from it has acked.
+  struct PendingAck {
+    net::Endpoint parent;
+    uint64_t parent_token = 0;
+    size_t remaining_children = 0;
+    std::string query_key;  // for purging on termination
+  };
+  void SendAck(const net::Endpoint& parent, uint64_t token);
+  void OnAck(uint64_t token);
+
+  std::string host_;
+  const web::WebGraph* web_;
+  net::Transport* transport_;
+  QueryServerOptions options_;
+  QueryServerStats stats_;
+  LogTable log_table_;
+  std::set<std::string> terminated_queries_;  // by QueryId::Key()
+  std::map<uint64_t, PendingAck> pending_acks_;  // by local token
+  uint64_t next_ack_token_ = 1;
+  std::map<std::string, relational::Database> db_cache_;  // by resource key
+  relational::Database scratch_db_;  // non-cached working database
+  VisitObserver visit_observer_;
+  bool started_ = false;
+};
+
+}  // namespace webdis::server
+
+#endif  // WEBDIS_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,150 @@
+#include "web/fileweb.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace webdis::web {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsHtmlFile(const fs::path& path) {
+  const std::string ext = ToLower(path.extension().string());
+  // Extension-less files are common for web documents ("/Labs", "/people")
+  // and are treated as HTML; anything with a non-HTML extension is skipped.
+  return ext.empty() || ext == ".html" || ext == ".htm";
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(
+        StringPrintf("cannot open %s", path.string().c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Derives the URL for a file relative to its host directory:
+/// "index.html" leaves map to their directory URL.
+std::string UrlFor(const std::string& host, const fs::path& relative) {
+  std::string path = "/";
+  const fs::path parent = relative.parent_path();
+  if (!parent.empty()) {
+    path += parent.generic_string() + "/";
+  }
+  const std::string filename = relative.filename().string();
+  if (ToLower(filename) != "index.html" && ToLower(filename) != "index.htm") {
+    path += filename;
+  }
+  return "http://" + host + path;
+}
+
+}  // namespace
+
+Result<LoadStats> LoadWebFromDirectory(const std::string& root_dir,
+                                       WebGraph* web) {
+  std::error_code ec;
+  if (!fs::is_directory(root_dir, ec)) {
+    return Status::NotFound(
+        StringPrintf("'%s' is not a directory", root_dir.c_str()));
+  }
+  LoadStats stats;
+  for (const fs::directory_entry& host_entry :
+       fs::directory_iterator(root_dir, ec)) {
+    if (ec) {
+      return Status::IoError(
+          StringPrintf("reading %s: %s", root_dir.c_str(),
+                       ec.message().c_str()));
+    }
+    if (!host_entry.is_directory()) {
+      ++stats.files_skipped;
+      continue;
+    }
+    const std::string host = host_entry.path().filename().string();
+    ++stats.hosts;
+    for (const fs::directory_entry& entry :
+         fs::recursive_directory_iterator(host_entry.path(), ec)) {
+      if (ec) {
+        return Status::IoError(StringPrintf(
+            "reading %s: %s", host_entry.path().string().c_str(),
+            ec.message().c_str()));
+      }
+      if (!entry.is_regular_file()) continue;
+      if (!IsHtmlFile(entry.path())) {
+        ++stats.files_skipped;
+        continue;
+      }
+      std::string html;
+      WEBDIS_ASSIGN_OR_RETURN(html, ReadFile(entry.path()));
+      const fs::path relative =
+          fs::relative(entry.path(), host_entry.path());
+      WEBDIS_RETURN_IF_ERROR(
+          web->AddDocument(UrlFor(host, relative), std::move(html)));
+      ++stats.documents_loaded;
+    }
+  }
+  if (stats.documents_loaded == 0) {
+    return Status::NotFound(StringPrintf(
+        "no HTML documents under '%s' (expected <root>/<host>/<file>.html)",
+        root_dir.c_str()));
+  }
+  return stats;
+}
+
+Result<size_t> SaveWebToDirectory(const WebGraph& web,
+                                  const std::string& root_dir) {
+  // Detect documents whose URL path is also a directory prefix of another
+  // document (e.g. "/lab" and "/lab/projects") — those cannot map onto a
+  // filesystem where a name is either a file or a directory.
+  const std::vector<std::string> urls = web.AllUrls();
+  for (const std::string& url : urls) {
+    const std::string prefix = url + "/";
+    for (const std::string& other : urls) {
+      if (other.size() > prefix.size() &&
+          other.compare(0, prefix.size(), prefix) == 0) {
+        return Status::InvalidArgument(StringPrintf(
+            "'%s' is both a document and a path prefix of '%s'; such webs "
+            "cannot be exported to a directory tree",
+            url.c_str(), other.c_str()));
+      }
+    }
+  }
+  size_t written = 0;
+  for (const std::string& url : urls) {
+    const WebGraph::Document* doc = web.Find(url);
+    std::string path = doc->url.path;
+    if (path.empty() || path.back() == '/') path += "index.html";
+    const fs::path file = fs::path(root_dir) / doc->url.host /
+                          fs::path(path.substr(1));  // drop leading '/'
+    std::error_code ec;
+    fs::create_directories(file.parent_path(), ec);
+    if (ec) {
+      return Status::IoError(StringPrintf(
+          "mkdir %s: %s", file.parent_path().string().c_str(),
+          ec.message().c_str()));
+    }
+    std::ofstream out(file, std::ios::binary);
+    if (!out) {
+      return Status::IoError(
+          StringPrintf("cannot write %s", file.string().c_str()));
+    }
+    out << doc->raw_html;
+    if (!out.good()) {
+      return Status::IoError(
+          StringPrintf("write failed for %s", file.string().c_str()));
+    }
+    ++written;
+  }
+  if (written == 0) {
+    return Status::InvalidArgument("web has no documents to save");
+  }
+  return written;
+}
+
+}  // namespace webdis::web

@@ -1,0 +1,44 @@
+#ifndef WEBDIS_WEB_FILEWEB_H_
+#define WEBDIS_WEB_FILEWEB_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "web/graph.h"
+
+namespace webdis::web {
+
+/// Loads a WebGraph from a directory tree of real HTML files, so WEBDIS can
+/// run over content a downstream user actually has. Layout convention:
+///
+///   <root>/<host>/<path...>          ->  http://<host>/<path...>
+///   <root>/<host>/index.html         ->  http://<host>/
+///   <root>/<host>/<dir>/index.html   ->  http://<host>/<dir>/
+///
+/// Only files with an .html or .htm extension are loaded; everything else
+/// is skipped (the paper's node model covers HTML resources). Relative
+/// hrefs inside the documents resolve against the derived URLs, so a
+/// self-contained site on disk becomes a correctly linked web.
+struct LoadStats {
+  size_t documents_loaded = 0;
+  size_t files_skipped = 0;
+  size_t hosts = 0;
+};
+
+/// Loads every host directory under `root_dir` into `web`. Fails if the
+/// directory does not exist or a document fails to insert (e.g. duplicate
+/// URL); already-inserted documents remain in `web`.
+Result<LoadStats> LoadWebFromDirectory(const std::string& root_dir,
+                                       WebGraph* web);
+
+/// The inverse: dumps every document of `web` as
+/// `<root>/<host>/<path...>` (directory-style URLs become index.html), so
+/// generated webs can be exported, inspected in a browser, versioned, and
+/// round-tripped through LoadWebFromDirectory. Creates directories as
+/// needed; fails on I/O errors.
+Result<size_t> SaveWebToDirectory(const WebGraph& web,
+                                  const std::string& root_dir);
+
+}  // namespace webdis::web
+
+#endif  // WEBDIS_WEB_FILEWEB_H_

@@ -1,0 +1,61 @@
+#include "web/graph.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace webdis::web {
+
+Status WebGraph::AddDocument(std::string_view url, std::string html) {
+  html::Url parsed_url;
+  WEBDIS_ASSIGN_OR_RETURN(parsed_url, html::ParseUrl(url));
+  const std::string key = parsed_url.ResourceKey();
+  if (docs_.contains(key)) {
+    return Status::InvalidArgument(
+        StringPrintf("duplicate document '%s'", key.c_str()));
+  }
+  Document doc;
+  doc.url = parsed_url;
+  doc.parsed = html::ParseDocument(parsed_url, html);
+  doc.raw_html = std::move(html);
+  docs_.emplace(key, std::move(doc));
+  return Status::OK();
+}
+
+const WebGraph::Document* WebGraph::Find(std::string_view url) const {
+  auto parsed = html::ParseUrl(url);
+  if (!parsed.ok()) return nullptr;
+  auto it = docs_.find(parsed->ResourceKey());
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+bool WebGraph::Has(std::string_view url) const { return Find(url) != nullptr; }
+
+std::vector<std::string> WebGraph::AllUrls() const {
+  std::vector<std::string> urls;
+  urls.reserve(docs_.size());
+  for (const auto& [key, doc] : docs_) urls.push_back(key);
+  return urls;
+}
+
+std::vector<std::string> WebGraph::Hosts() const {
+  std::set<std::string> hosts;
+  for (const auto& [key, doc] : docs_) hosts.insert(doc.url.host);
+  return {hosts.begin(), hosts.end()};
+}
+
+std::vector<std::string> WebGraph::UrlsOnHost(std::string_view host) const {
+  std::vector<std::string> urls;
+  for (const auto& [key, doc] : docs_) {
+    if (doc.url.host == host) urls.push_back(key);
+  }
+  return urls;
+}
+
+size_t WebGraph::TotalHtmlBytes() const {
+  size_t total = 0;
+  for (const auto& [key, doc] : docs_) total += doc.raw_html.size();
+  return total;
+}
+
+}  // namespace webdis::web

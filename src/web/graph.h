@@ -1,0 +1,64 @@
+#ifndef WEBDIS_WEB_GRAPH_H_
+#define WEBDIS_WEB_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "html/parser.h"
+
+namespace webdis::web {
+
+/// The simulated Web: a set of HTML resources keyed by URL, partitioned
+/// across hosts (sites). This substitutes for the live campus web the paper
+/// evaluated on — all protocol behaviour depends only on the hyperlink graph
+/// and document contents, which this class controls deterministically.
+class WebGraph {
+ public:
+  /// One web resource (Node in the paper's model).
+  struct Document {
+    html::Url url;
+    std::string raw_html;
+    html::ParsedDocument parsed;  // parse is cached at insertion
+  };
+
+  WebGraph() = default;
+  WebGraph(WebGraph&&) = default;
+  WebGraph& operator=(WebGraph&&) = default;
+  WebGraph(const WebGraph&) = delete;
+  WebGraph& operator=(const WebGraph&) = delete;
+
+  /// Parses and stores a document. Fails on an unparsable URL or duplicate
+  /// resource.
+  Status AddDocument(std::string_view url, std::string html);
+
+  /// Looks up by resource key (URL without fragment); nullptr if absent.
+  const Document* Find(std::string_view url) const;
+
+  /// True if the URL names a stored resource.
+  bool Has(std::string_view url) const;
+
+  /// All resource keys in insertion-independent (sorted) order.
+  std::vector<std::string> AllUrls() const;
+
+  /// All hosts, sorted.
+  std::vector<std::string> Hosts() const;
+
+  /// Resource keys of documents on one host, sorted.
+  std::vector<std::string> UrlsOnHost(std::string_view host) const;
+
+  size_t num_documents() const { return docs_.size(); }
+
+  /// Sum of raw HTML sizes — what a data-shipping engine would download in
+  /// the worst case.
+  size_t TotalHtmlBytes() const;
+
+ private:
+  std::map<std::string, Document, std::less<>> docs_;  // key: ResourceKey
+};
+
+}  // namespace webdis::web
+
+#endif  // WEBDIS_WEB_GRAPH_H_

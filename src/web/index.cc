@@ -1,0 +1,68 @@
+#include "web/index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+
+namespace webdis::web {
+
+namespace {
+
+/// Splits text into lower-cased alphanumeric words.
+std::vector<std::string> Words(std::string_view text) {
+  std::vector<std::string> out;
+  std::string word;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      word.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!word.empty()) {
+      out.push_back(std::move(word));
+      word.clear();
+    }
+  }
+  if (!word.empty()) out.push_back(std::move(word));
+  return out;
+}
+
+}  // namespace
+
+SearchIndex::SearchIndex(const WebGraph& web) {
+  std::map<std::string, std::set<std::string>> building;
+  for (const std::string& url : web.AllUrls()) {
+    const WebGraph::Document* doc = web.Find(url);
+    for (const std::string& word : Words(doc->parsed.title)) {
+      building[word].insert(url);
+    }
+    for (const std::string& word : Words(doc->parsed.text)) {
+      building[word].insert(url);
+    }
+  }
+  for (auto& [word, urls] : building) {
+    postings_.emplace(word,
+                      std::vector<std::string>(urls.begin(), urls.end()));
+  }
+}
+
+std::vector<std::string> SearchIndex::Lookup(std::string_view word) const {
+  auto it = postings_.find(ToLower(word));
+  return it == postings_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> SearchIndex::LookupAll(
+    const std::vector<std::string>& words) const {
+  if (words.empty()) return {};
+  std::vector<std::string> result = Lookup(words[0]);
+  for (size_t i = 1; i < words.size() && !result.empty(); ++i) {
+    const std::vector<std::string> next = Lookup(words[i]);
+    std::vector<std::string> merged;
+    std::set_intersection(result.begin(), result.end(), next.begin(),
+                          next.end(), std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+}  // namespace webdis::web

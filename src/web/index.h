@@ -1,0 +1,37 @@
+#ifndef WEBDIS_WEB_INDEX_H_
+#define WEBDIS_WEB_INDEX_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "web/graph.h"
+
+namespace webdis::web {
+
+/// A small inverted index over a WebGraph: word -> sorted URLs whose title
+/// or body text contains the word. Implements the paper's future-work item
+/// of sourcing StartNodes from "existing search-indices" instead of user
+/// domain knowledge (Section 1.1 / 7.1).
+class SearchIndex {
+ public:
+  /// Builds the index by scanning every document's parsed title and text.
+  explicit SearchIndex(const WebGraph& web);
+
+  /// URLs of documents containing the (lower-cased) word. Empty if none.
+  std::vector<std::string> Lookup(std::string_view word) const;
+
+  /// URLs containing ALL of the given words (conjunctive query).
+  std::vector<std::string> LookupAll(
+      const std::vector<std::string>& words) const;
+
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  std::map<std::string, std::vector<std::string>, std::less<>> postings_;
+};
+
+}  // namespace webdis::web
+
+#endif  // WEBDIS_WEB_INDEX_H_

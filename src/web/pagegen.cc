@@ -1,0 +1,45 @@
+#include "web/pagegen.h"
+
+#include "html/entities.h"
+
+namespace webdis::web {
+
+std::string RenderHtml(const PageSpec& spec) {
+  using html::EscapeForHtml;
+  std::string out;
+  out += "<!DOCTYPE HTML PUBLIC \"-//IETF//DTD HTML 2.0//EN\">\n";
+  out += "<html>\n<head>\n<title>" + EscapeForHtml(spec.title) +
+         "</title>\n</head>\n<body>\n";
+  out += "<h1>" + EscapeForHtml(spec.title) + "</h1>\n";
+  for (const std::string& p : spec.paragraphs) {
+    out += "<p>" + EscapeForHtml(p) + "</p>\n";
+  }
+  for (const PageSpec::SectionSpec& s : spec.sections) {
+    out += "<h2>" + EscapeForHtml(s.heading) + "</h2>\n";
+    out += "<p>" + EscapeForHtml(s.body) + "</p>\n";
+  }
+  for (const std::string& b : spec.bold_notes) {
+    out += "<b>" + EscapeForHtml(b) + "</b>\n";
+  }
+  if (!spec.hr_blocks.empty()) {
+    // A leading rule isolates the first block, so each hr-delimited
+    // rel-infon contains exactly its own block text (cf. Figure 8, where the
+    // convener rel-infon is just "CONVENER <name>").
+    out += "<hr>\n";
+    for (const std::string& block : spec.hr_blocks) {
+      out += EscapeForHtml(block) + "\n<hr>\n";
+    }
+  }
+  if (!spec.links.empty()) {
+    out += "<ul>\n";
+    for (const PageSpec::LinkSpec& link : spec.links) {
+      out += "<li><a href=\"" + link.href + "\">" +
+             EscapeForHtml(link.label) + "</a></li>\n";
+    }
+    out += "</ul>\n";
+  }
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace webdis::web

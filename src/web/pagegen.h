@@ -1,0 +1,39 @@
+#ifndef WEBDIS_WEB_PAGEGEN_H_
+#define WEBDIS_WEB_PAGEGEN_H_
+
+#include <string>
+#include <vector>
+
+namespace webdis::web {
+
+/// Declarative description of a synthetic HTML page; RenderHtml turns it
+/// into period-appropriate HTML 2.0-ish markup that the webdis HTML parser
+/// (and any 1999 browser) understands.
+struct PageSpec {
+  struct LinkSpec {
+    std::string href;
+    std::string label;
+  };
+  /// A section rendered as <h2>heading</h2><p>body</p>.
+  struct SectionSpec {
+    std::string heading;
+    std::string body;
+  };
+
+  std::string title;
+  std::vector<std::string> paragraphs;       // <p> blocks
+  std::vector<SectionSpec> sections;
+  std::vector<LinkSpec> links;               // rendered as a <ul> of <a>
+  /// Text blocks each terminated by a horizontal rule — the construct behind
+  /// the paper's `relinfon r such that r.delimiter = "hr"` query.
+  std::vector<std::string> hr_blocks;
+  /// Bold call-outs, one <b> element each (rel-infons with delimiter "b").
+  std::vector<std::string> bold_notes;
+};
+
+/// Renders the page as HTML.
+std::string RenderHtml(const PageSpec& spec);
+
+}  // namespace webdis::web
+
+#endif  // WEBDIS_WEB_PAGEGEN_H_

@@ -1,0 +1,98 @@
+#include "web/synth.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "web/pagegen.h"
+
+namespace webdis::web {
+
+namespace {
+
+/// Small vocabulary for filler text; deliberately avoids the planted
+/// keywords so selectivity is controlled exactly by the plant probabilities.
+constexpr std::string_view kVocabulary[] = {
+    "research", "system",   "network", "server",  "archive", "project",
+    "group",    "seminar",  "student", "faculty", "report",  "annual",
+    "index",    "document", "page",    "result",  "method",  "design",
+    "study",    "campus",   "gamma",   "delta",   "epsilon", "theta",
+};
+
+std::string FillerParagraph(Rng* rng, int words) {
+  constexpr size_t kVocabSize = std::size(kVocabulary);
+  std::string out;
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) out += " ";
+    out += kVocabulary[rng->Uniform(kVocabSize)];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SynthHost(int site) {
+  return StringPrintf("site%d.example", site);
+}
+
+std::string SynthUrl(int site, int doc) {
+  return StringPrintf("http://site%d.example/doc%d", site, doc);
+}
+
+WebGraph GenerateSynthWeb(const SynthWebOptions& options) {
+  WEBDIS_CHECK(options.num_sites > 0);
+  WEBDIS_CHECK(options.docs_per_site > 0);
+  WebGraph web;
+  // Structure/keyword draws and filler-text draws come from independent
+  // streams so changing document *size* never changes the link graph or
+  // which documents match (T8 holds answers fixed while pages grow).
+  Rng rng(options.seed);
+  Rng text_rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
+
+  for (int site = 0; site < options.num_sites; ++site) {
+    for (int doc = 0; doc < options.docs_per_site; ++doc) {
+      PageSpec spec;
+      const bool title_hit = rng.Bernoulli(options.title_keyword_prob);
+      const bool body_hit = rng.Bernoulli(options.body_keyword_prob);
+      spec.title = StringPrintf(
+          "%sdocument %d on site %d",
+          title_hit ? std::string(kTitleKeyword).append(" ").c_str() : "",
+          doc, site);
+      for (int p = 0; p < options.filler_paragraphs; ++p) {
+        spec.paragraphs.push_back(
+            FillerParagraph(&text_rng, options.words_per_paragraph));
+      }
+      spec.hr_blocks.push_back(
+          body_hit ? std::string(kBodyKeyword) + " marker block"
+                   : "plain marker block");
+      // Local links: to other documents on this site (never self).
+      for (int l = 0; l < options.local_links_per_doc; ++l) {
+        if (options.docs_per_site < 2) break;
+        int target = doc;
+        while (target == doc) {
+          target = static_cast<int>(
+              rng.Uniform(static_cast<uint64_t>(options.docs_per_site)));
+        }
+        spec.links.push_back({SynthUrl(site, target), "local link"});
+      }
+      // Global links: to documents on other sites.
+      for (int g = 0; g < options.global_links_per_doc; ++g) {
+        if (options.num_sites < 2) break;
+        int target_site = site;
+        while (target_site == site) {
+          target_site = static_cast<int>(
+              rng.Uniform(static_cast<uint64_t>(options.num_sites)));
+        }
+        const int target_doc = static_cast<int>(
+            rng.Uniform(static_cast<uint64_t>(options.docs_per_site)));
+        spec.links.push_back(
+            {SynthUrl(target_site, target_doc), "global link"});
+      }
+      const Status status =
+          web.AddDocument(SynthUrl(site, doc), RenderHtml(spec));
+      WEBDIS_CHECK(status.ok()) << status.ToString();
+    }
+  }
+  return web;
+}
+
+}  // namespace webdis::web

@@ -1,0 +1,296 @@
+#include "web/topologies.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "web/pagegen.h"
+
+namespace webdis::web {
+
+namespace {
+
+/// Adds a rendered page, aborting on error (topologies are compiled-in and
+/// must be well-formed).
+void MustAdd(WebGraph* web, const std::string& url, const PageSpec& spec) {
+  const Status status = web->AddDocument(url, RenderHtml(spec));
+  WEBDIS_CHECK(status.ok()) << status.ToString();
+}
+
+std::string NodeUrl(int k) {
+  return StringPrintf("http://site%d.example/node%d", k, k);
+}
+
+}  // namespace
+
+Scenario BuildFig1Scenario() {
+  Scenario s;
+  // Q = S G·(G|L) q1 (G|L) q2 with q1: title contains "alpha",
+  // q2: text contains "beta".
+  s.disql =
+      "select d1.url, d2.url\n"
+      "from document d1 such that \"" +
+      NodeUrl(1) +
+      "\" G.(G|L) d1,\n"
+      "where d1.title contains \"alpha\"\n"
+      "     document d2 such that d1 (G|L) d2,\n"
+      "where d2.text contains \"beta\"\n";
+  s.start_url = NodeUrl(1);
+
+  // Node 1 (StartNode, PureRouter): global links to nodes 2 and 3.
+  {
+    PageSpec p;
+    p.title = "Node one index";
+    p.paragraphs = {"Gateway page; routes the query onward."};
+    p.links = {{NodeUrl(2), "node two"}, {NodeUrl(3), "node three"}};
+    MustAdd(&s.web, NodeUrl(1), p);
+  }
+  // Nodes 2, 3 (PureRouters after the first G).
+  {
+    PageSpec p;
+    p.title = "Node two hub";
+    p.links = {{NodeUrl(4), "node four"}, {NodeUrl(5), "node five"}};
+    MustAdd(&s.web, NodeUrl(2), p);
+  }
+  {
+    PageSpec p;
+    p.title = "Node three hub";
+    p.links = {{NodeUrl(6), "node six"}, {NodeUrl(7), "node seven"}};
+    MustAdd(&s.web, NodeUrl(3), p);
+  }
+  // Node 4: answers q1 AND q2; acts as ServerRouter twice (q1 on the first
+  // visit, q2 later via node 5's forward).
+  {
+    PageSpec p;
+    p.title = "alpha laboratory four";
+    p.paragraphs = {"This page discusses beta decay at length."};
+    p.links = {{NodeUrl(8), "node eight"}};
+    MustAdd(&s.web, NodeUrl(4), p);
+  }
+  // Node 5: answers q1; forwards q2 back to node 4.
+  {
+    PageSpec p;
+    p.title = "alpha archive five";
+    p.paragraphs = {"Mostly administrative content."};
+    p.links = {{NodeUrl(4), "node four"}};
+    MustAdd(&s.web, NodeUrl(5), p);
+  }
+  // Node 6: answers q1; its only link points at a missing resource
+  // (a "floating link"), so its q2 forward dies at the target site.
+  {
+    PageSpec p;
+    p.title = "alpha report six";
+    p.paragraphs = {"Annual report."};
+    p.links = {{"http://site9.example/missing", "stale link"}};
+    MustAdd(&s.web, NodeUrl(6), p);
+  }
+  // Node 7: fails q1 (no "alpha" in the title) -> dead-end.
+  {
+    PageSpec p;
+    p.title = "gamma misc seven";
+    p.paragraphs = {"Unrelated content."};
+    p.links = {{NodeUrl(1), "home"}};
+    MustAdd(&s.web, NodeUrl(7), p);
+  }
+  // Node 8: answers q2 (text contains "beta").
+  {
+    PageSpec p;
+    p.title = "results eight";
+    p.paragraphs = {"A beta release of the software is available."};
+    MustAdd(&s.web, NodeUrl(8), p);
+  }
+
+  s.pure_router_urls = {NodeUrl(1), NodeUrl(2), NodeUrl(3)};
+  s.server_router_urls = {NodeUrl(4), NodeUrl(5), NodeUrl(6), NodeUrl(7),
+                          NodeUrl(8)};
+  s.dead_end_urls = {NodeUrl(7)};
+  return s;
+}
+
+Scenario BuildFig5Scenario() {
+  Scenario s;
+  s.disql =
+      "select d1.url, d2.url\n"
+      "from document d1 such that \"" +
+      NodeUrl(1) +
+      "\" G.(G|L) d1,\n"
+      "where d1.title contains \"alpha\"\n"
+      "     document d2 such that d1 (G|L) d2,\n"
+      "where d2.text contains \"beta\"\n";
+  s.start_url = NodeUrl(1);
+
+  // Node 1: G links to node 2 and node 4. The direct link produces visit
+  // (a) at node 4 in state (2, G|L); the indirect path through node 2
+  // produces visit (b) in state (2, N).
+  {
+    PageSpec p;
+    p.title = "Node one index";
+    p.links = {{NodeUrl(2), "node two"}, {NodeUrl(4), "node four"}};
+    MustAdd(&s.web, NodeUrl(1), p);
+  }
+  {
+    PageSpec p;
+    p.title = "Node two hub";
+    p.links = {{NodeUrl(4), "node four"}};
+    MustAdd(&s.web, NodeUrl(2), p);
+  }
+  // Node 4: answers q1 and q2; fans out to nodes 5, 6, 7, each of which
+  // answers q1 and links straight back to node 4 — producing visits
+  // (c), (d), (e), all in the identical state (1, N).
+  {
+    PageSpec p;
+    p.title = "alpha nexus four";
+    p.paragraphs = {"The beta pages live here."};
+    p.links = {{NodeUrl(5), "node five"},
+               {NodeUrl(6), "node six"},
+               {NodeUrl(7), "node seven"}};
+    MustAdd(&s.web, NodeUrl(4), p);
+  }
+  for (int k = 5; k <= 7; ++k) {
+    PageSpec p;
+    p.title = StringPrintf("alpha satellite %d", k);
+    p.paragraphs = {"Satellite page; also mentions beta once."};
+    p.links = {{NodeUrl(4), "back to node four"}};
+    MustAdd(&s.web, NodeUrl(k), p);
+  }
+
+  s.pure_router_urls = {NodeUrl(1), NodeUrl(2)};
+  s.server_router_urls = {NodeUrl(4), NodeUrl(5), NodeUrl(6), NodeUrl(7)};
+  return s;
+}
+
+CampusScenario BuildCampusScenario() {
+  CampusScenario s;
+  const std::string csa = "http://www.csa.iisc.ernet.in/";
+  // The paper's Example Query 2 verbatim (modulo string quoting).
+  s.disql =
+      "select d0.url, d1.url, r.text\n"
+      "from document d0 such that \"" +
+      csa +
+      "\" L d0,\n"
+      "where d0.title contains \"lab\"\n"
+      "    document d1 such that d0 G.(L*1) d1,\n"
+      "    relinfon r such that r.delimiter = \"hr\",\n"
+      "where (r.text contains \"convener\")\n";
+  s.start_url = csa;
+
+  // --- CSA department site -------------------------------------------------
+  {
+    PageSpec p;
+    p.title = "Department of Computer Science and Automation";
+    p.paragraphs = {
+        "The Department of Computer Science and Automation at the Indian "
+        "Institute of Science conducts research in all areas of computing."};
+    p.links = {{"/Labs", "Laboratories"},
+               {"/people", "Faculty and staff"},
+               {"/research", "Research areas"},
+               {"/courses", "Course listings"}};
+    MustAdd(&s.web, csa, p);
+  }
+  {
+    PageSpec p;
+    p.title = "Laboratories of the CSA department";  // contains "lab" -> q1
+    p.paragraphs = {"The department hosts several research laboratories."};
+    p.links = {
+        {"http://dsl.serc.iisc.ernet.in/", "Database Systems Lab"},
+        {"http://www-compiler.csa.iisc.ernet.in/", "Compiler Lab"},
+        {"http://www2.csa.iisc.ernet.in/~gang/lab", "System Software Lab"},
+        {"http://physics.iisc.ernet.in/", "(misc) Physics department"},
+    };
+    MustAdd(&s.web, "http://www.csa.iisc.ernet.in/Labs", p);
+  }
+  // Non-matching siblings of the Labs page (fail q1 -> dead-ends).
+  {
+    PageSpec p;
+    p.title = "People of CSA";
+    p.paragraphs = {"Faculty directory."};
+    MustAdd(&s.web, "http://www.csa.iisc.ernet.in/people", p);
+  }
+  {
+    PageSpec p;
+    p.title = "Research areas";
+    p.paragraphs = {"Databases, compilers, systems, theory."};
+    MustAdd(&s.web, "http://www.csa.iisc.ernet.in/research", p);
+  }
+  {
+    PageSpec p;
+    p.title = "Courses";
+    p.paragraphs = {"Course catalogue."};
+    MustAdd(&s.web, "http://www.csa.iisc.ernet.in/courses", p);
+  }
+
+  // --- Database Systems Lab (convener one local link away) ---------------
+  {
+    PageSpec p;
+    p.title = "Database Systems Lab";
+    p.paragraphs = {"Welcome to the DSL at IISc."};
+    p.links = {{"/people", "People"}, {"/projects", "Projects"}};
+    MustAdd(&s.web, "http://dsl.serc.iisc.ernet.in/", p);
+  }
+  {
+    PageSpec p;
+    p.title = "Database Systems Lab People";
+    p.hr_blocks = {"CONVENER Jayant Haritsa",
+                   "MEMBERS Nalin Gupta, Maya Ramanath"};
+    MustAdd(&s.web, "http://dsl.serc.iisc.ernet.in/people", p);
+  }
+  {
+    PageSpec p;
+    p.title = "DSL Projects";
+    p.paragraphs = {"DIASPORA, WEBDIS and friends."};
+    MustAdd(&s.web, "http://dsl.serc.iisc.ernet.in/projects", p);
+  }
+
+  // --- Compiler Lab (convener one local link away) ------------------------
+  {
+    PageSpec p;
+    p.title = "Compiler Laboratory at IISc";
+    p.paragraphs = {"Compiler research group."};
+    p.links = {{"/people", "Students and staff"}};
+    MustAdd(&s.web, "http://www-compiler.csa.iisc.ernet.in/", p);
+  }
+  {
+    PageSpec p;
+    p.title = "Students of the Compiler Lab at IISc";
+    p.hr_blocks = {"Convener Prof. Y.N. Srikant",
+                   "STUDENTS A long list of students"};
+    MustAdd(&s.web, "http://www-compiler.csa.iisc.ernet.in/people", p);
+  }
+
+  // --- System Software Lab (convener on the homepage itself) --------------
+  {
+    PageSpec p;
+    p.title = "HOMEPAGE: SYSTEM SOFTWARE LAB";
+    p.hr_blocks = {"Convener : Prof. D. K. Subramanian"};
+    p.links = {{"/~gang/lab/projects", "Projects"}};
+    MustAdd(&s.web, "http://www2.csa.iisc.ernet.in/~gang/lab", p);
+  }
+  {
+    PageSpec p;
+    p.title = "System Software Lab Projects";
+    p.paragraphs = {"Operating systems projects."};
+    MustAdd(&s.web, "http://www2.csa.iisc.ernet.in/~gang/lab/projects", p);
+  }
+
+  // --- A non-lab site reachable from the Labs page (fails q2 everywhere) --
+  {
+    PageSpec p;
+    p.title = "Department of Physics";
+    p.paragraphs = {"Physics at IISc."};
+    p.links = {{"/seminars", "Seminars"}};
+    MustAdd(&s.web, "http://physics.iisc.ernet.in/", p);
+  }
+  {
+    PageSpec p;
+    p.title = "Physics seminars";
+    p.paragraphs = {"Weekly seminar schedule."};
+    MustAdd(&s.web, "http://physics.iisc.ernet.in/seminars", p);
+  }
+
+  s.expected_conveners = {
+      {"http://dsl.serc.iisc.ernet.in/people", "Jayant Haritsa"},
+      {"http://www-compiler.csa.iisc.ernet.in/people", "Y.N. Srikant"},
+      {"http://www2.csa.iisc.ernet.in/~gang/lab", "D. K. Subramanian"},
+  };
+  return s;
+}
+
+}  // namespace webdis::web

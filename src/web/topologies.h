@@ -1,0 +1,51 @@
+#ifndef WEBDIS_WEB_TOPOLOGIES_H_
+#define WEBDIS_WEB_TOPOLOGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "web/graph.h"
+
+namespace webdis::web {
+
+/// A paper-figure scenario: the web plus the DISQL query the figure
+/// discusses and its StartNode.
+struct Scenario {
+  WebGraph web;
+  std::string disql;
+  std::string start_url;
+  /// URLs playing each role in the figure (for assertions in tests/benches).
+  std::vector<std::string> pure_router_urls;
+  std::vector<std::string> server_router_urls;
+  std::vector<std::string> dead_end_urls;
+};
+
+/// Figure 1: web traversal for Q = S G·(G|L) q1 (G|L) q2 over 8 nodes.
+/// Nodes 1–3 act as PureRouters, 4–8 as ServerRouters; node 4 acts twice
+/// (once for q1, once for q2); node 7 is a dead-end (fails q1).
+/// URL scheme: http://site<k>.example/node<k> for node k.
+Scenario BuildFig1Scenario();
+
+/// Figure 5: same query shape; node 4 is visited five times (a–e) along
+/// different paths; visits c, d, e arrive in the *same* state, so the
+/// Node-query Log Table suppresses two of the three q2 recomputations.
+Scenario BuildFig5Scenario();
+
+/// The campus web of Section 5 / Figures 7–8: the CSA department homepage,
+/// its Laboratories page (title contains "lab"), lab homepages one global
+/// link away, and convener names inside hr-delimited rel-infons within one
+/// local link of each lab homepage. Extra non-matching pages provide
+/// dead-ends. The DISQL query is the paper's Example Query 2; the expected
+/// result rows are those of Figure 8.
+struct CampusScenario {
+  WebGraph web;
+  std::string disql;
+  std::string start_url;
+  /// The (d1.url, convener-name-fragment) pairs of Figure 8.
+  std::vector<std::pair<std::string, std::string>> expected_conveners;
+};
+CampusScenario BuildCampusScenario();
+
+}  // namespace webdis::web
+
+#endif  // WEBDIS_WEB_TOPOLOGIES_H_

@@ -1,0 +1,179 @@
+#include "web/university.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "web/pagegen.h"
+
+namespace webdis::web {
+
+namespace {
+
+constexpr std::string_view kDepartmentNames[] = {
+    "Computer Science", "Physics",   "Mathematics", "Chemistry",
+    "Biology",          "Economics", "History",     "Linguistics",
+    "Astronomy",        "Geology",
+};
+
+constexpr std::string_view kLabThemes[] = {
+    "Database Systems", "Compiler",    "System Software", "Networks",
+    "Graphics",         "Theory",      "Robotics",        "Learning",
+    "Architecture",     "Verification",
+};
+
+constexpr std::string_view kSurnames[] = {
+    "Haritsa", "Srikant",  "Subramanian", "Rao",    "Iyer",  "Gupta",
+    "Mehta",   "Chandran", "Bose",        "Pillai", "Joshi", "Nair",
+};
+
+void MustAdd(WebGraph* web, const std::string& url, const PageSpec& spec) {
+  const Status status = web->AddDocument(url, RenderHtml(spec));
+  WEBDIS_CHECK(status.ok()) << url << ": " << status.ToString();
+}
+
+constexpr std::string_view kProse[] = {
+    "department", "university", "research", "teaching", "faculty",
+    "seminar",    "colloquium", "semester", "project",  "thesis",
+    "laboratory", "publication", "course",  "student",  "campus",
+    "committee",  "workshop",   "journal",  "archive",  "bulletin",
+};
+
+void AddProse(Rng* rng, const UniversityOptions& options, PageSpec* spec) {
+  for (int p = 0; p < options.paragraphs_per_page; ++p) {
+    std::string paragraph;
+    for (int w = 0; w < options.words_per_paragraph; ++w) {
+      if (w > 0) paragraph += " ";
+      paragraph += kProse[rng->Uniform(std::size(kProse))];
+    }
+    spec->paragraphs.push_back(std::move(paragraph));
+  }
+}
+
+}  // namespace
+
+UniversityWeb GenerateUniversityWeb(const UniversityOptions& options) {
+  WEBDIS_CHECK(options.departments >= 1);
+  WEBDIS_CHECK(options.labs_per_department >= 1);
+  UniversityWeb uni;
+  Rng rng(options.seed);
+  uni.root_url = "http://www.uni.example/";
+
+  // --- University homepage -------------------------------------------------
+  PageSpec root;
+  root.title = "Example University";
+  root.paragraphs = {"Welcome to Example University."};
+  AddProse(&rng, options, &root);
+  for (int d = 0; d < options.departments; ++d) {
+    root.links.push_back(
+        {StringPrintf("http://dept%d.uni.example/", d),
+         std::string(kDepartmentNames[static_cast<size_t>(d) %
+                                      std::size(kDepartmentNames)]) +
+             " department"});
+  }
+  MustAdd(&uni.web, uni.root_url, root);
+
+  for (int d = 0; d < options.departments; ++d) {
+    const std::string dept_host = StringPrintf("dept%d.uni.example", d);
+    const std::string dept_name(
+        kDepartmentNames[static_cast<size_t>(d) % std::size(kDepartmentNames)]);
+
+    // --- Department homepage ---------------------------------------------
+    PageSpec home;
+    home.title = "Department of " + dept_name;
+    home.paragraphs = {"Research and teaching in " + dept_name + "."};
+    AddProse(&rng, options, &home);
+    home.links.push_back({"/Labs", "Laboratories"});
+    for (int f = 0; f < options.filler_pages_per_department; ++f) {
+      home.links.push_back(
+          {StringPrintf("/page%d", f), StringPrintf("Info page %d", f)});
+    }
+    MustAdd(&uni.web, "http://" + dept_host + "/", home);
+
+    // --- Labs page (the q1 target: title contains "laborator") ------------
+    PageSpec labs;
+    labs.title = "Laboratories of the " + dept_name + " department";
+    labs.paragraphs = {"The department hosts these laboratories."};
+    AddProse(&rng, options, &labs);
+    for (int l = 0; l < options.labs_per_department; ++l) {
+      labs.links.push_back(
+          {StringPrintf("http://lab%d-%d.uni.example/", d, l),
+           std::string(kLabThemes[static_cast<size_t>(l) %
+                                  std::size(kLabThemes)]) +
+               " Lab"});
+    }
+    MustAdd(&uni.web, "http://" + dept_host + "/Labs", labs);
+
+    // --- Filler pages (dead-ends for q1, floating-link habitat) -----------
+    for (int f = 0; f < options.filler_pages_per_department; ++f) {
+      PageSpec filler;
+      filler.title = StringPrintf("%s info page %d", dept_name.c_str(), f);
+      filler.paragraphs = {"Administrative content of no research value."};
+      AddProse(&rng, options, &filler);
+      filler.links.push_back({"/", "department home"});
+      if (rng.Bernoulli(options.floating_link_prob)) {
+        const std::string dangling =
+            StringPrintf("http://%s/removed%d.html", dept_host.c_str(), f);
+        filler.links.push_back({dangling, "stale link"});
+        uni.floating_links.push_back(dangling);
+      }
+      MustAdd(&uni.web, StringPrintf("http://%s/page%d", dept_host.c_str(), f),
+              filler);
+    }
+
+    // --- Lab sites ---------------------------------------------------------
+    for (int l = 0; l < options.labs_per_department; ++l) {
+      const std::string lab_host =
+          StringPrintf("lab%d-%d.uni.example", d, l);
+      const std::string theme(
+          kLabThemes[static_cast<size_t>(l) % std::size(kLabThemes)]);
+      const std::string convener = StringPrintf(
+          "Prof. %c. %s", static_cast<char>('A' + (d + l) % 26),
+          std::string(kSurnames[rng.Uniform(std::size(kSurnames))]).c_str());
+      const bool on_homepage =
+          rng.Bernoulli(options.convener_on_homepage_prob);
+
+      PageSpec lab_home;
+      lab_home.title = theme + " Lab";
+      lab_home.paragraphs = {"Welcome to the " + theme + " Lab."};
+      AddProse(&rng, options, &lab_home);
+      lab_home.links.push_back({"/projects", "Projects"});
+      if (on_homepage) {
+        lab_home.hr_blocks = {"Convener : " + convener};
+        uni.conveners.emplace_back("http://" + lab_host + "/", convener);
+      } else {
+        lab_home.links.push_back({"/people", "People"});
+      }
+      MustAdd(&uni.web, "http://" + lab_host + "/", lab_home);
+
+      if (!on_homepage) {
+        PageSpec people;
+        people.title = theme + " Lab People";
+        AddProse(&rng, options, &people);
+        people.hr_blocks = {"CONVENER " + convener,
+                            "MEMBERS students and staff"};
+        uni.conveners.emplace_back("http://" + lab_host + "/people",
+                                   convener);
+        MustAdd(&uni.web, "http://" + lab_host + "/people", people);
+      }
+
+      PageSpec projects;
+      projects.title = theme + " Lab Projects";
+      projects.paragraphs = {"Current projects of the " + theme + " Lab."};
+      AddProse(&rng, options, &projects);
+      MustAdd(&uni.web, "http://" + lab_host + "/projects", projects);
+    }
+  }
+
+  uni.convener_disql =
+      "select d0.url, d1.url, r.text\n"
+      "from document d0 such that \"" +
+      uni.root_url +
+      "\" G.L d0,\n"
+      "where d0.title contains \"laborator\"\n"
+      "     document d1 such that d0 G.(L*1) d1,\n"
+      "     relinfon r such that r.delimiter = \"hr\",\n"
+      "where r.text contains \"convener\"\n";
+  return uni;
+}
+
+}  // namespace webdis::web

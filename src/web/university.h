@@ -1,0 +1,55 @@
+#ifndef WEBDIS_WEB_UNIVERSITY_H_
+#define WEBDIS_WEB_UNIVERSITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "web/graph.h"
+
+namespace webdis::web {
+
+/// Parameters of the hierarchical "university" web — a scaled-up version of
+/// the paper's Section 5 campus: one university homepage, D department
+/// sites, L labs per department (each lab its own site, one global link
+/// from the department's Labs page), and per-lab people/projects pages.
+/// Conveners sit in hr-delimited rel-infons within one local link of the
+/// lab homepage — exactly the shape Example Query 2 traverses — and a
+/// configurable fraction of links rot (floating links) for the maintenance
+/// application.
+struct UniversityOptions {
+  uint64_t seed = 7;
+  int departments = 4;
+  int labs_per_department = 3;
+  /// Extra filler pages per department site (course pages etc.).
+  int filler_pages_per_department = 4;
+  /// Probability that a lab's convener sits on the lab homepage itself
+  /// (like the System Software Lab in Figure 8) rather than on /people.
+  double convener_on_homepage_prob = 0.25;
+  /// Probability that a filler page contains a floating link.
+  double floating_link_prob = 0.2;
+  /// Body paragraphs per page (era-realistic pages are a few KB of prose;
+  /// this is what data shipping must download and query shipping does not).
+  int paragraphs_per_page = 4;
+  int words_per_paragraph = 60;
+};
+
+/// The generated university plus ground truth for assertions.
+struct UniversityWeb {
+  WebGraph web;
+  std::string root_url;  // the university homepage
+  /// Every (document URL, convener name) pair planted in the web.
+  std::vector<std::pair<std::string, std::string>> conveners;
+  /// Every floating (dangling) href planted.
+  std::vector<std::string> floating_links;
+  /// The Example-Query-2 analogue over this web, starting at a department
+  /// homepage reached from the root: find each department's Labs page, then
+  /// every convener within one local link of each lab homepage.
+  std::string convener_disql;
+};
+
+UniversityWeb GenerateUniversityWeb(const UniversityOptions& options);
+
+}  // namespace webdis::web
+
+#endif  // WEBDIS_WEB_UNIVERSITY_H_

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "client/cht.h"
+#include "serialize/encoder.h"
+#include "client/user_site.h"
+#include "core/engine.h"
+#include "web/topologies.h"
+
+namespace webdis::client {
+namespace {
+
+using query::CloneState;
+
+pre::Pre P(const std::string& s) { return pre::Pre::Parse(s).value(); }
+CloneState S(uint32_t n, const std::string& p) { return CloneState{n, P(p)}; }
+
+// -- CurrentHostsTable, paper mode ---------------------------------------------
+
+TEST(ChtPaperModeTest, AddMarkDeleteComplete) {
+  CurrentHostsTable cht(/*dedup=*/true, /*robust=*/false);
+  EXPECT_FALSE(cht.AllDeleted());  // empty table is not complete
+  EXPECT_TRUE(cht.Add("http://a/x", S(2, "L")));
+  EXPECT_TRUE(cht.Add("http://a/y", S(2, "L")));
+  EXPECT_FALSE(cht.AllDeleted());
+  EXPECT_TRUE(cht.MarkDeleted("http://a/x", S(2, "L")));
+  EXPECT_FALSE(cht.AllDeleted());
+  EXPECT_TRUE(cht.MarkDeleted("http://a/y", S(2, "L")));
+  EXPECT_TRUE(cht.AllDeleted());
+  EXPECT_EQ(cht.max_active(), 2u);
+}
+
+TEST(ChtPaperModeTest, DeleteRequiresMatchingState) {
+  CurrentHostsTable cht(true, false);
+  cht.Add("http://a/x", S(2, "L"));
+  EXPECT_FALSE(cht.MarkDeleted("http://a/x", S(1, "L")));
+  EXPECT_FALSE(cht.MarkDeleted("http://a/x", S(2, "G")));
+  EXPECT_EQ(cht.unmatched_deletes(), 2u);
+  EXPECT_TRUE(cht.MarkDeleted("http://a/x", S(2, "L")));
+}
+
+TEST(ChtPaperModeTest, DedupSuppressesEquivalentAdds) {
+  CurrentHostsTable cht(true, false);
+  EXPECT_TRUE(cht.Add("n", S(1, "L*2.G")));
+  // Identical: suppressed.
+  EXPECT_FALSE(cht.Add("n", S(1, "L*2.G")));
+  // Subset: suppressed ("should not be entered into the CHT", §3.1.1).
+  EXPECT_FALSE(cht.Add("n", S(1, "L*1.G")));
+  // Superset: kept (the target will process the difference).
+  EXPECT_TRUE(cht.Add("n", S(1, "L*4.G")));
+  EXPECT_EQ(cht.suppressed_count(), 2u);
+  EXPECT_EQ(cht.total_count(), 2u);
+}
+
+TEST(ChtPaperModeTest, DedupOffKeepsEverything) {
+  CurrentHostsTable cht(/*dedup=*/false, false);
+  EXPECT_TRUE(cht.Add("n", S(1, "L")));
+  EXPECT_TRUE(cht.Add("n", S(1, "L")));
+  EXPECT_EQ(cht.total_count(), 2u);
+  // Two identical entries need two deletes.
+  EXPECT_TRUE(cht.MarkDeleted("n", S(1, "L")));
+  EXPECT_FALSE(cht.AllDeleted());
+  EXPECT_TRUE(cht.MarkDeleted("n", S(1, "L")));
+  EXPECT_TRUE(cht.AllDeleted());
+}
+
+// -- CurrentHostsTable, robust mode ---------------------------------------------
+
+TEST(ChtRobustModeTest, BalancesAddsAndDeletes) {
+  CurrentHostsTable cht(true, /*robust=*/true);
+  cht.Add("n", S(1, "L"));
+  cht.Add("n", S(1, "L"));  // suppressed but still counted
+  EXPECT_FALSE(cht.AllDeleted());
+  cht.MarkDeleted("n", S(1, "L"));
+  EXPECT_FALSE(cht.AllDeleted());  // balance is +1
+  cht.MarkDeleted("n", S(1, "L"));
+  EXPECT_TRUE(cht.AllDeleted());
+}
+
+TEST(ChtRobustModeTest, ToleratesDeleteBeforeAdd) {
+  // The overtaking case: a small drop-report arrives before the (large)
+  // report that creates its entry.
+  CurrentHostsTable cht(true, true);
+  cht.Add("start", S(1, "L"));
+  cht.MarkDeleted("start", S(1, "L"));
+  cht.MarkDeleted("n", S(1, "G"));  // delete first...
+  EXPECT_FALSE(cht.AllDeleted());   // balance for n is -1: still in flight
+  cht.Add("n", S(1, "G"));          // ...then its add
+  EXPECT_TRUE(cht.AllDeleted());
+}
+
+TEST(ChtRobustModeTest, EmptyIsNotComplete) {
+  CurrentHostsTable cht(true, true);
+  EXPECT_FALSE(cht.AllDeleted());
+}
+
+TEST(ChtRobustModeTest, StateCanonicalizationInBalanceKeys) {
+  CurrentHostsTable cht(false, true);
+  cht.Add("n", S(1, "G | L"));
+  cht.MarkDeleted("n", S(1, "L | G"));  // same language, same key
+  EXPECT_TRUE(cht.AllDeleted());
+}
+
+// -- UserSite ---------------------------------------------------------------------
+
+class UserSiteTest : public ::testing::Test {
+ protected:
+  core::Engine MakeEngine(core::EngineOptions options = {}) {
+    return core::Engine(&scenario_.web, options);
+  }
+  web::CampusScenario scenario_ = web::BuildCampusScenario();
+};
+
+TEST_F(UserSiteTest, SubmitAssignsDistinctIdsAndPorts) {
+  core::Engine engine = MakeEngine();
+  auto compiled = disql::CompileDisql(scenario_.disql);
+  ASSERT_TRUE(compiled.ok());
+  auto id1 = engine.Submit(compiled.value(), "maya");
+  auto id2 = engine.Submit(compiled.value(), "maya");
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(id1->query_number, id2->query_number);
+  EXPECT_NE(id1->reply_port, id2->reply_port);
+  EXPECT_EQ(id1->user, "maya");
+  engine.network().RunUntilIdle();
+  EXPECT_TRUE(engine.user_site().IsComplete(id1.value()));
+  EXPECT_TRUE(engine.user_site().IsComplete(id2.value()));
+}
+
+TEST_F(UserSiteTest, UnknownStartSiteFallsBack) {
+  core::Engine engine = MakeEngine();
+  auto compiled = disql::CompileDisql(
+      "select d.url from document d such that \"http://nonexistent.example/\""
+      " L d");
+  ASSERT_TRUE(compiled.ok());
+  auto id = engine.Submit(compiled.value());
+  ASSERT_TRUE(id.ok());
+  engine.network().RunUntilIdle();
+  const UserSite::QueryRun* run = engine.user_site().Find(id.value());
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(run->completed);  // nothing outstanding
+  ASSERT_EQ(run->fallback_nodes.size(), 1u);
+  EXPECT_EQ(run->fallback_nodes[0].node_url, "http://nonexistent.example/");
+}
+
+TEST_F(UserSiteTest, PassiveCancelStopsProcessing) {
+  core::EngineOptions options;
+  // Slow the network so we can cancel mid-flight.
+  options.network.inter_host_latency = 100 * kMillisecond;
+  core::Engine engine = MakeEngine(options);
+  auto compiled = disql::CompileDisql(scenario_.disql);
+  ASSERT_TRUE(compiled.ok());
+  auto id = engine.Submit(compiled.value());
+  ASSERT_TRUE(id.ok());
+  // Let the first hop happen, then cancel.
+  engine.network().RunOne();
+  engine.user_site().Cancel(id.value());
+  engine.network().RunUntilIdle();
+  const UserSite::QueryRun* run = engine.user_site().Find(id.value());
+  EXPECT_TRUE(run->cancelled);
+  EXPECT_FALSE(run->completed);
+  // Passive termination: at least one server hit a refused report.
+  EXPECT_GT(engine.AggregateServerStats().passive_terminations, 0u);
+  // And no terminate messages were needed.
+  EXPECT_EQ(engine.TrafficSnapshot().terminate_messages, 0u);
+}
+
+TEST_F(UserSiteTest, ActiveCancelSendsTerminates) {
+  core::EngineOptions options;
+  options.client.active_termination = true;
+  options.network.inter_host_latency = 100 * kMillisecond;
+  core::Engine engine = MakeEngine(options);
+  auto compiled = disql::CompileDisql(scenario_.disql);
+  ASSERT_TRUE(compiled.ok());
+  auto id = engine.Submit(compiled.value());
+  ASSERT_TRUE(id.ok());
+  engine.network().RunOne();
+  engine.user_site().Cancel(id.value());
+  engine.network().RunUntilIdle();
+  EXPECT_GT(engine.TrafficSnapshot().terminate_messages, 0u);
+  const UserSite::QueryRun* run = engine.user_site().Find(id.value());
+  EXPECT_GT(run->stats.termination_messages_sent, 0u);
+}
+
+TEST_F(UserSiteTest, TimeoutCompletionModeWaitsFullTimeout) {
+  core::EngineOptions options;
+  options.client.use_cht = false;
+  options.completion_timeout = 10 * kSecond;
+  core::Engine engine = MakeEngine(options);
+  auto outcome = engine.Run(scenario_.disql);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->completed);
+  // The timeout strawman declares completion a full timeout after the last
+  // arrival — CHT mode would have known at last_report_time.
+  EXPECT_EQ(outcome->completion_time,
+            outcome->last_report_time + 10 * kSecond);
+}
+
+TEST_F(UserSiteTest, SubmitRejectsEmptyStartNodes) {
+  core::Engine engine = MakeEngine();
+  disql::CompiledQuery empty;
+  auto id = engine.Submit(empty);
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UserSiteTest, ReportForUnknownQueryIgnored) {
+  core::Engine engine = MakeEngine();
+  auto compiled = disql::CompileDisql(scenario_.disql);
+  ASSERT_TRUE(compiled.ok());
+  auto id = engine.Submit(compiled.value());
+  ASSERT_TRUE(id.ok());
+  // Forge a report with a mismatched query id straight to the result port.
+  query::QueryReport forged;
+  forged.id = id.value();
+  forged.id.query_number += 99;  // wrong query
+  query::NodeReport nr;
+  nr.node_url = "http://bogus/";
+  nr.received_state =
+      query::CloneState{1, pre::Pre::Parse("L").value()};
+  forged.node_reports.push_back(std::move(nr));
+  serialize::Encoder enc;
+  forged.EncodeTo(&enc);
+  ASSERT_TRUE(engine.network()
+                  .Send(net::Endpoint{"attacker", 1},
+                        net::Endpoint{core::Engine::kClientHost,
+                                      id->reply_port},
+                        net::MessageType::kReport, enc.Release())
+                  .ok());
+  engine.network().RunUntilIdle();
+  // The real query still completed correctly despite the forgery.
+  const client::UserSite::QueryRun* run = engine.user_site().Find(id.value());
+  EXPECT_TRUE(run->completed);
+  EXPECT_EQ(run->results.size(), 2u);
+}
+
+TEST_F(UserSiteTest, ResultsDedupAcrossReports) {
+  // With server dedup off, duplicate rows arrive; the client filters them.
+  core::EngineOptions options;
+  options.server.dedup_enabled = false;
+  web::Scenario fig5 = web::BuildFig5Scenario();
+  core::Engine engine(&fig5.web, options);
+  auto outcome = engine.Run(fig5.disql);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->client_stats.duplicate_rows_filtered, 0u);
+  // Unique rows only in the final result sets.
+  for (const relational::ResultSet& rs : outcome->results) {
+    std::set<std::string> seen;
+    for (const relational::Tuple& row : rs.rows) {
+      std::string key;
+      for (const relational::Value& v : row) key += v.ToString() + "|";
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate row " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webdis::client

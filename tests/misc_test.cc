@@ -1,0 +1,84 @@
+// Coverage for the corners: logging levels, PRE parser limits, timeout
+// completion with zero arrivals, CHECK death, clone size accounting.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "pre/pre.h"
+#include "web/topologies.h"
+
+namespace webdis {
+namespace {
+
+TEST(LoggingTest, LevelGateRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold logging must be a no-op (and must compile/stream fine).
+  WEBDIS_LOG(kDebug) << "invisible " << 42;
+  WEBDIS_LOG(kInfo) << "also invisible";
+  SetLogLevel(LogLevel::kOff);
+  WEBDIS_LOG(kError) << "even errors silenced";
+  SetLogLevel(original);
+}
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ WEBDIS_CHECK(1 == 2) << "boom"; }, "CHECK failed");
+}
+
+TEST(PreLimitsTest, HugeRepetitionBoundRejected) {
+  EXPECT_FALSE(pre::Pre::Parse("L*2000000").ok());
+  // The largest accepted bound still round-trips.
+  auto big = pre::Pre::Parse("L*1000000");
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->ContainsNull());
+}
+
+TEST(TimeoutModeTest, NoArrivalsBasesTimeoutOnSubmitTime) {
+  // A query whose StartNode site does not exist: no report ever arrives;
+  // the timeout clock runs from submission.
+  web::CampusScenario scenario = web::BuildCampusScenario();
+  core::EngineOptions options;
+  options.client.use_cht = false;
+  options.fallback_processing = false;
+  options.completion_timeout = 3 * kSecond;
+  core::Engine engine(&scenario.web, options);
+  auto compiled = disql::CompileDisql(
+      "select d.url from document d such that \"http://ghost.example/\" L d");
+  ASSERT_TRUE(compiled.ok());
+  auto id = engine.Submit(compiled.value());
+  ASSERT_TRUE(id.ok());
+  engine.network().RunUntilIdle();
+  engine.user_site().FinishWithTimeout(id.value(), 3 * kSecond);
+  const client::UserSite::QueryRun* run = engine.user_site().Find(id.value());
+  EXPECT_TRUE(run->completed);
+  EXPECT_EQ(run->completion_time, run->submit_time + 3 * kSecond);
+}
+
+TEST(CloneSizeTest, WireSizeGrowsWithDestinationsNotWithWebSize) {
+  auto compiled = disql::CompileDisql(
+      "select d.url from document d such that \"http://a/\" (L|G)*3 d");
+  ASSERT_TRUE(compiled.ok());
+  query::WebQuery one = compiled->web_query.Clone();
+  one.dest_urls = {"http://a/x"};
+  query::WebQuery many = compiled->web_query.Clone();
+  for (int i = 0; i < 10; ++i) {
+    many.dest_urls.push_back("http://a/x" + std::to_string(i));
+  }
+  EXPECT_GT(many.WireSize(), one.WireSize());
+  // Each extra destination costs only its URL string + varint, nothing
+  // proportional to query complexity.
+  EXPECT_LT(many.WireSize(), one.WireSize() + 10 * 32);
+}
+
+TEST(EngineAccessorsTest, ServerLookupAndParticipants) {
+  web::CampusScenario scenario = web::BuildCampusScenario();
+  core::Engine engine(&scenario.web);
+  EXPECT_EQ(engine.participating_hosts().size(),
+            scenario.web.Hosts().size());
+  EXPECT_NE(engine.server_for("www.csa.iisc.ernet.in"), nullptr);
+  EXPECT_EQ(engine.server_for("not-a-host.example"), nullptr);
+}
+
+}  // namespace
+}  // namespace webdis

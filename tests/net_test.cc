@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "net/sim.h"
+#include "serialize/framing.h"
+#include "net/tcp.h"
+#include "serialize/encoder.h"
+
+namespace webdis::net {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> v) { return v; }
+
+// -- SimNetwork -------------------------------------------------------------------
+
+struct Received {
+  Endpoint from;
+  MessageType type;
+  std::vector<uint8_t> payload;
+};
+
+TEST(SimNetworkTest, DeliversToListener) {
+  SimNetwork net;
+  std::vector<Received> received;
+  ASSERT_TRUE(net.Listen({"b", 1}, [&](const Endpoint& from,
+                                       MessageType type,
+                                       const std::vector<uint8_t>& payload) {
+                    received.push_back({from, type, payload});
+                  })
+                  .ok());
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1, 2}))
+          .ok());
+  net.RunUntilIdle();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].from.host, "a");
+  EXPECT_EQ(received[0].type, MessageType::kWebQuery);
+  EXPECT_EQ(received[0].payload, Bytes({1, 2}));
+}
+
+TEST(SimNetworkTest, ConnectionRefusedWithoutListener) {
+  SimNetwork net;
+  const Status s =
+      net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({1}));
+  EXPECT_EQ(s.code(), StatusCode::kConnectionRefused);
+  EXPECT_EQ(net.connection_refused_count(), 1u);
+  EXPECT_EQ(net.total_traffic().messages, 0u);  // nothing metered
+}
+
+TEST(SimNetworkTest, DuplicateBindRejected) {
+  SimNetwork net;
+  auto handler = [](const Endpoint&, MessageType,
+                    const std::vector<uint8_t>&) {};
+  ASSERT_TRUE(net.Listen({"b", 1}, handler).ok());
+  EXPECT_FALSE(net.Listen({"b", 1}, handler).ok());
+}
+
+TEST(SimNetworkTest, CloseListenerRefusesAndDropsInFlight) {
+  SimNetwork net;
+  int delivered = 0;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>&) { ++delivered; })
+                  .ok());
+  // Accepted, then the listener closes while in flight.
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({1})).ok());
+  net.CloseListener({"b", 1});
+  net.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.dropped_count(), 1u);
+  // And new sends are refused.
+  EXPECT_EQ(net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({1}))
+                .code(),
+            StatusCode::kConnectionRefused);
+}
+
+TEST(SimNetworkTest, TimeAdvancesByLatencyAndBandwidth) {
+  SimNetworkOptions options;
+  options.inter_host_latency = 10 * kMillisecond;
+  options.same_host_latency = 1 * kMillisecond;
+  options.bandwidth_bytes_per_sec = 1000;  // 1 byte per ms
+  SimNetwork net(options);
+  ASSERT_TRUE(net.Listen({"b", 1}, [](const Endpoint&, MessageType,
+                                      const std::vector<uint8_t>&) {})
+                  .ok());
+  const std::vector<uint8_t> payload(100 - serialize::kFrameHeaderSize, 7);
+  ASSERT_TRUE(net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, payload)
+                  .ok());
+  net.RunUntilIdle();
+  // 10ms latency + 100 bytes at 1 byte/ms = 110 ms.
+  EXPECT_EQ(net.now(), 110 * kMillisecond);
+}
+
+TEST(SimNetworkTest, SameHostCheaperThanInterHost) {
+  SimNetwork net;
+  ASSERT_TRUE(net.Listen({"a", 1}, [](const Endpoint&, MessageType,
+                                      const std::vector<uint8_t>&) {})
+                  .ok());
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"a", 1}, MessageType::kReport, Bytes({1})).ok());
+  net.RunUntilIdle();
+  const SimTime local_time = net.now();
+  EXPECT_EQ(net.inter_host_traffic().messages, 0u);
+  EXPECT_EQ(net.total_traffic().messages, 1u);
+  EXPECT_LT(local_time, SimNetworkOptions().inter_host_latency);
+}
+
+TEST(SimNetworkTest, DeterministicFifoForEqualTimestamps) {
+  SimNetwork net;
+  std::vector<int> order;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>& p) {
+                           order.push_back(p[0]);
+                         })
+                  .ok());
+  for (uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({i})).ok());
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimNetworkTest, SmallerMessagesOvertakeLargerOnes) {
+  // The reordering hazard the robust CHT defends against: a later small
+  // message arrives before an earlier large one.
+  SimNetworkOptions options;
+  options.bandwidth_bytes_per_sec = 1000;
+  SimNetwork net(options);
+  std::vector<std::string> order;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>& p) {
+                           order.push_back(p.size() > 100 ? "big" : "small");
+                         })
+                  .ok());
+  ASSERT_TRUE(net.Send({"a", 2}, {"b", 1}, MessageType::kReport,
+                       std::vector<uint8_t>(1000, 1))
+                  .ok());
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({1})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<std::string>{"small", "big"}));
+}
+
+TEST(SimNetworkTest, DropFilterSimulatesLossAfterAccept) {
+  SimNetwork net;
+  int delivered = 0;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>&) { ++delivered; })
+                  .ok());
+  net.SetDropFilter([](const Endpoint&, const Endpoint&, MessageType type) {
+    return type == MessageType::kWebQuery;
+  });
+  // The send *succeeds* (connection accepted) but the message is lost.
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1})).ok());
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({1})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.dropped_count(), 1u);
+}
+
+TEST(SimNetworkTest, ServiceTimeSerializesPerListener) {
+  SimNetworkOptions options;
+  options.inter_host_latency = 10 * kMillisecond;
+  options.bandwidth_bytes_per_sec = 0;
+  options.service_time = [](const Endpoint&, MessageType,
+                            size_t) -> SimDuration {
+    return 50 * kMillisecond;
+  };
+  SimNetwork net(options);
+  std::vector<SimTime> deliveries_b;
+  std::vector<SimTime> deliveries_c;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>&) {
+                           deliveries_b.push_back(net.now());
+                         })
+                  .ok());
+  ASSERT_TRUE(net.Listen({"c", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>&) {
+                           deliveries_c.push_back(net.now());
+                         })
+                  .ok());
+  // Three messages to b (serialized) and one to c (parallel endpoint).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        net.Send({"a", 1}, {"b", 1}, MessageType::kWebQuery, {}).ok());
+  }
+  ASSERT_TRUE(net.Send({"a", 1}, {"c", 1}, MessageType::kWebQuery, {}).ok());
+  net.RunUntilIdle();
+  // b: arrivals at 10ms, queueing: done at 60, 110, 160 ms.
+  ASSERT_EQ(deliveries_b.size(), 3u);
+  EXPECT_EQ(deliveries_b[0], 60 * kMillisecond);
+  EXPECT_EQ(deliveries_b[1], 110 * kMillisecond);
+  EXPECT_EQ(deliveries_b[2], 160 * kMillisecond);
+  // c is an independent queue: done at 60 ms despite b's backlog.
+  ASSERT_EQ(deliveries_c.size(), 1u);
+  EXPECT_EQ(deliveries_c[0], 60 * kMillisecond);
+}
+
+TEST(SimNetworkTest, HostExtraLatencyDelaysBothDirections) {
+  SimNetworkOptions options;
+  options.inter_host_latency = 10 * kMillisecond;
+  options.bandwidth_bytes_per_sec = 0;  // pure latency
+  SimNetwork net(options);
+  auto handler = [](const Endpoint&, MessageType,
+                    const std::vector<uint8_t>&) {};
+  ASSERT_TRUE(net.Listen({"slow", 1}, handler).ok());
+  ASSERT_TRUE(net.Listen({"fast", 1}, handler).ok());
+  net.SetHostExtraLatency("slow", 100 * kMillisecond);
+
+  ASSERT_TRUE(net.Send({"a", 1}, {"fast", 1}, MessageType::kReport, {}).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(net.now(), 10 * kMillisecond);
+  ASSERT_TRUE(net.Send({"a", 1}, {"slow", 1}, MessageType::kReport, {}).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(net.now(), 10 * kMillisecond + 110 * kMillisecond);
+  // From the slow host is just as slow.
+  ASSERT_TRUE(
+      net.Send({"slow", 2}, {"fast", 1}, MessageType::kReport, {}).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(net.now(), 120 * kMillisecond + 110 * kMillisecond);
+}
+
+TEST(SimNetworkTest, KillHostClosesAllItsListeners) {
+  SimNetwork net;
+  auto handler = [](const Endpoint&, MessageType,
+                    const std::vector<uint8_t>&) {};
+  ASSERT_TRUE(net.Listen({"b", 1}, handler).ok());
+  ASSERT_TRUE(net.Listen({"b", 2}, handler).ok());
+  ASSERT_TRUE(net.Listen({"c", 1}, handler).ok());
+  net.KillHost("b");
+  EXPECT_EQ(net.Send({"a", 1}, {"b", 1}, MessageType::kReport, {}).code(),
+            StatusCode::kConnectionRefused);
+  EXPECT_EQ(net.Send({"a", 1}, {"b", 2}, MessageType::kReport, {}).code(),
+            StatusCode::kConnectionRefused);
+  EXPECT_TRUE(net.Send({"a", 1}, {"c", 1}, MessageType::kReport, {}).ok());
+}
+
+TEST(SimNetworkTest, HandlersMaySendMore) {
+  SimNetwork net;
+  int hops = 0;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>& p) {
+                           ++hops;
+                           if (p[0] > 0) {
+                             ASSERT_TRUE(net.Send({"b", 1}, {"b", 1},
+                                                  MessageType::kReport,
+                                                  Bytes({static_cast<uint8_t>(
+                                                      p[0] - 1)}))
+                                             .ok());
+                           }
+                         })
+                  .ok());
+  ASSERT_TRUE(
+      net.Send({"a", 1}, {"b", 1}, MessageType::kReport, Bytes({4})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(hops, 5);
+}
+
+TEST(SimNetworkTest, MetricsByTypeAndReset) {
+  SimNetwork net;
+  auto handler = [](const Endpoint&, MessageType,
+                    const std::vector<uint8_t>&) {};
+  ASSERT_TRUE(net.Listen({"b", 1}, handler).ok());
+  ASSERT_TRUE(net.Send({"a", 1}, {"b", 1}, MessageType::kWebQuery,
+                       Bytes({1, 2, 3}))
+                  .ok());
+  ASSERT_TRUE(
+      net.Send({"a", 1}, {"b", 1}, MessageType::kReport, Bytes({1})).ok());
+  EXPECT_EQ(net.traffic_for(MessageType::kWebQuery).messages, 1u);
+  EXPECT_EQ(net.traffic_for(MessageType::kWebQuery).bytes,
+            3 + serialize::kFrameHeaderSize);
+  EXPECT_EQ(net.traffic_for(MessageType::kReport).messages, 1u);
+  EXPECT_EQ(net.traffic_for(MessageType::kTerminate).messages, 0u);
+  EXPECT_EQ(net.total_traffic().messages, 2u);
+  net.ResetMetrics();
+  EXPECT_EQ(net.total_traffic().messages, 0u);
+  EXPECT_EQ(net.traffic_for(MessageType::kWebQuery).messages, 0u);
+}
+
+// -- TcpTransport --------------------------------------------------------------------
+
+TEST(TcpTransportTest, LocalhostRoundTrip) {
+  TcpTransport tcp;
+  std::vector<Received> received;
+  const Endpoint server{"serverhost", 39251};
+  ASSERT_TRUE(tcp.Listen(server, [&](const Endpoint& from, MessageType type,
+                                     const std::vector<uint8_t>& payload) {
+                    received.push_back({from, type, payload});
+                  })
+                  .ok());
+  const Endpoint client{"clienthost", 39252};
+  ASSERT_TRUE(
+      tcp.Send(client, server, MessageType::kWebQuery, Bytes({9, 8, 7}))
+          .ok());
+  tcp.PumpUntilIdle(100);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].from.host, "clienthost");
+  EXPECT_EQ(received[0].from.port, 39252);
+  EXPECT_EQ(received[0].type, MessageType::kWebQuery);
+  EXPECT_EQ(received[0].payload, Bytes({9, 8, 7}));
+  tcp.CloseListener(server);
+}
+
+TEST(TcpTransportTest, ConnectionRefusedAfterClose) {
+  TcpTransport tcp;
+  const Endpoint server{"s", 39253};
+  ASSERT_TRUE(tcp.Listen(server, [](const Endpoint&, MessageType,
+                                    const std::vector<uint8_t>&) {})
+                  .ok());
+  tcp.CloseListener(server);
+  const Status s =
+      tcp.Send({"c", 39254}, server, MessageType::kReport, Bytes({1}));
+  EXPECT_EQ(s.code(), StatusCode::kConnectionRefused);
+}
+
+TEST(TcpTransportTest, LargePayloadSurvivesFragmentation) {
+  // 1 MiB payload crosses many read() chunks; the frame reassembles.
+  TcpTransport tcp;
+  std::vector<uint8_t> received;
+  const Endpoint server{"bigserver", 1};
+  ASSERT_TRUE(tcp.Listen(server, [&](const Endpoint&, MessageType,
+                                     const std::vector<uint8_t>& payload) {
+                    received = payload;
+                  })
+                  .ok());
+  std::vector<uint8_t> payload(1 << 20);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  ASSERT_TRUE(
+      tcp.Send({"c", 1}, server, MessageType::kReport, payload).ok());
+  tcp.PumpUntilIdle(200);
+  EXPECT_EQ(received, payload);
+  tcp.CloseListener(server);
+}
+
+TEST(TcpTransportTest, MultipleMessagesAndListeners) {
+  TcpTransport tcp;
+  int a_count = 0, b_count = 0;
+  ASSERT_TRUE(tcp.Listen({"a", 39255},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>&) { ++a_count; })
+                  .ok());
+  ASSERT_TRUE(tcp.Listen({"b", 39256},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>&) { ++b_count; })
+                  .ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tcp.Send({"c", 1}, {"a", 39255}, MessageType::kReport,
+                         Bytes({static_cast<uint8_t>(i)}))
+                    .ok());
+  }
+  ASSERT_TRUE(
+      tcp.Send({"c", 1}, {"b", 39256}, MessageType::kReport, Bytes({1}))
+          .ok());
+  tcp.PumpUntilIdle(100);
+  EXPECT_EQ(a_count, 5);
+  EXPECT_EQ(b_count, 1);
+}
+
+}  // namespace
+}  // namespace webdis::net

@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/eval.h"
+#include "relational/expr.h"
+#include "relational/table.h"
+#include "relational/value.h"
+#include "serialize/encoder.h"
+
+namespace webdis::relational {
+namespace {
+
+// -- Value ----------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(static_cast<int64_t>(7)).AsInt(), 7);
+  EXPECT_EQ(Value(std::string("x")).AsString(), "x");
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(static_cast<int64_t>(0)).type(), ValueType::kInt);
+  EXPECT_EQ(Value(std::string()).type(), ValueType::kString);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(static_cast<int64_t>(-5)).ToString(), "-5");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+}
+
+TEST(ValueTest, SqlEqualsNullNeverEqual) {
+  EXPECT_FALSE(Value().SqlEquals(Value()));
+  EXPECT_FALSE(Value().SqlEquals(Value(static_cast<int64_t>(1))));
+  EXPECT_TRUE(Value(static_cast<int64_t>(1))
+                  .SqlEquals(Value(static_cast<int64_t>(1))));
+  EXPECT_FALSE(Value(static_cast<int64_t>(1)).SqlEquals(Value(std::string("1"))));
+}
+
+TEST(ValueTest, CompareOrdersWithinAndAcrossTypes) {
+  EXPECT_LT(Value(static_cast<int64_t>(1)).Compare(Value(static_cast<int64_t>(2))), 0);
+  EXPECT_GT(Value(std::string("b")).Compare(Value(std::string("a"))), 0);
+  EXPECT_EQ(Value(std::string("a")).Compare(Value(std::string("a"))), 0);
+  // Null sorts first, ints before strings (type-id order).
+  EXPECT_LT(Value().Compare(Value(static_cast<int64_t>(0))), 0);
+  EXPECT_LT(Value(static_cast<int64_t>(99)).Compare(Value(std::string(""))), 0);
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  for (const Value& v : {Value(), Value(static_cast<int64_t>(-42)),
+                         Value(std::string("hello \x01 world"))}) {
+    serialize::Encoder enc;
+    v.EncodeTo(&enc);
+    serialize::Decoder dec(enc.data());
+    Value out;
+    ASSERT_TRUE(Value::DecodeFrom(&dec, &out).ok());
+    EXPECT_TRUE(v == out);
+  }
+}
+
+// -- Table ----------------------------------------------------------------------
+
+TEST(TableTest, InsertValidatesArity) {
+  Table t(DocumentSchema());
+  EXPECT_EQ(t.Insert({Value(std::string("u"))}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertValidatesTypes) {
+  Table t(DocumentSchema());
+  // length column must be int.
+  EXPECT_EQ(t.Insert({Value(std::string("u")), Value(std::string("t")),
+                      Value(std::string("x")), Value(std::string("not int"))})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.Insert({Value(std::string("u")), Value(std::string("t")),
+                        Value(std::string("x")),
+                        Value(static_cast<int64_t>(3))})
+                  .ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, NullAllowedForAnyColumn) {
+  Table t(DocumentSchema());
+  EXPECT_TRUE(
+      t.Insert({Value(), Value(), Value(), Value()}).ok());
+}
+
+TEST(SchemaTest, IndexOf) {
+  EXPECT_EQ(DocumentSchema().IndexOf("url"), 0);
+  EXPECT_EQ(DocumentSchema().IndexOf("length"), 3);
+  EXPECT_EQ(DocumentSchema().IndexOf("nope"), -1);
+}
+
+TEST(DatabaseTest, PutFindNames) {
+  Database db;
+  db.Put("document", Table(DocumentSchema()));
+  db.Put("anchor", Table(AnchorSchema()));
+  EXPECT_NE(db.Find("document"), nullptr);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+  EXPECT_EQ(db.RelationNames(),
+            (std::vector<std::string>{"anchor", "document"}));
+}
+
+// -- Expr ----------------------------------------------------------------------
+
+Tuple DocRow(const std::string& url, const std::string& title,
+             const std::string& text, int64_t length) {
+  return {Value(url), Value(title), Value(text), Value(length)};
+}
+
+TEST(ExprTest, ColumnRefLookup) {
+  const Tuple row = DocRow("u", "t", "x", 5);
+  RowBinding binding;
+  binding.Bind("d", &DocumentSchema(), &row);
+  auto v = Expr::ColumnRef("d", "title")->Eval(binding);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "t");
+}
+
+TEST(ExprTest, UnboundAliasAndBadColumnError) {
+  const Tuple row = DocRow("u", "t", "x", 5);
+  RowBinding binding;
+  binding.Bind("d", &DocumentSchema(), &row);
+  EXPECT_FALSE(Expr::ColumnRef("z", "title")->Eval(binding).ok());
+  EXPECT_FALSE(Expr::ColumnRef("d", "bogus")->Eval(binding).ok());
+}
+
+TEST(ExprTest, ComparisonsOnInts) {
+  RowBinding binding;
+  const auto lit = [](int64_t v) { return Expr::Literal(Value(v)); };
+  const auto eval = [&](CompareOp op, int64_t a, int64_t b) {
+    return Expr::Compare(op, lit(a), lit(b))->EvalPredicate(binding).value();
+  };
+  EXPECT_TRUE(eval(CompareOp::kEq, 3, 3));
+  EXPECT_FALSE(eval(CompareOp::kEq, 3, 4));
+  EXPECT_TRUE(eval(CompareOp::kNe, 3, 4));
+  EXPECT_TRUE(eval(CompareOp::kLt, 3, 4));
+  EXPECT_TRUE(eval(CompareOp::kLe, 3, 3));
+  EXPECT_TRUE(eval(CompareOp::kGt, 4, 3));
+  EXPECT_TRUE(eval(CompareOp::kGe, 4, 4));
+}
+
+TEST(ExprTest, ContainsIsCaseInsensitive) {
+  RowBinding binding;
+  auto expr = Expr::Contains(
+      Expr::Literal(Value(std::string("The CONVENER of the lab"))),
+      Expr::Literal(Value(std::string("convener"))));
+  EXPECT_TRUE(expr->EvalPredicate(binding).value());
+}
+
+TEST(ExprTest, ContainsOnNonStringIsFalse) {
+  RowBinding binding;
+  auto expr = Expr::Contains(Expr::Literal(Value(static_cast<int64_t>(5))),
+                             Expr::Literal(Value(std::string("5"))));
+  EXPECT_FALSE(expr->EvalPredicate(binding).value());
+}
+
+TEST(ExprTest, LogicalOperatorsShortCircuit) {
+  RowBinding binding;
+  const auto t = [] { return Expr::Literal(Value(static_cast<int64_t>(1))); };
+  const auto f = [] { return Expr::Literal(Value(static_cast<int64_t>(0))); };
+  // Right side references an unbound alias: with short-circuit it is never
+  // evaluated.
+  auto and_expr = Expr::And(f(), Expr::ColumnRef("zz", "url"));
+  EXPECT_FALSE(and_expr->EvalPredicate(binding).value());
+  auto or_expr = Expr::Or(t(), Expr::ColumnRef("zz", "url"));
+  EXPECT_TRUE(or_expr->EvalPredicate(binding).value());
+  auto not_expr = Expr::Not(f());
+  EXPECT_TRUE(not_expr->EvalPredicate(binding).value());
+}
+
+TEST(ExprTest, NullIsFalsy) {
+  RowBinding binding;
+  EXPECT_FALSE(Expr::Literal(Value())->EvalPredicate(binding).value());
+  EXPECT_TRUE(
+      Expr::Not(Expr::Literal(Value()))->EvalPredicate(binding).value());
+}
+
+TEST(ExprTest, CloneIsDeepAndEquivalent) {
+  auto original = Expr::And(
+      Expr::Contains(Expr::ColumnRef("d", "title"),
+                     Expr::Literal(Value(std::string("lab")))),
+      Expr::Compare(CompareOp::kGt, Expr::ColumnRef("d", "length"),
+                    Expr::Literal(Value(static_cast<int64_t>(10)))));
+  auto copy = original->Clone();
+  EXPECT_EQ(original->ToString(), copy->ToString());
+}
+
+TEST(ExprTest, ToStringRendersDisqlish) {
+  auto expr = Expr::Or(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("a", "ltype"),
+                    Expr::Literal(Value(std::string("G")))),
+      Expr::Not(Expr::Contains(Expr::ColumnRef("d", "text"),
+                               Expr::Literal(Value(std::string("x"))))));
+  EXPECT_EQ(expr->ToString(),
+            "((a.ltype = \"G\") or (not (d.text contains \"x\")))");
+}
+
+TEST(ExprTest, CollectAliases) {
+  auto expr = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("a", "x"),
+                    Expr::ColumnRef("b", "y")),
+      Expr::Contains(Expr::ColumnRef("a", "z"),
+                     Expr::Literal(Value(std::string("k")))));
+  std::vector<std::string> aliases;
+  expr->CollectAliases(&aliases);
+  EXPECT_EQ(aliases, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ExprTest, SerializationRoundTrip) {
+  auto original = Expr::And(
+      Expr::Contains(Expr::ColumnRef("d", "title"),
+                     Expr::Literal(Value(std::string("lab")))),
+      Expr::Or(Expr::Compare(CompareOp::kLe, Expr::ColumnRef("d", "length"),
+                             Expr::Literal(Value(static_cast<int64_t>(9)))),
+               Expr::Not(Expr::Literal(Value()))));
+  serialize::Encoder enc;
+  original->EncodeTo(&enc);
+  serialize::Decoder dec(enc.data());
+  auto decoded = Expr::DecodeFrom(&dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ((*decoded)->ToString(), original->ToString());
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(ExprTest, DecodeRejectsGarbage) {
+  const std::vector<uint8_t> garbage{200, 1, 2, 3};
+  serialize::Decoder dec(garbage);
+  EXPECT_FALSE(Expr::DecodeFrom(&dec).ok());
+}
+
+// -- Execute -----------------------------------------------------------------------
+
+Database LabDatabase() {
+  Database db;
+  Table doc(DocumentSchema());
+  EXPECT_TRUE(doc.Insert(DocRow("http://h/p", "Lab page", "welcome", 100))
+                  .ok());
+  db.Put("document", std::move(doc));
+  Table anchor(AnchorSchema());
+  EXPECT_TRUE(anchor
+                  .Insert({Value(std::string("a1")), Value(std::string("http://h/p")),
+                           Value(std::string("http://h/q")), Value(std::string("L"))})
+                  .ok());
+  EXPECT_TRUE(anchor
+                  .Insert({Value(std::string("a2")), Value(std::string("http://h/p")),
+                           Value(std::string("http://g/r")), Value(std::string("G"))})
+                  .ok());
+  db.Put("anchor", std::move(anchor));
+  Table rel(RelInfonSchema());
+  EXPECT_TRUE(rel.Insert({Value(std::string("hr")), Value(std::string("http://h/p")),
+                          Value(std::string("CONVENER X")),
+                          Value(static_cast<int64_t>(10))})
+                  .ok());
+  db.Put("relinfon", std::move(rel));
+  return db;
+}
+
+TEST(ExecuteTest, SimpleSelectWithFilter) {
+  Database db = LabDatabase();
+  SelectQuery q;
+  q.from = {{"document", "d"}, {"anchor", "a"}};
+  q.where = Expr::Compare(CompareOp::kEq, Expr::ColumnRef("a", "ltype"),
+                          Expr::Literal(Value(std::string("G"))));
+  q.select = {{"a", "base"}, {"a", "href"}};
+  auto rs = Execute(q, db);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][1].AsString(), "http://g/r");
+  EXPECT_EQ(rs->column_labels, (std::vector<std::string>{"a.base", "a.href"}));
+}
+
+TEST(ExecuteTest, CrossProductCardinality) {
+  Database db = LabDatabase();
+  SelectQuery q;
+  q.from = {{"document", "d"}, {"anchor", "a"}};
+  q.select = {{"d", "url"}, {"a", "href"}};
+  q.distinct = false;
+  auto rs = Execute(q, db);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);  // 1 document x 2 anchors
+}
+
+TEST(ExecuteTest, DistinctDropsDuplicateProjections) {
+  Database db = LabDatabase();
+  SelectQuery q;
+  q.from = {{"document", "d"}, {"anchor", "a"}};
+  q.select = {{"d", "url"}};  // same value for both anchor rows
+  q.distinct = true;
+  auto rs = Execute(q, db);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+TEST(ExecuteTest, EmptyResultWhenNothingMatches) {
+  Database db = LabDatabase();
+  SelectQuery q;
+  q.from = {{"relinfon", "r"}};
+  q.where = Expr::Contains(Expr::ColumnRef("r", "text"),
+                           Expr::Literal(Value(std::string("absent"))));
+  q.select = {{"r", "text"}};
+  auto rs = Execute(q, db);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST(ExecuteTest, ErrorsOnUnknownRelationAndDuplicateAlias) {
+  Database db = LabDatabase();
+  SelectQuery q1;
+  q1.from = {{"nope", "n"}};
+  q1.select = {{"n", "x"}};
+  EXPECT_EQ(Execute(q1, db).status().code(), StatusCode::kNotFound);
+
+  SelectQuery q2;
+  q2.from = {{"document", "d"}, {"anchor", "d"}};
+  q2.select = {{"d", "url"}};
+  EXPECT_EQ(Execute(q2, db).status().code(), StatusCode::kInvalidArgument);
+
+  SelectQuery q3;
+  EXPECT_EQ(Execute(q3, db).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecuteTest, PushdownMatchesNaiveOnRandomQueries) {
+  // Property: pushdown never changes results — random single-alias and
+  // cross-alias conjunct mixes over a database with multi-row tables.
+  Rng rng(123);
+  Database db = LabDatabase();
+  const std::vector<std::pair<std::string, std::string>> columns = {
+      {"d", "url"},   {"d", "title"}, {"a", "href"},
+      {"a", "ltype"}, {"r", "text"},  {"r", "delimiter"}};
+  const std::vector<std::string> needles = {"http", "lab", "G", "L",
+                                            "convener", "zzz", ""};
+  for (int round = 0; round < 60; ++round) {
+    SelectQuery q;
+    q.from = {{"document", "d"}, {"anchor", "a"}, {"relinfon", "r"}};
+    q.select = {{"d", "url"}, {"a", "href"}, {"r", "delimiter"}};
+    q.distinct = false;
+    // 1-3 random contains-conjuncts.
+    ExprPtr where;
+    const int terms = 1 + static_cast<int>(rng.Uniform(3));
+    for (int t = 0; t < terms; ++t) {
+      const auto& col = columns[rng.Uniform(columns.size())];
+      auto term = Expr::Contains(
+          Expr::ColumnRef(col.first, col.second),
+          Expr::Literal(Value(needles[rng.Uniform(needles.size())])));
+      where = where == nullptr ? std::move(term)
+                               : Expr::And(std::move(where), std::move(term));
+    }
+    q.where = std::move(where);
+    q.pushdown = true;
+    auto with = Execute(q, db);
+    q.where = q.where->Clone();
+    q.pushdown = false;
+    auto without = Execute(q, db);
+    ASSERT_TRUE(with.ok());
+    ASSERT_TRUE(without.ok());
+    ASSERT_EQ(with->rows.size(), without->rows.size()) << round;
+    for (size_t i = 0; i < with->rows.size(); ++i) {
+      for (size_t c = 0; c < with->rows[i].size(); ++c) {
+        EXPECT_TRUE(with->rows[i][c] == without->rows[i][c]) << round;
+      }
+    }
+  }
+}
+
+TEST(ExecuteTest, PushdownHandlesOrAsResidual) {
+  // An OR spanning two aliases cannot be pushed; it must stay residual and
+  // still filter correctly.
+  Database db = LabDatabase();
+  SelectQuery q;
+  q.from = {{"document", "d"}, {"anchor", "a"}};
+  q.where = Expr::Or(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("a", "ltype"),
+                    Expr::Literal(Value(std::string("G")))),
+      Expr::Contains(Expr::ColumnRef("d", "title"),
+                     Expr::Literal(Value(std::string("nonexistent")))));
+  q.select = {{"a", "href"}};
+  auto rs = Execute(q, db);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsString(), "http://g/r");
+}
+
+TEST(ExecuteTest, ConstantFalseConjunctEmptiesResult) {
+  Database db = LabDatabase();
+  SelectQuery q;
+  q.from = {{"document", "d"}, {"anchor", "a"}};
+  q.where = Expr::And(
+      Expr::Literal(Value(static_cast<int64_t>(0))),
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("a", "ltype"),
+                    Expr::Literal(Value(std::string("G")))));
+  q.select = {{"a", "href"}};
+  auto rs = Execute(q, db);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST(ExecuteTest, PaperConvenerNodeQuery) {
+  // The q2 of Example Query 2: relinfon delimited by hr containing
+  // "convener".
+  Database db = LabDatabase();
+  SelectQuery q;
+  q.from = {{"document", "d1"}, {"relinfon", "r"}};
+  q.where = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::ColumnRef("r", "delimiter"),
+                    Expr::Literal(Value(std::string("hr")))),
+      Expr::Contains(Expr::ColumnRef("r", "text"),
+                     Expr::Literal(Value(std::string("convener")))));
+  q.select = {{"d1", "url"}, {"r", "text"}};
+  auto rs = Execute(q, db);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][1].AsString(), "CONVENER X");
+}
+
+}  // namespace
+}  // namespace webdis::relational

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include "disql/compiler.h"
+#include "net/sim.h"
+#include "query/report.h"
+#include "serialize/encoder.h"
+#include "server/db_constructor.h"
+#include "server/http_server.h"
+#include "server/log_table.h"
+#include "server/query_server.h"
+#include "web/pagegen.h"
+
+namespace webdis::server {
+namespace {
+
+using query::CloneState;
+
+pre::Pre P(const std::string& s) { return pre::Pre::Parse(s).value(); }
+
+// -- DatabaseConstructor ----------------------------------------------------------
+
+TEST(DbConstructorTest, BuildsAllThreeVirtualRelations) {
+  const html::Url url = html::ParseUrl("http://h/p").value();
+  const html::ParsedDocument doc = html::ParseDocument(
+      url,
+      "<title>T</title><p>body text</p>"
+      "<a href=\"/q\">local</a><a href=\"http://g/\">global</a>"
+      "block<hr>");
+  const relational::Database db = BuildNodeDatabase(doc);
+
+  const relational::Table* document = db.Find("document");
+  ASSERT_NE(document, nullptr);
+  ASSERT_EQ(document->num_rows(), 1u);
+  EXPECT_EQ(document->row(0)[0].AsString(), "http://h/p");
+  EXPECT_EQ(document->row(0)[1].AsString(), "T");
+  EXPECT_EQ(document->row(0)[3].AsInt(),
+            static_cast<int64_t>(doc.length));
+
+  const relational::Table* anchor = db.Find("anchor");
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_EQ(anchor->num_rows(), 2u);
+  EXPECT_EQ(anchor->row(0)[3].AsString(), "L");
+  EXPECT_EQ(anchor->row(1)[3].AsString(), "G");
+  EXPECT_EQ(anchor->row(0)[1].AsString(), "http://h/p");  // base
+
+  const relational::Table* relinfon = db.Find("relinfon");
+  ASSERT_NE(relinfon, nullptr);
+  ASSERT_GE(relinfon->num_rows(), 1u);
+}
+
+// -- LogTable --------------------------------------------------------------------
+
+TEST(LogTableTest, FirstArrivalIsNew) {
+  LogTable table;
+  const auto d = table.Check("http://a/x", "q1", CloneState{2, P("L*2.G")});
+  EXPECT_EQ(d.comparison, pre::LogComparison::kUnrelated);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().new_entries, 1u);
+}
+
+TEST(LogTableTest, IdenticalSecondArrivalIsDuplicate) {
+  LogTable table;
+  table.Check("http://a/x", "q1", CloneState{2, P("L*2.G")});
+  const auto d = table.Check("http://a/x", "q1", CloneState{2, P("L*2.G")});
+  EXPECT_EQ(d.comparison, pre::LogComparison::kDuplicate);
+  EXPECT_EQ(table.stats().duplicates, 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(LogTableTest, KeyIncludesNodeQueryAndNumQ) {
+  LogTable table;
+  table.Check("http://a/x", "q1", CloneState{2, P("L")});
+  // Different node: not a duplicate.
+  EXPECT_EQ(table.Check("http://a/y", "q1", CloneState{2, P("L")}).comparison,
+            pre::LogComparison::kUnrelated);
+  // Different query: not a duplicate.
+  EXPECT_EQ(table.Check("http://a/x", "q2", CloneState{2, P("L")}).comparison,
+            pre::LogComparison::kUnrelated);
+  // Different num_q: not a duplicate (Figure 5's visits b vs c).
+  EXPECT_EQ(table.Check("http://a/x", "q1", CloneState{1, P("L")}).comparison,
+            pre::LogComparison::kUnrelated);
+}
+
+TEST(LogTableTest, SubsetDropsSupersetRewrites) {
+  LogTable table;
+  table.Check("n", "q", CloneState{1, P("L*2.G")});
+  EXPECT_EQ(table.Check("n", "q", CloneState{1, P("L*1.G")}).comparison,
+            pre::LogComparison::kDuplicate);
+  const auto d = table.Check("n", "q", CloneState{1, P("L*4.G")});
+  EXPECT_EQ(d.comparison, pre::LogComparison::kSupersetRewrite);
+  EXPECT_TRUE(d.rewritten->Equals(P("L.L*3.G")));
+  // The entry was replaced by the wider bound: L*3 is now a duplicate.
+  EXPECT_EQ(table.Check("n", "q", CloneState{1, P("L*3.G")}).comparison,
+            pre::LogComparison::kDuplicate);
+}
+
+TEST(LogTableTest, UnrelatedPresCoexistUnderOneKey) {
+  LogTable table;
+  table.Check("n", "q", CloneState{1, P("L*2.G")});
+  EXPECT_EQ(table.Check("n", "q", CloneState{1, P("G*2.L")}).comparison,
+            pre::LogComparison::kUnrelated);
+  EXPECT_EQ(table.size(), 2u);
+  // Each maintains its own duplicate detection.
+  EXPECT_EQ(table.Check("n", "q", CloneState{1, P("G*2.L")}).comparison,
+            pre::LogComparison::kDuplicate);
+}
+
+TEST(LogTableTest, PurgeForgetsEverything) {
+  LogTable table;
+  table.Check("n", "q", CloneState{1, P("L")});
+  table.Purge();
+  EXPECT_EQ(table.size(), 0u);
+  // Recomputation, not error.
+  EXPECT_EQ(table.Check("n", "q", CloneState{1, P("L")}).comparison,
+            pre::LogComparison::kUnrelated);
+}
+
+TEST(LogTableTest, PurgeQueryIsSelective) {
+  LogTable table;
+  table.Check("n", "q1", CloneState{1, P("L")});
+  table.Check("n", "q2", CloneState{1, P("L")});
+  table.PurgeQuery("q1");
+  EXPECT_EQ(table.Check("n", "q1", CloneState{1, P("L")}).comparison,
+            pre::LogComparison::kUnrelated);
+  EXPECT_EQ(table.Check("n", "q2", CloneState{1, P("L")}).comparison,
+            pre::LogComparison::kDuplicate);
+}
+
+// -- HttpServer --------------------------------------------------------------------
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(web_.AddDocument("http://h/p", "<title>T</title>").ok());
+    ASSERT_TRUE(web_.AddDocument("http://other/x", "elsewhere").ok());
+    server_ = std::make_unique<HttpServer>("h", &web_, &net_);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(net_.Listen({"c", 1},
+                            [this](const net::Endpoint&, net::MessageType,
+                                   const std::vector<uint8_t>& payload) {
+                              HttpServer::FetchResponse resp;
+                              ASSERT_TRUE(HttpServer::DecodeFetchResponse(
+                                              payload, &resp)
+                                              .ok());
+                              responses_.push_back(resp);
+                            })
+                    .ok());
+  }
+
+  void Fetch(const std::string& url) {
+    ASSERT_TRUE(net_.Send({"c", 1}, {"h", kHttpPort},
+                          net::MessageType::kFetchRequest,
+                          HttpServer::EncodeFetchRequest(url))
+                    .ok());
+    net_.RunUntilIdle();
+  }
+
+  web::WebGraph web_;
+  net::SimNetwork net_;
+  std::unique_ptr<HttpServer> server_;
+  std::vector<HttpServer::FetchResponse> responses_;
+};
+
+TEST_F(HttpServerTest, ServesLocalDocument) {
+  Fetch("http://h/p");
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_TRUE(responses_[0].found);
+  EXPECT_EQ(responses_[0].html, "<title>T</title>");
+  EXPECT_EQ(server_->fetches_served(), 1u);
+}
+
+TEST_F(HttpServerTest, NotFoundForMissing) {
+  Fetch("http://h/absent");
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_FALSE(responses_[0].found);
+  EXPECT_EQ(server_->not_found_count(), 1u);
+}
+
+TEST_F(HttpServerTest, RefusesToProxyOtherHosts) {
+  Fetch("http://other/x");  // exists in the graph but hosted elsewhere
+  ASSERT_EQ(responses_.size(), 1u);
+  EXPECT_FALSE(responses_[0].found);
+}
+
+TEST_F(HttpServerTest, StopClosesPort) {
+  server_->Stop();
+  EXPECT_EQ(net_.Send({"c", 1}, {"h", kHttpPort},
+                      net::MessageType::kFetchRequest,
+                      HttpServer::EncodeFetchRequest("http://h/p"))
+                .code(),
+            StatusCode::kConnectionRefused);
+}
+
+// -- QueryServer (driven directly over a SimNetwork) ------------------------------
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two pages on host "h": /a links locally to /b; /b has the answer.
+    web::PageSpec a;
+    a.title = "start alpha";
+    a.links = {{"/b", "to b"}};
+    ASSERT_TRUE(web_.AddDocument("http://h/a", web::RenderHtml(a)).ok());
+    web::PageSpec b;
+    b.title = "target alpha";
+    b.paragraphs = {"the beta answer"};
+    ASSERT_TRUE(web_.AddDocument("http://h/b", web::RenderHtml(b)).ok());
+
+    server_ = std::make_unique<QueryServer>("h", &web_, &net_);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(net_.Listen({"user.site", 9000},
+                            [this](const net::Endpoint&, net::MessageType type,
+                                   const std::vector<uint8_t>& payload) {
+                              ASSERT_EQ(type, net::MessageType::kReport);
+                              serialize::Decoder dec(payload);
+                              query::QueryReport qr;
+                              ASSERT_TRUE(query::QueryReport::DecodeFrom(
+                                              &dec, &qr)
+                                              .ok());
+                              reports_.push_back(std::move(qr));
+                            })
+                    .ok());
+  }
+
+  query::WebQuery MakeClone(const std::string& pre_text,
+                            const std::string& where_keyword,
+                            std::vector<std::string> dests) {
+    auto compiled = disql::CompileDisql(
+        "select d.url from document d such that \"http://h/a\" " + pre_text +
+        " d where d.text contains \"" + where_keyword + "\"");
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    query::WebQuery clone = compiled->web_query.Clone();
+    clone.id.user = "t";
+    clone.id.reply_host = "user.site";
+    clone.id.reply_port = 9000;
+    clone.id.query_number = 1;
+    clone.dest_urls = std::move(dests);
+    return clone;
+  }
+
+  void Deliver(const query::WebQuery& clone) {
+    serialize::Encoder enc;
+    clone.EncodeTo(&enc);
+    ASSERT_TRUE(net_.Send({"user.site", 9000}, {"h", kQueryServerPort},
+                          net::MessageType::kWebQuery, enc.Release())
+                    .ok());
+    net_.RunUntilIdle();
+  }
+
+  web::WebGraph web_;
+  net::SimNetwork net_;
+  std::unique_ptr<QueryServer> server_;
+  std::vector<query::QueryReport> reports_;
+};
+
+TEST_F(QueryServerTest, EvaluatesAndReports) {
+  Deliver(MakeClone("L*1", "beta", {"http://h/a"}));
+  // Clone chain: /a evaluated (no beta) + forwarded to /b; /b evaluated.
+  ASSERT_EQ(reports_.size(), 2u);
+  EXPECT_EQ(reports_[0].node_reports[0].node_url, "http://h/a");
+  ASSERT_EQ(reports_[0].node_reports[0].next_entries.size(), 1u);
+  EXPECT_EQ(reports_[0].node_reports[0].next_entries[0].node_url,
+            "http://h/b");
+  ASSERT_EQ(reports_[1].node_reports.size(), 1u);
+  ASSERT_EQ(reports_[1].node_reports[0].result_sets.size(), 1u);
+  EXPECT_EQ(
+      reports_[1].node_reports[0].result_sets[0].rows[0][0].AsString(),
+      "http://h/b");
+  EXPECT_EQ(server_->stats().node_queries_evaluated, 2u);
+  EXPECT_EQ(server_->stats().answers_found, 1u);
+  EXPECT_EQ(server_->stats().dead_ends, 1u);
+}
+
+TEST_F(QueryServerTest, DuplicateCloneDroppedAndReported) {
+  const query::WebQuery clone = MakeClone("L*1", "beta", {"http://h/a"});
+  Deliver(clone);
+  reports_.clear();
+  Deliver(clone.Clone());
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_TRUE(reports_[0].node_reports[0].duplicate_drop);
+  EXPECT_EQ(server_->stats().duplicates_dropped, 1u);
+}
+
+TEST_F(QueryServerTest, DedupDisabledRecomputes) {
+  QueryServerOptions options;
+  options.dedup_enabled = false;
+  auto server2 = std::make_unique<QueryServer>("h2", &web_, &net_, options);
+  // Reuse the same web but a different host name: documents are on "h", so
+  // use the original server with a fresh option set instead.
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+  const query::WebQuery clone = MakeClone("N", "alpha", {"http://h/a"});
+  Deliver(clone);
+  Deliver(clone.Clone());
+  EXPECT_EQ(server_->stats().node_queries_evaluated, 2u);
+  EXPECT_EQ(server_->stats().duplicates_dropped, 0u);
+}
+
+TEST_F(QueryServerTest, MissingDocumentReportedNotCrashed) {
+  Deliver(MakeClone("N", "alpha", {"http://h/ghost"}));
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_TRUE(reports_[0].node_reports[0].result_sets.empty());
+  EXPECT_EQ(server_->stats().missing_documents, 1u);
+}
+
+TEST_F(QueryServerTest, PassiveTerminationOnRefusedReport) {
+  net_.CloseListener({"user.site", 9000});
+  serialize::Encoder enc;
+  MakeClone("L*1", "beta", {"http://h/a"}).EncodeTo(&enc);
+  ASSERT_TRUE(net_.Send({"x", 1}, {"h", kQueryServerPort},
+                        net::MessageType::kWebQuery, enc.Release())
+                  .ok());
+  net_.RunUntilIdle();
+  EXPECT_EQ(server_->stats().passive_terminations, 1u);
+  // No forwarding happened after the refusal.
+  EXPECT_EQ(server_->stats().clones_forwarded, 0u);
+}
+
+TEST_F(QueryServerTest, ActiveTerminationDropsFutureClones) {
+  serialize::Encoder id_enc;
+  query::WebQuery clone = MakeClone("L*1", "beta", {"http://h/a"});
+  clone.id.EncodeTo(&id_enc);
+  ASSERT_TRUE(net_.Send({"user.site", 9000}, {"h", kQueryServerPort},
+                        net::MessageType::kTerminate, id_enc.Release())
+                  .ok());
+  net_.RunUntilIdle();
+  EXPECT_EQ(server_->stats().active_terminations, 1u);
+  Deliver(clone);
+  EXPECT_EQ(server_->stats().node_queries_evaluated, 0u);
+  EXPECT_TRUE(reports_.empty());
+}
+
+TEST_F(QueryServerTest, MalformedCloneCountedNotCrashed) {
+  ASSERT_TRUE(net_.Send({"x", 1}, {"h", kQueryServerPort},
+                        net::MessageType::kWebQuery,
+                        std::vector<uint8_t>{1, 2, 3})
+                  .ok());
+  net_.RunUntilIdle();
+  EXPECT_EQ(server_->stats().decode_errors, 1u);
+}
+
+TEST_F(QueryServerTest, DatabaseCachingCountsHits) {
+  QueryServerOptions options;
+  options.cache_databases = true;
+  options.dedup_enabled = false;  // force recomputation
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+  const query::WebQuery clone = MakeClone("N", "alpha", {"http://h/a"});
+  Deliver(clone);
+  Deliver(clone.Clone());
+  EXPECT_EQ(server_->stats().db_constructions, 1u);
+  EXPECT_EQ(server_->stats().db_cache_hits, 1u);
+}
+
+TEST_F(QueryServerTest, LogPurgePeriodCausesRecomputationOnly) {
+  QueryServerOptions options;
+  options.log_purge_every = 1;  // purge after every clone
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+  const query::WebQuery clone = MakeClone("N", "alpha", {"http://h/a"});
+  Deliver(clone);
+  Deliver(clone.Clone());
+  // Both processed (no dedup across the purge), results identical.
+  EXPECT_EQ(server_->stats().node_queries_evaluated, 2u);
+  ASSERT_EQ(reports_.size(), 2u);
+  ASSERT_FALSE(reports_[0].node_reports[0].result_sets.empty());
+  ASSERT_FALSE(reports_[1].node_reports[0].result_sets.empty());
+}
+
+}  // namespace
+}  // namespace webdis::server

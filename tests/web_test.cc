@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+#include "web/fileweb.h"
+#include "web/graph.h"
+#include "web/index.h"
+#include "web/pagegen.h"
+#include "web/synth.h"
+#include "web/topologies.h"
+
+namespace webdis::web {
+namespace {
+
+// -- WebGraph -------------------------------------------------------------------
+
+TEST(WebGraphTest, AddAndFind) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/x", "<title>T</title>body").ok());
+  const WebGraph::Document* doc = web.Find("http://a/x");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->parsed.title, "T");
+  EXPECT_TRUE(web.Has("http://a/x"));
+  EXPECT_FALSE(web.Has("http://a/other"));
+  EXPECT_EQ(web.num_documents(), 1u);
+}
+
+TEST(WebGraphTest, FragmentIgnoredInLookup) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/x", "body").ok());
+  EXPECT_TRUE(web.Has("http://a/x#section"));
+}
+
+TEST(WebGraphTest, DuplicateRejected) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/x", "one").ok());
+  EXPECT_FALSE(web.AddDocument("http://a/x", "two").ok());
+}
+
+TEST(WebGraphTest, BadUrlRejected) {
+  WebGraph web;
+  EXPECT_FALSE(web.AddDocument("", "x").ok());
+}
+
+TEST(WebGraphTest, HostsAndUrls) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://b/1", "x").ok());
+  ASSERT_TRUE(web.AddDocument("http://a/1", "x").ok());
+  ASSERT_TRUE(web.AddDocument("http://a/2", "x").ok());
+  EXPECT_EQ(web.Hosts(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(web.UrlsOnHost("a"),
+            (std::vector<std::string>{"http://a/1", "http://a/2"}));
+  EXPECT_EQ(web.AllUrls().size(), 3u);
+  EXPECT_EQ(web.TotalHtmlBytes(), 3u);
+}
+
+// -- Page generator --------------------------------------------------------------
+
+TEST(PageGenTest, RenderedPageParsesBack) {
+  PageSpec spec;
+  spec.title = "A & B Lab";
+  spec.paragraphs = {"First paragraph."};
+  spec.sections = {{"Heading", "Section body"}};
+  spec.links = {{"/people", "People"}, {"http://other/", "Other"}};
+  spec.hr_blocks = {"CONVENER Someone"};
+  spec.bold_notes = {"note"};
+  const std::string html = RenderHtml(spec);
+  const html::ParsedDocument doc =
+      html::ParseDocument(html::ParseUrl("http://h/p").value(), html);
+  EXPECT_EQ(doc.title, "A & B Lab");
+  ASSERT_EQ(doc.anchors.size(), 2u);
+  EXPECT_EQ(doc.anchors[0].ltype, html::LinkType::kLocal);
+  EXPECT_EQ(doc.anchors[1].ltype, html::LinkType::kGlobal);
+  bool convener_in_hr = false;
+  for (const html::ParsedRelInfon& r : doc.rel_infons) {
+    if (r.delimiter == "hr" && r.text == "CONVENER Someone") {
+      convener_in_hr = true;
+    }
+  }
+  EXPECT_TRUE(convener_in_hr);
+}
+
+// -- Synthetic web -----------------------------------------------------------------
+
+TEST(SynthWebTest, DeterministicForSeed) {
+  SynthWebOptions options;
+  options.seed = 5;
+  options.num_sites = 3;
+  options.docs_per_site = 4;
+  WebGraph a = GenerateSynthWeb(options);
+  WebGraph b = GenerateSynthWeb(options);
+  ASSERT_EQ(a.AllUrls(), b.AllUrls());
+  for (const std::string& url : a.AllUrls()) {
+    EXPECT_EQ(a.Find(url)->raw_html, b.Find(url)->raw_html);
+  }
+}
+
+TEST(SynthWebTest, ShapeMatchesOptions) {
+  SynthWebOptions options;
+  options.num_sites = 4;
+  options.docs_per_site = 6;
+  options.local_links_per_doc = 2;
+  options.global_links_per_doc = 1;
+  WebGraph web = GenerateSynthWeb(options);
+  EXPECT_EQ(web.num_documents(), 24u);
+  EXPECT_EQ(web.Hosts().size(), 4u);
+  for (const std::string& url : web.AllUrls()) {
+    const WebGraph::Document* doc = web.Find(url);
+    int local = 0, global = 0;
+    for (const html::ParsedAnchor& a : doc->parsed.anchors) {
+      if (a.ltype == html::LinkType::kLocal) ++local;
+      if (a.ltype == html::LinkType::kGlobal) ++global;
+      // Every link must resolve to an existing document.
+      EXPECT_TRUE(web.Has(a.resolved.ResourceKey()))
+          << a.resolved.ToString();
+    }
+    EXPECT_EQ(local, 2) << url;
+    EXPECT_EQ(global, 1) << url;
+  }
+}
+
+TEST(SynthWebTest, KeywordProbabilitiesHonored) {
+  SynthWebOptions options;
+  options.num_sites = 10;
+  options.docs_per_site = 30;
+  options.title_keyword_prob = 0.5;
+  options.body_keyword_prob = 0.0;
+  WebGraph web = GenerateSynthWeb(options);
+  int title_hits = 0, body_hits = 0;
+  for (const std::string& url : web.AllUrls()) {
+    const WebGraph::Document* doc = web.Find(url);
+    if (doc->parsed.title.find(kTitleKeyword) != std::string::npos) {
+      ++title_hits;
+    }
+    for (const html::ParsedRelInfon& r : doc->parsed.rel_infons) {
+      if (r.delimiter == "hr" &&
+          r.text.find(kBodyKeyword) != std::string::npos) {
+        ++body_hits;
+      }
+    }
+  }
+  EXPECT_GT(title_hits, 100);  // ~150 of 300
+  EXPECT_LT(title_hits, 200);
+  EXPECT_EQ(body_hits, 0);
+}
+
+// -- Topologies -------------------------------------------------------------------
+
+TEST(TopologyTest, Fig1ShapeIsSane) {
+  Scenario s = BuildFig1Scenario();
+  EXPECT_EQ(s.web.num_documents(), 8u);
+  // Node 1 has two global links; node 7 links back to node 1.
+  const WebGraph::Document* n1 = s.web.Find("http://site1.example/node1");
+  ASSERT_NE(n1, nullptr);
+  EXPECT_EQ(n1->parsed.anchors.size(), 2u);
+  for (const html::ParsedAnchor& a : n1->parsed.anchors) {
+    EXPECT_EQ(a.ltype, html::LinkType::kGlobal);
+  }
+}
+
+TEST(TopologyTest, Fig5Node4HasThreeFanouts) {
+  Scenario s = BuildFig5Scenario();
+  const WebGraph::Document* n4 = s.web.Find("http://site4.example/node4");
+  ASSERT_NE(n4, nullptr);
+  EXPECT_EQ(n4->parsed.anchors.size(), 3u);
+}
+
+TEST(TopologyTest, CampusWebHasFigure8Pages) {
+  CampusScenario s = BuildCampusScenario();
+  EXPECT_TRUE(s.web.Has("http://www.csa.iisc.ernet.in/Labs"));
+  for (const auto& [url, name] : s.expected_conveners) {
+    const WebGraph::Document* doc = s.web.Find(url);
+    ASSERT_NE(doc, nullptr) << url;
+    bool found = false;
+    for (const html::ParsedRelInfon& r : doc->parsed.rel_infons) {
+      if (r.delimiter == "hr" && r.text.find(name) != std::string::npos) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << url << " missing convener " << name;
+  }
+}
+
+TEST(TopologyTest, CampusLabsPageTitleMatchesQ1) {
+  CampusScenario s = BuildCampusScenario();
+  const WebGraph::Document* labs =
+      s.web.Find("http://www.csa.iisc.ernet.in/Labs");
+  ASSERT_NE(labs, nullptr);
+  EXPECT_NE(webdis::ToLower(labs->parsed.title).find("lab"), std::string::npos);
+}
+
+// -- Search index -------------------------------------------------------------------
+
+TEST(SearchIndexTest, LooksUpTitleAndBodyWords) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/1",
+                              "<title>Alpha Report</title>delta words")
+                  .ok());
+  ASSERT_TRUE(
+      web.AddDocument("http://a/2", "<title>Other</title>alpha body").ok());
+  SearchIndex index(web);
+  EXPECT_EQ(index.Lookup("alpha"),
+            (std::vector<std::string>{"http://a/1", "http://a/2"}));
+  EXPECT_EQ(index.Lookup("ALPHA").size(), 2u);  // case folded
+  EXPECT_EQ(index.Lookup("delta"), (std::vector<std::string>{"http://a/1"}));
+  EXPECT_TRUE(index.Lookup("absent").empty());
+}
+
+TEST(SearchIndexTest, ConjunctiveLookup) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/1", "alpha beta").ok());
+  ASSERT_TRUE(web.AddDocument("http://a/2", "alpha gamma").ok());
+  SearchIndex index(web);
+  EXPECT_EQ(index.LookupAll({"alpha", "beta"}),
+            (std::vector<std::string>{"http://a/1"}));
+  EXPECT_TRUE(index.LookupAll({"alpha", "absent"}).empty());
+  EXPECT_TRUE(index.LookupAll({}).empty());
+}
+
+// -- File-backed web loader ----------------------------------------------------
+
+class FileWebTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() / "webdis_fileweb_test";
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void Write(const std::string& relative, const std::string& contents) {
+    const std::filesystem::path path = root_ / relative;
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(FileWebTest, LoadsHtmlTreeWithIndexMapping) {
+  Write("host.example/index.html", "<title>Home</title>");
+  Write("host.example/sub/page.html", "<title>Page</title>");
+  Write("host.example/sub/index.html", "<title>Sub Home</title>");
+  Write("host.example/skip.txt", "not html");
+  Write("other.example/a.htm", "<title>A</title>");
+  WebGraph web;
+  auto stats = LoadWebFromDirectory(root_.string(), &web);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->documents_loaded, 4u);
+  EXPECT_EQ(stats->hosts, 2u);
+  EXPECT_EQ(stats->files_skipped, 1u);
+  EXPECT_TRUE(web.Has("http://host.example/"));
+  EXPECT_TRUE(web.Has("http://host.example/sub/page.html"));
+  EXPECT_TRUE(web.Has("http://host.example/sub/"));
+  EXPECT_TRUE(web.Has("http://other.example/a.htm"));
+  EXPECT_EQ(web.Find("http://host.example/")->parsed.title, "Home");
+}
+
+TEST_F(FileWebTest, RelativeLinksResolveAgainstDerivedUrls) {
+  Write("h.example/index.html", "<a href=\"sub/leaf.html\">x</a>");
+  Write("h.example/sub/leaf.html", "<a href=\"../index.html\">up</a>");
+  WebGraph web;
+  auto stats = LoadWebFromDirectory(root_.string(), &web);
+  ASSERT_TRUE(stats.ok());
+  const WebGraph::Document* home = web.Find("http://h.example/");
+  ASSERT_NE(home, nullptr);
+  ASSERT_EQ(home->parsed.anchors.size(), 1u);
+  EXPECT_EQ(home->parsed.anchors[0].resolved.ToString(),
+            "http://h.example/sub/leaf.html");
+  EXPECT_EQ(home->parsed.anchors[0].ltype, html::LinkType::kLocal);
+}
+
+TEST_F(FileWebTest, SaveLoadRoundTripsASynthWeb) {
+  SynthWebOptions options;
+  options.seed = 6;
+  options.num_sites = 3;
+  options.docs_per_site = 5;
+  const WebGraph original = GenerateSynthWeb(options);
+  auto written = SaveWebToDirectory(original, root_.string());
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written.value(), original.num_documents());
+  WebGraph reloaded;
+  auto stats = LoadWebFromDirectory(root_.string(), &reloaded);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(reloaded.AllUrls(), original.AllUrls());
+  for (const std::string& url : original.AllUrls()) {
+    EXPECT_EQ(reloaded.Find(url)->raw_html, original.Find(url)->raw_html)
+        << url;
+  }
+}
+
+TEST_F(FileWebTest, SaveRejectsFileDirectoryConflicts) {
+  // "/lab" is both a document and the prefix of "/lab/projects" — no
+  // faithful filesystem image exists.
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://h/lab", "a").ok());
+  ASSERT_TRUE(web.AddDocument("http://h/lab/projects", "b").ok());
+  EXPECT_EQ(SaveWebToDirectory(web, root_.string()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FileWebTest, MissingDirectoryFails) {
+  WebGraph web;
+  EXPECT_EQ(LoadWebFromDirectory((root_ / "nope").string(), &web)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileWebTest, EmptyTreeFails) {
+  std::filesystem::create_directories(root_ / "host.example");
+  WebGraph web;
+  EXPECT_EQ(LoadWebFromDirectory(root_.string(), &web).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace webdis::web

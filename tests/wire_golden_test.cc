@@ -1,0 +1,115 @@
+// Golden wire-format tests: serialize canonical objects and compare against
+// frozen byte images. A failure here means the wire format changed — bump
+// serialize::kWireVersion and regenerate the goldens deliberately, never
+// accidentally (deployed WEBDIS daemons interoperate across versions only
+// if the format is stable; see PROTOCOL.md).
+#include <gtest/gtest.h>
+
+#include "disql/compiler.h"
+#include "query/report.h"
+#include "query/web_query.h"
+#include "serialize/encoder.h"
+#include "serialize/framing.h"
+
+namespace webdis {
+namespace {
+
+std::string Hex(const std::vector<uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+TEST(WireGoldenTest, FrameHeader) {
+  const std::vector<uint8_t> frame =
+      serialize::EncodeFrame(2, {0xAA, 0xBB});
+  EXPECT_EQ(Hex(frame), "53494457" /* magic LE */
+                        "01"       /* version */
+                        "02"       /* type */
+                        "02000000" /* length */
+                        "aabb");
+}
+
+TEST(WireGoldenTest, QueryIdImage) {
+  query::QueryId id;
+  id.user = "maya";
+  id.reply_host = "u.site";
+  id.reply_port = 9000;
+  id.query_number = 7;
+  serialize::Encoder enc;
+  id.EncodeTo(&enc);
+  EXPECT_EQ(Hex(enc.data()),
+            "046d617961"      // "maya"
+            "06752e73697465"  // "u.site"
+            "2823"            // 9000 LE
+            "07000000");      // 7
+}
+
+TEST(WireGoldenTest, CloneStateImage) {
+  query::CloneState state{2, pre::Pre::Parse("G.L*1").value()};
+  serialize::Encoder enc;
+  state.EncodeTo(&enc);
+  // u32 num_q = 2; PRE: concat(arity 2){ link G, repeat(bounded,1){link L} }
+  EXPECT_EQ(Hex(enc.data()),
+            "02000000"  // num_q
+            "03"        // kConcat
+            "02"        // arity 2
+            "0202"      // kLink G(2)
+            "05"        // kRepeat
+            "00"        // bounded
+            "01000000"  // max 1
+            "0201");    // kLink L(1)
+}
+
+TEST(WireGoldenTest, MinimalCloneImageIsStable) {
+  // A canonical single-stage clone; any byte change here is a wire break.
+  auto compiled = disql::CompileDisql(
+      "select d.url from document d such that \"http://a/\" L d");
+  ASSERT_TRUE(compiled.ok());
+  query::WebQuery clone = compiled->web_query.Clone();
+  clone.id.user = "u";
+  clone.id.reply_host = "h";
+  clone.id.reply_port = 1;
+  clone.id.query_number = 1;
+  clone.dest_urls = {"http://a/"};
+  serialize::Encoder enc;
+  clone.EncodeTo(&enc);
+  EXPECT_EQ(Hex(enc.data()),
+            "0175"        // user "u"
+            "0168"        // host "h"
+            "0100"        // port 1
+            "01000000"    // query number 1
+            "01"          // 1 node-query
+            "0164"        // doc_alias "d"
+            "01"          // 1 from entry
+            "08646f63756d656e74"  // "document"
+            "0164"        // alias "d"
+            "00"          // no where
+            "01"          // 1 select column
+            "0164"        // alias "d"
+            "0375726c"    // column "url"
+            "01"          // distinct
+            "00"          // 0 future PREs
+            "0201"        // rem_pre: link L
+            "01"          // 1 dest
+            "09687474703a2f2f612f"  // "http://a/"
+            "00");        // ack_mode false
+}
+
+TEST(WireGoldenTest, EmptyReportImage) {
+  query::QueryReport report;
+  report.id.user = "u";
+  report.id.reply_host = "h";
+  report.id.reply_port = 1;
+  report.id.query_number = 1;
+  serialize::Encoder enc;
+  report.EncodeTo(&enc);
+  EXPECT_EQ(Hex(enc.data()), "0175" "0168" "0100" "01000000" "00");
+}
+
+}  // namespace
+}  // namespace webdis
