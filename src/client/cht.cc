@@ -1,5 +1,7 @@
 #include "client/cht.h"
 
+#include <set>
+
 #include "pre/log_equivalence.h"
 
 namespace webdis::client {
@@ -11,12 +13,14 @@ std::string CurrentHostsTable::BalanceKey(const std::string& node_url,
 }
 
 void CurrentHostsTable::Bump(const std::string& node_url,
-                             const query::CloneState& state, int delta) {
+                             const query::CloneState& state, int delta,
+                             SimTime now) {
   KeyBalance& kb = balance_[BalanceKey(node_url, state)];
   if (kb.node_url.empty()) {
     kb.node_url = node_url;
     kb.state = state;
   }
+  kb.last_activity = std::max(kb.last_activity, now);
   const bool was_zero = kb.balance == 0;
   kb.balance += delta;
   if (was_zero && kb.balance != 0) {
@@ -27,9 +31,9 @@ void CurrentHostsTable::Bump(const std::string& node_url,
 }
 
 bool CurrentHostsTable::Add(const std::string& node_url,
-                            const query::CloneState& state) {
+                            const query::CloneState& state, SimTime now) {
   ++total_adds_;
-  if (robust_) Bump(node_url, state, +1);
+  if (robust_) Bump(node_url, state, +1, now);
   if (dedup_) {
     bool suppress = false;
     bool matched = false;
@@ -55,15 +59,16 @@ bool CurrentHostsTable::Add(const std::string& node_url,
     }
     if (!matched) logged.push_back(state.rem_pre);
   }
-  entries_.push_back(Entry{node_url, state, false});
+  entries_.push_back(Entry{node_url, state, false, now});
   ++active_;
   max_active_ = std::max(max_active_, active_);
   return true;
 }
 
 bool CurrentHostsTable::MarkDeleted(const std::string& node_url,
-                                    const query::CloneState& state) {
-  if (robust_) Bump(node_url, state, -1);
+                                    const query::CloneState& state,
+                                    SimTime now) {
+  if (robust_) Bump(node_url, state, -1, now);
   for (Entry& entry : entries_) {
     if (!entry.deleted && entry.node_url == node_url &&
         entry.state.Equals(state)) {
@@ -101,6 +106,42 @@ CurrentHostsTable::DrainOutstanding() {
   }
   active_ = 0;
   return outstanding;
+}
+
+std::vector<CurrentHostsTable::Entry> CurrentHostsTable::DrainExpired(
+    SimTime now, SimDuration deadline) {
+  std::vector<Entry> expired;
+  if (robust_) {
+    std::set<std::string> expired_keys;
+    for (auto& [key, kb] : balance_) {
+      if (kb.balance == 0) continue;
+      if (now < kb.last_activity + deadline) continue;
+      expired.push_back(Entry{kb.node_url, kb.state, false, kb.last_activity});
+      kb.balance = 0;
+      --nonzero_keys_;
+      expired_keys.insert(key);
+    }
+    // Keep the entry list consistent with the zeroed balances so
+    // active_count() reflects the GC.
+    if (!expired_keys.empty()) {
+      for (Entry& entry : entries_) {
+        if (entry.deleted) continue;
+        if (expired_keys.contains(BalanceKey(entry.node_url, entry.state))) {
+          entry.deleted = true;
+          --active_;
+        }
+      }
+    }
+    return expired;
+  }
+  for (Entry& entry : entries_) {
+    if (entry.deleted) continue;
+    if (now < entry.last_activity + deadline) continue;
+    expired.push_back(entry);
+    entry.deleted = true;
+    --active_;
+  }
+  return expired;
 }
 
 bool CurrentHostsTable::AllDeleted() const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "query/report.h"
 #include "query/web_query.h"
 
@@ -44,18 +45,23 @@ class CurrentHostsTable {
     std::string node_url;
     query::CloneState state;
     bool deleted = false;
+    /// Virtual time of the last add/delete touching this entry's key —
+    /// feeds the deadline GC (DrainExpired).
+    SimTime last_activity = 0;
   };
 
   /// Adds an entry for a clone en route to `node_url` in `state`. Returns
   /// false if suppressed as a duplicate (dedup mode only; in robust mode the
-  /// suppressed add still participates in balance counting).
-  bool Add(const std::string& node_url, const query::CloneState& state);
+  /// suppressed add still participates in balance counting). `now` stamps
+  /// the key for deadline GC (0 = caller keeps no clock).
+  bool Add(const std::string& node_url, const query::CloneState& state,
+           SimTime now = 0);
 
   /// Processes a deletion for (node_url, state). Marks the first active
   /// matching entry deleted when one exists. Returns false if no active
   /// entry matched (tolerated; in robust mode the balance still decreases).
   bool MarkDeleted(const std::string& node_url,
-                   const query::CloneState& state);
+                   const query::CloneState& state, SimTime now = 0);
 
   /// Completion test (see class comment for mode semantics).
   bool AllDeleted() const;
@@ -67,6 +73,16 @@ class CurrentHostsTable {
   /// with a crashed server) — marks everything deleted, and zeroes all
   /// balances so AllDeleted() becomes true.
   std::vector<Entry> DrainOutstanding();
+
+  /// Deadline GC (failure handling, PROTOCOL.md): gives up on outstanding
+  /// keys whose last add/delete activity is at least `deadline` old —
+  /// evidence their host crashed or was partitioned away. Returns one
+  /// representative entry per expired key and zeroes it so completion can
+  /// be reached (as a *partial* outcome). Unlike DrainOutstanding this is
+  /// selective: keys with recent activity stay live. In robust mode
+  /// negative-balance keys expire too (their overtaking add will never
+  /// arrive once the sender is dead).
+  std::vector<Entry> DrainExpired(SimTime now, SimDuration deadline);
 
   size_t active_count() const { return active_; }
   size_t total_count() const { return entries_.size(); }
@@ -83,7 +99,7 @@ class CurrentHostsTable {
   static std::string BalanceKey(const std::string& node_url,
                                 const query::CloneState& state);
   void Bump(const std::string& node_url, const query::CloneState& state,
-            int delta);
+            int delta, SimTime now);
 
   /// Per-key add/delete balance plus a representative (node, state) so
   /// outstanding keys can be recovered.
@@ -91,6 +107,7 @@ class CurrentHostsTable {
     int64_t balance = 0;
     std::string node_url;
     query::CloneState state;
+    SimTime last_activity = 0;
   };
 
   bool dedup_;

@@ -15,6 +15,9 @@ UserSite::UserSite(std::string host, net::Transport* transport,
     : host_(std::move(host)),
       transport_(transport),
       options_(options),
+      sender_(transport, options.retry),
+      receiver_(transport,
+                options.retry.enabled && transport->SupportsTimers()),
       clock_([] { return SimTime{0}; }),
       next_port_(options.first_result_port) {}
 
@@ -68,7 +71,7 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
     // Figure 2: enter the CHT entries, then dispatch.
     if (!options_.ack_tree_termination) {
       for (const std::string& url : urls) {
-        raw->cht.Add(url, initial_state);
+        raw->cht.Add(url, initial_state, clock_());
       }
     }
     query::WebQuery clone = compiled.web_query.Clone();
@@ -85,7 +88,7 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
     }
     serialize::Encoder enc;
     clone.EncodeTo(&enc);
-    const Status status = transport_->Send(
+    const Status status = sender_.Send(
         self, net::Endpoint{site_host, server::kQueryServerPort},
         net::MessageType::kWebQuery, enc.Release());
     if (!status.ok()) {
@@ -95,7 +98,7 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
         raw->outstanding_root_acks.erase(root_token);
       } else {
         for (const std::string& url : urls) {
-          raw->cht.MarkDeleted(url, initial_state);
+          raw->cht.MarkDeleted(url, initial_state, clock_());
         }
       }
       for (const std::string& url : urls) {
@@ -104,7 +107,50 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
     }
   }
   MaybeComplete(raw);
+  if (!raw->completed && options_.use_cht &&
+      !options_.ack_tree_termination && options_.entry_deadline > 0 &&
+      transport_->SupportsTimers()) {
+    ScheduleSweep(raw);
+  }
   return id;
+}
+
+void UserSite::ScheduleSweep(QueryRun* run) {
+  const SimDuration interval =
+      std::max<SimDuration>(options_.entry_deadline / 4, kMillisecond);
+  run->sweep_timer = transport_->ScheduleAfter(
+      interval, [this, run] { SweepDeadlines(run); });
+}
+
+void UserSite::CancelSweep(QueryRun* run) {
+  if (run->sweep_timer != 0) {
+    transport_->CancelTimer(run->sweep_timer);
+    run->sweep_timer = 0;
+  }
+}
+
+void UserSite::SweepDeadlines(QueryRun* run) {
+  run->sweep_timer = 0;
+  if (run->completed || run->cancelled) return;
+  const std::vector<CurrentHostsTable::Entry> expired =
+      run->cht.DrainExpired(clock_(), options_.entry_deadline);
+  for (const CurrentHostsTable::Entry& entry : expired) {
+    ++run->stats.entries_gc;
+    run->partial = true;
+    auto parsed = html::ParseUrl(entry.node_url);
+    const std::string site_host =
+        parsed.ok() ? parsed->host : entry.node_url;
+    if (std::find(run->unreachable_hosts.begin(),
+                  run->unreachable_hosts.end(),
+                  site_host) == run->unreachable_hosts.end()) {
+      run->unreachable_hosts.push_back(site_host);
+    }
+  }
+  MaybeComplete(run);
+  // Re-arm while the run is live. Termination is still guaranteed: the
+  // message supply is finite (retries are capped), so eventually every key
+  // either settles or goes idle past the deadline and is collected here.
+  if (!run->completed && !run->cancelled) ScheduleSweep(run);
 }
 
 const UserSite::QueryRun* UserSite::Find(const query::QueryId& id) const {
@@ -123,6 +169,7 @@ void UserSite::Cancel(const query::QueryId& id) {
   QueryRun* run = it->second.get();
   if (run->completed || run->cancelled) return;
   run->cancelled = true;
+  CancelSweep(run);
   if (options_.active_termination) {
     // Send kTerminate to every site with an active clone.
     std::set<std::string> hosts;
@@ -154,6 +201,7 @@ void UserSite::FinishWithTimeout(const query::QueryId& id,
   QueryRun* run = it->second.get();
   if (run->completed) return;
   run->completed = true;
+  CancelSweep(run);
   const SimTime base =
       run->stats.reports_received > 0 ? run->last_report_time
                                       : run->submit_time;
@@ -173,6 +221,7 @@ size_t UserSite::AbandonStalled(const query::QueryId& id) {
         query::ChtEntry{entry.node_url, entry.state});
   }
   run->completed = true;
+  CancelSweep(run);
   run->completion_time = clock_();
   CloseResultSocket(run);
   return outstanding.size();
@@ -185,7 +234,6 @@ void UserSite::CloseResultSocket(QueryRun* run) {
 void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
                          net::MessageType type,
                          const std::vector<uint8_t>& payload) {
-  (void)from;
   if (type == net::MessageType::kAck && options_.ack_tree_termination) {
     serialize::Decoder dec(payload);
     uint64_t token = 0;
@@ -195,12 +243,28 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
     MaybeComplete(run);
     return;
   }
+  if (type == net::MessageType::kDeliveryAck) {
+    sender_.OnAck(payload);
+    return;
+  }
   if (type != net::MessageType::kReport) {
     WEBDIS_LOG(kWarning) << "user site ignoring message of type "
                          << net::MessageTypeToString(type);
     return;
   }
-  serialize::Decoder dec(payload);
+  // Report-sequence dedup: a retransmitted report whose original got
+  // through must not double-count CHT deletions or rows.
+  std::vector<uint8_t> inner;
+  const std::vector<uint8_t>* body = &payload;
+  if (receiver_.enabled()) {
+    if (!receiver_.Accept(net::Endpoint{host_, run->id.reply_port}, from,
+                          payload, &inner)) {
+      ++run->stats.redeliveries_suppressed;
+      return;
+    }
+    body = &inner;
+  }
+  serialize::Decoder dec(*body);
   query::QueryReport report;
   if (const Status status = query::QueryReport::DecodeFrom(&dec, &report);
       !status.ok()) {
@@ -224,7 +288,7 @@ void UserSite::HandleReport(QueryRun* run,
     // deleted. Unmatched deletes are tolerated: the entry may have been
     // suppressed by CHT dedup. (The ack-tree baseline keeps no CHT.)
     if (!options_.ack_tree_termination) {
-      run->cht.MarkDeleted(nr.node_url, nr.received_state);
+      run->cht.MarkDeleted(nr.node_url, nr.received_state, clock_());
     }
     if (nr.duplicate_drop) {
       ++run->stats.duplicate_drop_reports;
@@ -238,7 +302,7 @@ void UserSite::HandleReport(QueryRun* run,
     }
     if (!options_.ack_tree_termination) {
       for (const query::ChtEntry& entry : nr.next_entries) {
-        run->cht.Add(entry.node_url, entry.state);
+        run->cht.Add(entry.node_url, entry.state, clock_());
       }
     }
     for (const relational::ResultSet& rs : nr.result_sets) {
@@ -255,6 +319,7 @@ void UserSite::HandleReport(QueryRun* run,
     if (unique_rows >= options_.row_limit) {
       run->truncated = true;
       run->completed = true;
+      CancelSweep(run);
       run->completion_time = clock_();
       CloseResultSocket(run);
       return;
@@ -302,6 +367,7 @@ void UserSite::MaybeComplete(QueryRun* run) {
   if (options_.ack_tree_termination) {
     if (run->outstanding_root_acks.empty()) {
       run->completed = true;
+      CancelSweep(run);
       run->completion_time = clock_();
       if (options_.close_socket_on_completion) {
         CloseResultSocket(run);
@@ -312,6 +378,7 @@ void UserSite::MaybeComplete(QueryRun* run) {
   if (!options_.use_cht) return;
   if (run->cht.AllDeleted()) {
     run->completed = true;
+    CancelSweep(run);
     run->completion_time = clock_();
     if (options_.close_socket_on_completion) {
       CloseResultSocket(run);

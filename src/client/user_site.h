@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "disql/compiler.h"
+#include "net/reliable.h"
 #include "net/transport.h"
 #include "query/report.h"
 
@@ -48,6 +49,16 @@ struct UserSiteOptions {
   /// simply closes its socket and the distributed traversal dies out.
   /// 0 = exact (no limit).
   uint64_t row_limit = 0;
+  /// At-least-once delivery for initial clone dispatch + receipt dedup of
+  /// incoming reports. Must match the servers' setting (the envelope is not
+  /// self-describing); the engine enforces this.
+  net::RetryOptions retry;
+  /// CHT deadline GC (PROTOCOL.md "Failure handling"): a CHT key with no
+  /// add/delete activity for this long is declared unreachable — its host
+  /// crashed or is partitioned away — and garbage-collected so the query
+  /// still completes, flagged as a *partial* outcome naming the host.
+  /// 0 = disabled. Needs a timer-capable transport and use_cht.
+  SimDuration entry_deadline = 0;
 };
 
 /// Per-query client-side statistics.
@@ -60,6 +71,9 @@ struct QueryRunStats {
   uint64_t duplicate_rows_filtered = 0;
   uint64_t termination_messages_sent = 0;
   uint64_t root_acks_received = 0;  // ack-tree termination baseline
+  // Failure handling (PROTOCOL.md):
+  uint64_t entries_gc = 0;  // CHT keys garbage-collected past the deadline
+  uint64_t redeliveries_suppressed = 0;  // duplicate report transfers absorbed
 };
 
 /// The WEBDIS client process at the user site: parses nothing itself (takes
@@ -88,6 +102,13 @@ class UserSite {
     bool cancelled = false;
     /// Set when the row_limit cut the query short (approximate answer).
     bool truncated = false;
+    /// Set when deadline GC gave up on unreachable hosts: the query reached
+    /// completion but the answer may miss rows those hosts held.
+    bool partial = false;
+    /// Hosts whose CHT entries were garbage-collected (deduplicated).
+    std::vector<std::string> unreachable_hosts;
+    /// Pending deadline-sweep timer id (0 = none armed).
+    uint64_t sweep_timer = 0;
     SimTime submit_time = 0;
     SimTime completion_time = 0;
     SimTime last_report_time = 0;
@@ -130,6 +151,8 @@ class UserSite {
 
   const UserSiteOptions& options() const { return options_; }
   const std::string& host() const { return host_; }
+  /// Client-side at-least-once delivery counters (initial clone dispatch).
+  const net::RetryStats& retry_stats() const { return sender_.stats(); }
 
  private:
   void OnMessage(QueryRun* run, const net::Endpoint& from,
@@ -138,10 +161,17 @@ class UserSite {
   void MergeResults(QueryRun* run, const relational::ResultSet& rs);
   void MaybeComplete(QueryRun* run);
   void CloseResultSocket(QueryRun* run);
+  /// Deadline GC: expires idle outstanding CHT keys, records their hosts as
+  /// unreachable, and re-arms itself while the run is incomplete.
+  void SweepDeadlines(QueryRun* run);
+  void ScheduleSweep(QueryRun* run);
+  void CancelSweep(QueryRun* run);
 
   std::string host_;
   net::Transport* transport_;
   UserSiteOptions options_;
+  net::ReliableSender sender_;
+  net::ReliableReceiver receiver_;
   std::function<SimTime()> clock_;
   uint16_t next_port_;
   uint32_t next_query_number_ = 1;

@@ -57,6 +57,11 @@ std::string FormatResults(const std::vector<relational::ResultSet>& results) {
 
 Engine::Engine(const web::WebGraph* web, EngineOptions options)
     : web_(web), options_(options) {
+  // The at-least-once envelope is not self-describing: a retry-enabled
+  // sender talking to a retry-disabled receiver (or vice versa) would
+  // misparse every message. Catch the misconfiguration at construction.
+  WEBDIS_CHECK(options_.server.retry.enabled == options_.client.retry.enabled)
+      << "server and client retry settings must match";
   network_ = std::make_unique<net::SimNetwork>(options_.network);
   const std::vector<std::string> hosts = web_->Hosts();
 
@@ -170,6 +175,9 @@ server::QueryServerStats Engine::AggregateServerStats() const {
     total.decode_errors += s.decode_errors;
     total.acks_sent += s.acks_sent;
     total.acks_received += s.acks_received;
+    total.retries += s.retries;
+    total.retry_exhausted += s.retry_exhausted;
+    total.redeliveries_suppressed += s.redeliveries_suppressed;
   }
   return total;
 }
@@ -186,6 +194,8 @@ RunOutcome Engine::CollectOutcome(const query::QueryId& id,
   const client::UserSite::QueryRun* run = user_site_->Find(id);
   WEBDIS_CHECK(run != nullptr);
   outcome.completed = run->completed;
+  outcome.partial = run->partial;
+  outcome.unreachable_hosts = run->unreachable_hosts;
   outcome.results = run->results;
   outcome.submit_time = run->submit_time;
   outcome.completion_time = run->completion_time;
@@ -196,6 +206,7 @@ RunOutcome Engine::CollectOutcome(const query::QueryId& id,
   outcome.cht_suppressed = run->cht.suppressed_count();
   outcome.cht_unmatched_deletes = run->cht.unmatched_deletes();
   outcome.fallback_node_count = run->fallback_nodes.size();
+  outcome.client_retry = user_site_->retry_stats();
   outcome.server_stats = AggregateServerStats();
   outcome.traffic = Subtract(TrafficSnapshot(), baseline_traffic);
   return outcome;

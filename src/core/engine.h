@@ -10,6 +10,7 @@
 #include "client/user_site.h"
 #include "common/status.h"
 #include "disql/compiler.h"
+#include "net/reliable.h"
 #include "net/sim.h"
 #include "server/http_server.h"
 #include "server/query_server.h"
@@ -58,6 +59,10 @@ struct TrafficSummary {
 struct RunOutcome {
   query::QueryId id;
   bool completed = false;
+  /// Completion was reached by deadline GC rather than a settled CHT: some
+  /// hosts were unreachable and the answer may be missing their rows.
+  bool partial = false;
+  std::vector<std::string> unreachable_hosts;
   std::vector<relational::ResultSet> results;
   SimTime submit_time = 0;
   SimTime completion_time = 0;     // when the user site *knew* it was done
@@ -70,6 +75,8 @@ struct RunOutcome {
   uint64_t cht_unmatched_deletes = 0;
   size_t fallback_node_count = 0;
   baseline::DataShippingOutcome fallback;  // §7.1 centralized continuation
+  /// Client-side at-least-once delivery counters (initial dispatch).
+  net::RetryStats client_retry;
   TrafficSummary traffic;
 
   /// Total rows across all result sets.

@@ -1,0 +1,120 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serialize/encoder.h"
+
+namespace webdis::net {
+
+Status ReliableSender::Send(const Endpoint& from, const Endpoint& to,
+                            MessageType type, std::vector<uint8_t> payload) {
+  if (!enabled()) {
+    return transport_->Send(from, to, type, std::move(payload));
+  }
+  const uint64_t seq = next_seq_++;
+  serialize::Encoder enc;
+  enc.PutU64(seq);
+  enc.PutRaw(payload.data(), payload.size());
+  std::vector<uint8_t> enveloped = enc.Release();
+
+  Status status = transport_->Send(from, to, type, enveloped);
+  if (status.code() == StatusCode::kConnectionRefused) {
+    // First-attempt refusal is synchronous protocol signal (passive
+    // termination, crashed next hop) — report it, track nothing.
+    return status;
+  }
+  ++stats_.tracked;
+  Pending pending;
+  pending.from = from;
+  pending.to = to;
+  pending.type = type;
+  pending.enveloped = std::move(enveloped);
+  pending.attempts = 1;
+  pending.timeout = options_.initial_timeout;
+  pending_.emplace(seq, std::move(pending));
+  Arm(seq);
+  return status;
+}
+
+void ReliableSender::Arm(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  it->second.timer = transport_->ScheduleAfter(
+      it->second.timeout, [this, seq] { OnTimeout(seq); });
+}
+
+void ReliableSender::OnTimeout(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // acked while the timer was in flight
+  Pending& pending = it->second;
+  if (pending.attempts >= options_.max_attempts) {
+    ++stats_.exhausted;
+    pending_.erase(it);
+    return;
+  }
+  ++pending.attempts;
+  ++stats_.retries;
+  Status resend = transport_->Send(pending.from, pending.to, pending.type,
+                                   pending.enveloped);
+  if (resend.code() == StatusCode::kConnectionRefused) {
+    // The destination is gone (crashed, or the user site closed its result
+    // socket after completion). The original Send already succeeded from
+    // the caller's view; stop retrying quietly.
+    ++stats_.refused_on_retry;
+    pending_.erase(it);
+    return;
+  }
+  pending.timeout = std::min<SimDuration>(
+      static_cast<SimDuration>(static_cast<double>(pending.timeout) *
+                               options_.backoff_factor),
+      options_.max_timeout);
+  Arm(seq);
+}
+
+void ReliableSender::OnAck(const std::vector<uint8_t>& payload) {
+  serialize::Decoder dec(payload);
+  uint64_t seq = 0;
+  if (!dec.GetU64(&seq).ok()) return;  // malformed ack: ignore
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    ++stats_.duplicate_acks;
+    return;
+  }
+  if (it->second.timer != 0) transport_->CancelTimer(it->second.timer);
+  pending_.erase(it);
+  ++stats_.acked;
+}
+
+void ReliableSender::CancelAll() {
+  for (auto& [seq, pending] : pending_) {
+    if (pending.timer != 0) transport_->CancelTimer(pending.timer);
+  }
+  pending_.clear();
+}
+
+bool ReliableReceiver::Accept(const Endpoint& self, const Endpoint& from,
+                              const std::vector<uint8_t>& payload,
+                              std::vector<uint8_t>* inner) {
+  if (!enabled_) {
+    *inner = payload;
+    return true;
+  }
+  serialize::Decoder dec(payload);
+  uint64_t seq = 0;
+  if (!dec.GetU64(&seq).ok()) return false;  // malformed envelope: drop
+  // Always acknowledge — the sender may be retrying because the previous
+  // ack was lost. Refusal is fine: the sender may already be gone.
+  serialize::Encoder ack;
+  ack.PutU64(seq);
+  (void)transport_->Send(self, from, MessageType::kDeliveryAck,
+                         ack.Release());
+  if (!seen_[from].insert(seq).second) {
+    ++suppressed_;
+    return false;  // replay: already processed
+  }
+  inner->assign(payload.begin() + dec.position(), payload.end());
+  return true;
+}
+
+}  // namespace webdis::net

@@ -1,0 +1,144 @@
+#ifndef WEBDIS_NET_RELIABLE_H_
+#define WEBDIS_NET_RELIABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace webdis::net {
+
+/// Tuning for the at-least-once delivery layer. Disabled by default: the
+/// paper assumes reliable-once-accepted 1999 TCP, and the seed protocol
+/// (including its golden wire format) stays byte-identical unless a
+/// deployment opts in.
+struct RetryOptions {
+  bool enabled = false;
+  /// First retransmission fires this long after the original send.
+  SimDuration initial_timeout = 200 * kMillisecond;
+  /// Timeout grows by this factor per retransmission, capped below.
+  double backoff_factor = 2.0;
+  SimDuration max_timeout = 2 * kSecond;
+  /// Total attempts (original + retransmissions). When exhausted the
+  /// transfer is abandoned — recovery then falls to the receiver side
+  /// (CHT deadline GC at the user site).
+  uint32_t max_attempts = 5;
+};
+
+struct RetryStats {
+  uint64_t tracked = 0;          // transfers sent with delivery tracking
+  uint64_t retries = 0;          // retransmissions put on the wire
+  uint64_t acked = 0;            // transfers confirmed by a DeliveryAck
+  uint64_t duplicate_acks = 0;   // acks for transfers no longer tracked
+  uint64_t exhausted = 0;        // transfers abandoned after max_attempts
+  uint64_t refused_on_retry = 0; // retransmissions refused at connect time
+};
+
+/// Sender half of at-least-once delivery for clone forwarding and report
+/// dispatch. Each tracked Send prepends a `u64 transfer_seq` envelope and
+/// arms a retransmission timer with capped exponential backoff; the timer
+/// is disarmed when the matching MessageType::kDeliveryAck arrives (the
+/// owner routes those to OnAck).
+///
+/// Failure semantics are preserved where the protocol depends on them: a
+/// synchronous ConnectionRefused on the *first* attempt passes through
+/// untracked, because passive termination (§2.8) and the crashed-next-hop
+/// report path both act on it. Refusal on a retransmission stops the timer
+/// silently — by then the original Send already reported success.
+///
+/// Inert unless both options.enabled and the transport supports timers;
+/// when inert, Send is a plain pass-through with no envelope.
+class ReliableSender {
+ public:
+  ReliableSender(Transport* transport, RetryOptions options)
+      : transport_(transport), options_(options) {}
+  ~ReliableSender() { CancelAll(); }
+
+  ReliableSender(const ReliableSender&) = delete;
+  ReliableSender& operator=(const ReliableSender&) = delete;
+
+  bool enabled() const {
+    return options_.enabled && transport_->SupportsTimers();
+  }
+
+  /// Sends `payload` as `type`, tracked for redelivery when enabled().
+  /// `from` must be an endpoint this sender's owner listens on: acks come
+  /// back to it.
+  Status Send(const Endpoint& from, const Endpoint& to, MessageType type,
+              std::vector<uint8_t> payload);
+
+  /// Routes a received kDeliveryAck payload (u64 transfer_seq) here.
+  void OnAck(const std::vector<uint8_t>& payload);
+
+  /// Drops all in-flight tracking and cancels timers (crash semantics:
+  /// pending retransmissions are volatile state).
+  void CancelAll();
+
+  const RetryStats& stats() const { return stats_; }
+  uint64_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Endpoint from;
+    Endpoint to;
+    MessageType type;
+    std::vector<uint8_t> enveloped;  // seq header + payload, as wired
+    uint32_t attempts = 1;
+    SimDuration timeout = 0;
+    uint64_t timer = 0;
+  };
+
+  void Arm(uint64_t seq);
+  void OnTimeout(uint64_t seq);
+
+  Transport* transport_;
+  RetryOptions options_;
+  uint64_t next_seq_ = 1;
+  std::map<uint64_t, Pending> pending_;
+  RetryStats stats_;
+};
+
+/// Receiver half: strips the transfer envelope, acknowledges every copy,
+/// and reports replays so the owner can drop them *before* any protocol
+/// processing. Exact-duplicate suppression must happen ahead of the log
+/// table: a redelivered clone that reached the log-table check would emit a
+/// second duplicate-drop report and unbalance the robust CHT's add/delete
+/// counts.
+class ReliableReceiver {
+ public:
+  /// `enabled` must match the sender side's enabled() — the envelope is not
+  /// self-describing.
+  ReliableReceiver(Transport* transport, bool enabled)
+      : transport_(transport), enabled_(enabled) {}
+
+  /// Decodes one received payload. Returns true with the inner payload in
+  /// `*inner` when the owner should process it; false for replays (already
+  /// acknowledged) and malformed envelopes. When disabled, passes the
+  /// payload through untouched. `self` is the endpoint the message arrived
+  /// on (the ack's source), `from` the sender to ack back to.
+  bool Accept(const Endpoint& self, const Endpoint& from,
+              const std::vector<uint8_t>& payload,
+              std::vector<uint8_t>* inner);
+
+  /// Forgets all receipt history (crash semantics: the dedup table is
+  /// volatile, like the log table — after restart, redelivered transfers
+  /// are processed anew and the protocol layers above absorb them).
+  void Reset() { seen_.clear(); }
+
+  bool enabled() const { return enabled_; }
+  uint64_t suppressed_count() const { return suppressed_; }
+
+ private:
+  Transport* transport_;
+  bool enabled_;
+  std::map<Endpoint, std::set<uint64_t>> seen_;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace webdis::net
+
+#endif  // WEBDIS_NET_RELIABLE_H_

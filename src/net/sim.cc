@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "net/fault.h"
 #include "serialize/framing.h"
 
 namespace webdis::net {
@@ -46,8 +47,33 @@ Status SimNetwork::Send(const Endpoint& from, const Endpoint& to,
     return Status::OK();  // accepted, then lost in flight
   }
 
-  SimDuration latency = crosses_hosts ? options_.inter_host_latency
-                                      : options_.same_host_latency;
+  FaultDecision fault;
+  if (fault_plan_ != nullptr) {
+    fault = fault_plan_->Decide(from, to, type, now_);
+    if (fault.drop) {
+      ++dropped_;
+      return Status::OK();  // accepted, then lost in flight
+    }
+  }
+  // Duplicated messages model a retransmission racing its original: each
+  // copy takes an independent trip through latency jitter and the serial
+  // receive queue.
+  for (uint32_t i = 0; i < fault.duplicates; ++i) {
+    EnqueueDelivery(from, to, type, payload, fault.extra_delay, wire_bytes);
+  }
+  EnqueueDelivery(from, to, type, std::move(payload), fault.extra_delay,
+                  wire_bytes);
+  return Status::OK();
+}
+
+void SimNetwork::EnqueueDelivery(const Endpoint& from, const Endpoint& to,
+                                 MessageType type,
+                                 std::vector<uint8_t> payload,
+                                 SimDuration extra_delay,
+                                 uint64_t wire_bytes) {
+  SimDuration latency = (from.host != to.host) ? options_.inter_host_latency
+                                               : options_.same_host_latency;
+  latency += extra_delay;
   if (options_.latency_jitter > 0) {
     latency += jitter_rng_.Uniform(options_.latency_jitter + 1);
   }
@@ -83,7 +109,25 @@ Status SimNetwork::Send(const Endpoint& from, const Endpoint& to,
   event.type = type;
   event.payload = std::move(payload);
   events_.push(std::move(event));
-  return Status::OK();
+}
+
+uint64_t SimNetwork::ScheduleAfter(SimDuration delay,
+                                   std::function<void()> fn) {
+  Event event;
+  event.deliver_at = now_ + delay;
+  event.sequence = next_sequence_++;
+  event.timer = std::move(fn);
+  event.timer_id = next_timer_id_++;
+  pending_timers_.insert(event.timer_id);
+  const uint64_t id = event.timer_id;
+  events_.push(std::move(event));
+  return id;
+}
+
+bool SimNetwork::CancelTimer(uint64_t id) {
+  // The queued event stays; RunOne skips it when the id is no longer
+  // pending.
+  return pending_timers_.erase(id) > 0;
 }
 
 bool SimNetwork::RunOne() {
@@ -91,9 +135,20 @@ bool SimNetwork::RunOne() {
   // priority_queue::top() is const; copy out (payloads are modest).
   Event event = events_.top();
   events_.pop();
+  if (event.timer) {
+    if (pending_timers_.erase(event.timer_id) == 0) {
+      return true;  // cancelled while queued
+    }
+    now_ = event.deliver_at;
+    ++timers_fired_;
+    WEBDIS_CHECK(delivered_ + timers_fired_ <= options_.max_deliveries)
+        << "simulated network exceeded max_deliveries — runaway timers?";
+    event.timer();
+    return true;
+  }
   now_ = event.deliver_at;
   ++delivered_;
-  WEBDIS_CHECK(delivered_ <= options_.max_deliveries)
+  WEBDIS_CHECK(delivered_ + timers_fired_ <= options_.max_deliveries)
       << "simulated network exceeded max_deliveries — runaway forwarding?";
   auto it = listeners_.find(event.to);
   if (it == listeners_.end()) {

@@ -14,6 +14,8 @@
 
 namespace webdis::net {
 
+class FaultPlan;
+
 /// Cost model for the simulated network. Delivery time of a message is
 /// latency(from,to) + bytes / bandwidth. Defaults model a late-90s setting:
 /// sub-millisecond within a host, tens of milliseconds across sites, and
@@ -72,6 +74,13 @@ class SimNetwork : public Transport {
   Status Send(const Endpoint& from, const Endpoint& to, MessageType type,
               std::vector<uint8_t> payload) override;
 
+  /// Timers share the event queue: a timer scheduled for t fires in
+  /// (time, sequence) order with message deliveries and advances the
+  /// virtual clock. RunUntilIdle drains timers too.
+  uint64_t ScheduleAfter(SimDuration delay, std::function<void()> fn) override;
+  bool CancelTimer(uint64_t id) override;
+  bool SupportsTimers() const override { return true; }
+
   // -- Simulation control ---------------------------------------------------
 
   /// Delivers the earliest pending message; false if none pending.
@@ -95,6 +104,12 @@ class SimNetwork : public Transport {
       std::function<bool(const Endpoint& from, const Endpoint& to,
                          MessageType type)>;
   void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+  /// Attaches a composable fault schedule (see net/fault.h), consulted per
+  /// accepted message after the drop filter. The plan decides drop /
+  /// duplication / extra delay and is passed the virtual clock, so its
+  /// time-phased rules work. Not owned; pass nullptr to detach.
+  void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
 
   /// Closes every listener on the host (models a site crash).
   void KillHost(const std::string& host);
@@ -125,6 +140,10 @@ class SimNetwork : public Transport {
     Endpoint to;
     MessageType type;
     std::vector<uint8_t> payload;
+    // Timer events: non-null `timer` marks the event as a scheduled
+    // callback rather than a message delivery.
+    std::function<void()> timer;
+    uint64_t timer_id = 0;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -133,6 +152,10 @@ class SimNetwork : public Transport {
     }
   };
 
+  void EnqueueDelivery(const Endpoint& from, const Endpoint& to,
+                       MessageType type, std::vector<uint8_t> payload,
+                       SimDuration extra_delay, uint64_t wire_bytes);
+
   SimNetworkOptions options_;
   Rng jitter_rng_;
   SimTime now_ = 0;
@@ -140,11 +163,15 @@ class SimNetwork : public Transport {
   uint64_t delivered_ = 0;
   uint64_t refused_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t timers_fired_ = 0;
+  uint64_t next_timer_id_ = 1;
+  std::set<uint64_t> pending_timers_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::map<Endpoint, MessageHandler> listeners_;
   std::map<Endpoint, SimTime> busy_until_;  // per-listener serial queue
   std::map<std::string, SimDuration> host_extra_latency_;
   DropFilter drop_filter_;
+  FaultPlan* fault_plan_ = nullptr;
   TrafficStats total_;
   TrafficStats inter_host_;
   std::map<MessageType, TrafficStats> by_type_;

@@ -222,8 +222,48 @@ Status TcpTransport::Send(const Endpoint& from, const Endpoint& to,
   return status;
 }
 
+uint64_t TcpTransport::ScheduleAfter(SimDuration delay,
+                                     std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_timer_id_++;
+  timers_[id] = Timer{
+      std::chrono::steady_clock::now() + std::chrono::microseconds(delay),
+      std::move(fn)};
+  return id;
+}
+
+bool TcpTransport::CancelTimer(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timers_.erase(id) > 0;
+}
+
+size_t TcpTransport::FireDueTimers() {
+  size_t fired = 0;
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = std::chrono::steady_clock::now();
+      auto due = timers_.end();
+      for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+        if (it->second.due <= now &&
+            (due == timers_.end() || it->second.due < due->second.due)) {
+          due = it;
+        }
+      }
+      if (due == timers_.end()) break;
+      fn = std::move(due->second.fn);
+      timers_.erase(due);
+    }
+    fn();  // outside the lock: the callback may Send or re-schedule
+    ++fired;
+  }
+  return fired;
+}
+
 size_t TcpTransport::ProcessPending() {
   size_t dispatched = 0;
+  FireDueTimers();
   while (true) {
     Delivery delivery;
     MessageHandler handler;
@@ -248,10 +288,23 @@ size_t TcpTransport::PumpUntilIdle(int quiesce_ms) {
     total += ProcessPending();
     std::unique_lock<std::mutex> lock(mu_);
     if (!pending_.empty()) continue;
-    const bool got_more = cv_.wait_for(
-        lock, std::chrono::milliseconds(quiesce_ms),
-        [this] { return !pending_.empty(); });
-    if (!got_more) break;
+    // Wake early if a timer comes due before the quiesce window closes, so
+    // retransmissions fire while we wait for traffic to settle.
+    auto wait_until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(quiesce_ms);
+    bool timer_due_first = false;
+    for (const auto& [id, timer] : timers_) {
+      if (timer.due < wait_until) {
+        wait_until = timer.due;
+        timer_due_first = true;
+      }
+    }
+    const bool got_more = cv_.wait_until(
+        lock, wait_until, [this] { return !pending_.empty(); });
+    if (!got_more && !timer_due_first) break;
+    // Either a delivery arrived or a timer is (about to be) due; loop to
+    // pump both.
   }
   return total;
 }

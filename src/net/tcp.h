@@ -2,6 +2,7 @@
 #define WEBDIS_NET_TCP_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -43,6 +44,13 @@ class TcpTransport : public Transport {
   Status Send(const Endpoint& from, const Endpoint& to, MessageType type,
               std::vector<uint8_t> payload) override;
 
+  /// Wall-clock timers, fired from the caller's pump (ProcessPending /
+  /// PumpUntilIdle) — never from a background thread, preserving the
+  /// single-threaded dispatch model.
+  uint64_t ScheduleAfter(SimDuration delay, std::function<void()> fn) override;
+  bool CancelTimer(uint64_t id) override;
+  bool SupportsTimers() const override { return true; }
+
   /// The real 127.0.0.1 port bound for a symbolic endpoint (0 if none).
   uint16_t ResolvePort(const Endpoint& endpoint) const;
 
@@ -62,15 +70,23 @@ class TcpTransport : public Transport {
     MessageType type;
     std::vector<uint8_t> payload;
   };
+  struct Timer {
+    std::chrono::steady_clock::time_point due;
+    std::function<void()> fn;
+  };
 
   void AcceptLoop(Listener* listener);
   void ReadConnection(int fd, Listener* listener);
+  /// Fires every due timer; returns how many fired.
+  size_t FireDueTimers();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<Endpoint, std::unique_ptr<Listener>> listeners_;
   std::map<Endpoint, uint16_t> real_ports_;  // symbolic -> bound 127.0.0.1 port
   std::deque<Delivery> pending_;
+  uint64_t next_timer_id_ = 1;
+  std::map<uint64_t, Timer> timers_;
 };
 
 }  // namespace webdis::net

@@ -18,8 +18,22 @@ std::string_view MessageTypeToString(MessageType type) {
       return "FetchResponse";
     case MessageType::kAck:
       return "Ack";
+    case MessageType::kDeliveryAck:
+      return "DeliveryAck";
   }
   return "Unknown";
+}
+
+uint64_t Transport::ScheduleAfter(SimDuration delay,
+                                  std::function<void()> fn) {
+  (void)delay;
+  (void)fn;
+  return 0;  // no timer support
+}
+
+bool Transport::CancelTimer(uint64_t id) {
+  (void)id;
+  return false;
 }
 
 std::string Endpoint::ToString() const {

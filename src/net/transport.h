@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 
 namespace webdis::net {
@@ -18,6 +19,7 @@ enum class MessageType : uint8_t {
   kFetchRequest = 4,   // data-shipping baseline: document request
   kFetchResponse = 5,  // data-shipping baseline: document contents
   kAck = 6,            // ack-tree termination baseline (Related Work [4])
+  kDeliveryAck = 7,    // per-transfer receipt of the at-least-once layer
 };
 
 std::string_view MessageTypeToString(MessageType type);
@@ -66,6 +68,23 @@ class Transport {
   /// Sends one message. See class comment for failure semantics.
   virtual Status Send(const Endpoint& from, const Endpoint& to,
                       MessageType type, std::vector<uint8_t> payload) = 0;
+
+  // -- Timers ---------------------------------------------------------------
+  // Optional: the retry/recovery layers (net/reliable.h) need to schedule
+  // retransmissions and deadline sweeps. Transports that cannot schedule
+  // callbacks report !SupportsTimers() and those layers degrade to plain
+  // fire-and-forget sends.
+
+  /// Schedules `fn` to run after `delay` on the transport's dispatch context
+  /// (the simulated clock for SimNetwork, wall time for TcpTransport).
+  /// Returns a nonzero timer id, or 0 if the transport has no timer support.
+  virtual uint64_t ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  /// Cancels a pending timer; returns true if it had not fired yet.
+  virtual bool CancelTimer(uint64_t id);
+
+  /// True if ScheduleAfter actually schedules.
+  virtual bool SupportsTimers() const { return false; }
 };
 
 }  // namespace webdis::net

@@ -17,7 +17,27 @@ QueryServer::QueryServer(std::string host, const web::WebGraph* web,
     : host_(std::move(host)),
       web_(web),
       transport_(transport),
-      options_(options) {}
+      options_(options),
+      sender_(transport, options.retry),
+      receiver_(transport,
+                options.retry.enabled && transport->SupportsTimers()) {}
+
+const QueryServerStats& QueryServer::stats() const {
+  stats_.retries = sender_.stats().retries;
+  stats_.retry_exhausted = sender_.stats().exhausted;
+  stats_.redeliveries_suppressed = receiver_.suppressed_count();
+  return stats_;
+}
+
+void QueryServer::Crash() {
+  Stop();
+  sender_.CancelAll();
+  receiver_.Reset();
+  log_table_.Purge();
+  terminated_queries_.clear();
+  pending_acks_.clear();
+  db_cache_.clear();
+}
 
 Status QueryServer::Start() {
   if (started_) return Status::InvalidArgument("QueryServer already started");
@@ -40,10 +60,21 @@ void QueryServer::Stop() {
 
 void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
                             const std::vector<uint8_t>& payload) {
-  (void)from;
   switch (type) {
     case net::MessageType::kWebQuery: {
-      serialize::Decoder dec(payload);
+      // Delivery dedup MUST precede all protocol processing: a redelivered
+      // clone that reached the log table would emit a second duplicate-drop
+      // report and unbalance the robust CHT's add/delete counts.
+      std::vector<uint8_t> inner;
+      const std::vector<uint8_t>* body = &payload;
+      if (receiver_.enabled()) {
+        if (!receiver_.Accept(net::Endpoint{host_, kQueryServerPort}, from,
+                              payload, &inner)) {
+          return;  // replay of an already-processed transfer
+        }
+        body = &inner;
+      }
+      serialize::Decoder dec(*body);
       query::WebQuery clone;
       const Status status = query::WebQuery::DecodeFrom(&dec, &clone);
       if (!status.ok()) {
@@ -52,6 +83,10 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
         return;
       }
       ProcessClone(std::move(clone));
+      return;
+    }
+    case net::MessageType::kDeliveryAck: {
+      sender_.OnAck(payload);
       return;
     }
     case net::MessageType::kAck: {
@@ -246,7 +281,7 @@ bool QueryServer::DispatchReports(const query::WebQuery& clone,
   for (const query::QueryReport& qr : messages) {
     serialize::Encoder enc;
     qr.EncodeTo(&enc);
-    const Status status = transport_->Send(
+    const Status status = sender_.Send(
         self, user_site, net::MessageType::kReport, enc.Release());
     if (!status.ok()) {
       // Passive termination (Section 2.8): the user site closed its result
@@ -387,8 +422,8 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
     serialize::Encoder enc;
     next.EncodeTo(&enc);
     const Status status =
-        transport_->Send(self, net::Endpoint{out.dest_host, kQueryServerPort},
-                         net::MessageType::kWebQuery, enc.Release());
+        sender_.Send(self, net::Endpoint{out.dest_host, kQueryServerPort},
+                     net::MessageType::kWebQuery, enc.Release());
     if (!status.ok()) {
       // The destination runs no query server (non-participating site, or it
       // crashed). Tell the user site so (a) its CHT entries clear and

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/reliable.h"
 #include "net/transport.h"
 #include "query/report.h"
 #include "query/web_query.h"
@@ -26,7 +27,19 @@ struct QueryServerOptions {
   /// Report duplicate drops to the user site so CHT completion detection is
   /// robust under arbitrary message interleavings (extension; see
   /// DESIGN.md §5 — the paper's CHT-side suppression alone can hang).
+  /// Note this only fixes *reordering* hangs: if the duplicate-drop report
+  /// itself is lost in flight, the CHT balance for that clone never settles
+  /// and completion hangs anyway. Closing that hole needs at-least-once
+  /// delivery — enable `retry` below (both sides); the drop report is then
+  /// retransmitted until acknowledged (regression: FaultTest.
+  /// DroppedDuplicateDropReportIsRetried).
   bool report_dropped_duplicates = true;
+  /// At-least-once delivery for clone forwarding and report dispatch
+  /// (PROTOCOL.md "Failure handling"). Must match the user site's setting —
+  /// the delivery envelope is not self-describing. Off by default: the
+  /// paper assumes 1999-TCP reliable-once-accepted semantics and the seed
+  /// wire format stays byte-identical.
+  net::RetryOptions retry;
   /// One clone per destination site carrying all target nodes (§3.2(4)).
   bool batch_clones_per_site = true;
   /// One report message per incoming clone, covering all its destination
@@ -59,6 +72,10 @@ struct QueryServerStats {
   uint64_t decode_errors = 0;
   uint64_t acks_sent = 0;      // ack-tree termination baseline only
   uint64_t acks_received = 0;  // ack-tree termination baseline only
+  // At-least-once delivery layer (PROTOCOL.md "Failure handling"):
+  uint64_t retries = 0;            // retransmissions put on the wire
+  uint64_t retry_exhausted = 0;    // transfers abandoned after max attempts
+  uint64_t redeliveries_suppressed = 0;  // duplicate transfers absorbed
 };
 
 /// One per-node visit, emitted to the observer hook (used by the figure
@@ -99,8 +116,20 @@ class QueryServer {
   Status Start();
   void Stop();
 
+  /// Simulates a site crash: stops listening on the query port and loses
+  /// all volatile protocol state — log table, delivery-dedup history,
+  /// pending retransmissions, terminated-query set, ack bookkeeping and the
+  /// database cache. Counters survive (they are measurement, not state).
+  /// The site's HTTP document server is untouched: a crashed query daemon
+  /// does not take the website down.
+  void Crash();
+  /// Brings a crashed server back with empty tables (log-table loss means
+  /// re-arriving clones are reprocessed; the protocol layers above absorb
+  /// the resulting duplicates).
+  Status Restart() { return Start(); }
+
   const std::string& host() const { return host_; }
-  const QueryServerStats& stats() const { return stats_; }
+  const QueryServerStats& stats() const;
   const LogTable& log_table() const { return log_table_; }
   void PurgeLogTable() { log_table_.Purge(); }
 
@@ -157,7 +186,10 @@ class QueryServer {
   const web::WebGraph* web_;
   net::Transport* transport_;
   QueryServerOptions options_;
-  QueryServerStats stats_;
+  /// Mutable: stats() lazily folds the delivery layer's counters in.
+  mutable QueryServerStats stats_;
+  net::ReliableSender sender_;
+  net::ReliableReceiver receiver_;
   LogTable log_table_;
   std::set<std::string> terminated_queries_;  // by QueryId::Key()
   std::map<uint64_t, PendingAck> pending_acks_;  // by local token

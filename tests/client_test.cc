@@ -4,6 +4,7 @@
 #include "serialize/encoder.h"
 #include "client/user_site.h"
 #include "core/engine.h"
+#include "net/fault.h"
 #include "web/topologies.h"
 
 namespace webdis::client {
@@ -242,6 +243,110 @@ TEST_F(UserSiteTest, ResultsDedupAcrossReports) {
   auto outcome = engine.Run(fig5.disql);
   ASSERT_TRUE(outcome.ok());
   EXPECT_GT(outcome->client_stats.duplicate_rows_filtered, 0u);
+  // Unique rows only in the final result sets.
+  for (const relational::ResultSet& rs : outcome->results) {
+    std::set<std::string> seen;
+    for (const relational::Tuple& row : rs.rows) {
+      std::string key;
+      for (const relational::Value& v : row) key += v.ToString() + "|";
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate row " << key;
+    }
+  }
+}
+
+// -- Failure handling: CHT deadline GC and report receipt dedup ---------------
+
+TEST(ChtDeadlineTest, DrainExpiredCollectsIdleNonzeroKeys) {
+  CurrentHostsTable cht(/*dedup=*/true, /*robust=*/true);
+  cht.Add("http://a/x", S(1, "L"), /*now=*/0);
+  cht.Add("http://b/y", S(1, "G"), 0);
+  cht.MarkDeleted("http://b/y", S(1, "G"), 5 * kMillisecond);
+  // Fresh activity just before the sweep keeps a key alive.
+  cht.Add("http://c/z", S(2, "L"), 9 * kMillisecond);
+
+  auto expired = cht.DrainExpired(11 * kMillisecond, 10 * kMillisecond);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].node_url, "http://a/x");
+  EXPECT_FALSE(cht.AllDeleted());  // c/z is still outstanding
+
+  cht.MarkDeleted("http://c/z", S(2, "L"), 12 * kMillisecond);
+  EXPECT_TRUE(cht.AllDeleted());
+
+  // Negative balances (a delete whose matching add was lost) expire too.
+  cht.MarkDeleted("http://d/w", S(1, "L"), 20 * kMillisecond);
+  EXPECT_FALSE(cht.AllDeleted());
+  auto expired2 = cht.DrainExpired(31 * kMillisecond, 10 * kMillisecond);
+  ASSERT_EQ(expired2.size(), 1u);
+  EXPECT_EQ(expired2[0].node_url, "http://d/w");
+  EXPECT_TRUE(cht.AllDeleted());
+}
+
+core::EngineOptions FailureHandlingOptions() {
+  core::EngineOptions options;
+  options.server.retry.enabled = true;
+  options.server.retry.initial_timeout = 100 * kMillisecond;
+  options.server.retry.max_timeout = 400 * kMillisecond;
+  options.server.retry.max_attempts = 4;
+  options.client.retry = options.server.retry;
+  options.client.entry_deadline = 10 * kSecond;
+  return options;
+}
+
+TEST(DeadlineGcTest, UnreachableHostYieldsExplicitPartialCompletion) {
+  web::CampusScenario scenario = web::BuildCampusScenario();
+  core::Engine engine(&scenario.web, FailureHandlingOptions());
+  // Every report from the DSL site is lost after accept, retransmissions
+  // included: its CHT entries go idle and only the deadline GC can finish
+  // the query.
+  net::FaultPlan plan;
+  net::FaultPlan::Rule rule;
+  rule.type = net::MessageType::kReport;
+  rule.from_host = "dsl.serc.iisc.ernet.in";
+  rule.drop_prob = 1.0;
+  plan.AddRule(rule);
+  engine.network().SetFaultPlan(&plan);
+
+  auto outcome = engine.Run(scenario.disql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->completed);
+  EXPECT_TRUE(outcome->partial);
+  EXPECT_GT(outcome->client_stats.entries_gc, 0u);
+  bool dsl_named = false;
+  for (const std::string& host : outcome->unreachable_hosts) {
+    if (host.find("dsl.serc") != std::string::npos) dsl_named = true;
+  }
+  EXPECT_TRUE(dsl_named);
+  // The sender side really did give up on those reports.
+  EXPECT_GT(engine.AggregateServerStats().retry_exhausted, 0u);
+}
+
+TEST(ReportDedupTest, DuplicatedReportTransfersAreAbsorbed) {
+  web::CampusScenario scenario = web::BuildCampusScenario();
+
+  size_t reference_rows = 0;
+  {
+    core::Engine engine(&scenario.web);
+    auto outcome = engine.Run(scenario.disql);
+    ASSERT_TRUE(outcome.ok());
+    reference_rows = outcome->TotalRows();
+  }
+
+  core::Engine engine(&scenario.web, FailureHandlingOptions());
+  // Every report arrives twice; receipt dedup must absorb the replays
+  // before they reach the CHT (a replayed delete would unbalance it).
+  net::FaultPlan plan;
+  net::FaultPlan::Rule rule;
+  rule.type = net::MessageType::kReport;
+  rule.duplicate_prob = 1.0;
+  plan.AddRule(rule);
+  engine.network().SetFaultPlan(&plan);
+
+  auto outcome = engine.Run(scenario.disql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->completed);
+  EXPECT_FALSE(outcome->partial);
+  EXPECT_GT(outcome->client_stats.redeliveries_suppressed, 0u);
+  EXPECT_EQ(outcome->TotalRows(), reference_rows);
   // Unique rows only in the final result sets.
   for (const relational::ResultSet& rs : outcome->results) {
     std::set<std::string> seen;

@@ -1,0 +1,304 @@
+// Fault injection and recovery: randomized fault schedules over the
+// university topology asserting a protocol-invariant oracle, the regression
+// for the duplicate-drop-report hang documented in QueryServerOptions, and
+// retry recovery through a FaultyTransport over real TCP sockets.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "client/user_site.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/engine.h"
+#include "disql/compiler.h"
+#include "net/fault.h"
+#include "net/tcp.h"
+#include "server/query_server.h"
+#include "web/topologies.h"
+#include "web/university.h"
+
+namespace webdis {
+namespace {
+
+std::set<std::string> AllRowKeys(
+    const std::vector<relational::ResultSet>& results) {
+  std::set<std::string> keys;
+  for (const relational::ResultSet& rs : results) {
+    for (const relational::Tuple& row : rs.rows) {
+      std::string key = Join(rs.column_labels, ",") + ":";
+      for (const relational::Value& v : row) key += v.ToString() + "|";
+      keys.insert(std::move(key));
+    }
+  }
+  return keys;
+}
+
+core::EngineOptions RecoveryOptions() {
+  core::EngineOptions options;
+  options.server.retry.enabled = true;
+  options.server.retry.initial_timeout = 100 * kMillisecond;
+  options.server.retry.max_timeout = 400 * kMillisecond;
+  options.server.retry.max_attempts = 4;
+  options.client.retry = options.server.retry;
+  // Well past the retry window: GC only ever fires on genuinely dead keys.
+  options.client.entry_deadline = 10 * kSecond;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance oracle of the fault-injection subsystem: under ANY injected
+// schedule of drops, duplications, delays, partitions, and crash/restarts —
+// with retries and deadline GC enabled — every query terminates, and either
+// the answer is exactly the fault-free answer or the outcome is explicitly
+// degraded (partial with named unreachable hosts, or fallback nodes). Never
+// a hang, never a duplicated answer row.
+// ---------------------------------------------------------------------------
+
+TEST(FaultScheduleTest, RandomizedSchedulesPreserveProtocolInvariants) {
+  web::UniversityOptions uni_options;
+  uni_options.seed = 11;
+  uni_options.departments = 2;
+  uni_options.labs_per_department = 2;
+  const web::UniversityWeb uni = web::GenerateUniversityWeb(uni_options);
+  auto compiled = disql::CompileDisql(uni.convener_disql);
+  ASSERT_TRUE(compiled.ok());
+
+  // Fault-free reference answer.
+  std::set<std::string> reference;
+  {
+    core::Engine engine(&uni.web);
+    auto outcome = engine.RunCompiled(compiled.value());
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->completed);
+    reference = AllRowKeys(outcome->results);
+    ASSERT_FALSE(reference.empty());
+  }
+
+  const std::vector<std::string> hosts = uni.web.Hosts();
+  ASSERT_GE(hosts.size(), 2u);
+
+  uint64_t total_dropped = 0;
+  int degraded_runs = 0;
+  int exact_runs = 0;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("fault schedule seed " + std::to_string(seed));
+    Rng rng(seed * 7919);
+
+    core::Engine engine(&uni.web, RecoveryOptions());
+    net::FaultPlan plan(seed);
+
+    // Random loss/duplication on each protocol message type. Scoped by type
+    // so the data-shipping fallback's HTTP traffic stays clean.
+    for (net::MessageType type :
+         {net::MessageType::kWebQuery, net::MessageType::kReport,
+          net::MessageType::kDeliveryAck}) {
+      net::FaultPlan::Rule rule;
+      rule.type = type;
+      rule.drop_prob = 0.02 + 0.20 * rng.NextDouble();
+      rule.duplicate_prob = 0.10 * rng.NextDouble();
+      plan.AddRule(rule);
+    }
+    // Random report delays shuffle add/delete arrival order at the CHT.
+    net::FaultPlan::Rule delay_rule;
+    delay_rule.type = net::MessageType::kReport;
+    delay_rule.delay_prob = 0.25;
+    delay_rule.delay = rng.UniformRange(1, 8) * kMillisecond;
+    plan.AddRule(delay_rule);
+    engine.network().SetFaultPlan(&plan);
+
+    // Half the schedules cut a link between two web sites, healed mid-run.
+    if (rng.Bernoulli(0.5)) {
+      const std::string a = rng.Pick(hosts);
+      const std::string b = rng.Pick(hosts);
+      if (a != b) {
+        plan.Partition(a, b);
+        engine.network().ScheduleAfter(
+            rng.UniformRange(100, 900) * kMillisecond,
+            [&plan, a, b] { plan.Heal(a, b); });
+      }
+    }
+
+    // Half the schedules crash one query server mid-run (log table and all
+    // volatile delivery state lost) and restart it later.
+    if (rng.Bernoulli(0.5)) {
+      const std::string victim = rng.Pick(engine.participating_hosts());
+      server::QueryServer* qs = engine.server_for(victim);
+      ASSERT_NE(qs, nullptr);
+      const SimDuration down = rng.UniformRange(50, 300) * kMillisecond;
+      const SimDuration up = down + rng.UniformRange(100, 700) * kMillisecond;
+      engine.network().ScheduleAfter(down, [qs] { qs->Crash(); });
+      engine.network().ScheduleAfter(
+          up, [qs] { EXPECT_TRUE(qs->Restart().ok()); });
+    }
+
+    auto outcome = engine.RunCompiled(compiled.value());
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+    // Invariant 1: never a hang — every schedule reaches a verdict.
+    EXPECT_TRUE(outcome->completed);
+
+    // Invariant 2: never a duplicated answer row.
+    const std::set<std::string> keys = AllRowKeys(outcome->results);
+    EXPECT_EQ(keys.size(), outcome->TotalRows());
+
+    // Invariant 3: the answer is exact unless the outcome says otherwise.
+    const bool degraded =
+        outcome->partial || outcome->fallback_node_count > 0;
+    if (degraded) {
+      ++degraded_runs;
+      for (const std::string& key : keys) {
+        EXPECT_TRUE(reference.contains(key)) << key;
+      }
+      if (outcome->partial) {
+        EXPECT_FALSE(outcome->unreachable_hosts.empty());
+      }
+    } else {
+      ++exact_runs;
+      EXPECT_EQ(keys, reference);
+    }
+    total_dropped += plan.stats().dropped;
+  }
+
+  // The sweep was no placebo: messages really were lost, some schedules were
+  // survivable via retries alone (exact answers) and some were not
+  // (explicitly degraded outcomes). Deterministic given the seeds above.
+  EXPECT_GT(total_dropped, 0u);
+  EXPECT_GT(exact_runs, 0);
+  EXPECT_GT(degraded_runs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Regression for the latent hang documented on
+// QueryServerOptions::report_dropped_duplicates: the duplicate-drop report
+// is itself a single point of failure — if that one message is lost after
+// its connection was accepted, the CHT keeps a positive balance forever.
+// On Figure 5, node 4's visit (d) is the first duplicate, so the 4th report
+// from site4.example is the first duplicate-drop report.
+// ---------------------------------------------------------------------------
+
+TEST(FaultTest, DroppedDuplicateDropReportIsRetried) {
+  web::Scenario scenario = web::BuildFig5Scenario();
+  auto compiled = disql::CompileDisql(scenario.disql);
+  ASSERT_TRUE(compiled.ok());
+
+  net::FaultPlan::Rule drop_fourth_site4_report;
+  drop_fourth_site4_report.type = net::MessageType::kReport;
+  drop_fourth_site4_report.from_host = "site4.example";
+  drop_fourth_site4_report.skip_first = 3;
+  drop_fourth_site4_report.max_faults = 1;
+  drop_fourth_site4_report.drop_prob = 1.0;
+
+  // Fault-free reference answer.
+  std::set<std::string> reference;
+  {
+    core::Engine engine(&scenario.web);
+    auto outcome = engine.RunCompiled(compiled.value());
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome->completed);
+    reference = AllRowKeys(outcome->results);
+  }
+
+  // Without retries, the lost duplicate-drop report starves the CHT of a
+  // delete: the network drains but the query never completes.
+  {
+    core::Engine engine(&scenario.web);
+    net::FaultPlan plan;
+    plan.AddRule(drop_fourth_site4_report);
+    engine.network().SetFaultPlan(&plan);
+    auto id = engine.Submit(compiled.value());
+    ASSERT_TRUE(id.ok());
+    engine.network().RunUntilIdle();
+    EXPECT_EQ(plan.stats().dropped, 1u);
+    const client::UserSite::QueryRun* run = engine.user_site().Find(id.value());
+    ASSERT_NE(run, nullptr);
+    EXPECT_FALSE(run->completed);
+    // The other duplicate-drop report (visit e) still got through.
+    EXPECT_EQ(run->stats.duplicate_drop_reports, 1u);
+  }
+
+  // With at-least-once delivery the report is retransmitted and the query
+  // completes with the exact fault-free answer — no deadline GC involved.
+  {
+    core::Engine engine(&scenario.web, RecoveryOptions());
+    net::FaultPlan plan;
+    plan.AddRule(drop_fourth_site4_report);
+    engine.network().SetFaultPlan(&plan);
+    auto outcome = engine.RunCompiled(compiled.value());
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(plan.stats().dropped, 1u);
+    EXPECT_TRUE(outcome->completed);
+    EXPECT_FALSE(outcome->partial);
+    EXPECT_EQ(outcome->client_stats.duplicate_drop_reports, 2u);
+    EXPECT_GT(engine.AggregateServerStats().retries, 0u);
+    EXPECT_EQ(AllRowKeys(outcome->results), reference);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The same retry machinery works over real sockets: a FaultyTransport
+// wrapped around TcpTransport loses an accepted report, and the wall-clock
+// retransmission timer recovers it.
+// ---------------------------------------------------------------------------
+
+TEST(FaultTest, RetryRecoversDroppedReportOverTcp) {
+  web::CampusScenario scenario = web::BuildCampusScenario();
+  net::TcpTransport tcp;
+  net::FaultPlan plan;
+  net::FaultPlan::Rule drop_first_report;
+  drop_first_report.type = net::MessageType::kReport;
+  drop_first_report.max_faults = 1;
+  drop_first_report.drop_prob = 1.0;
+  plan.AddRule(drop_first_report);
+  net::FaultyTransport faulty(&tcp, &plan);
+
+  net::RetryOptions retry;
+  retry.enabled = true;
+  retry.initial_timeout = 30 * kMillisecond;
+  retry.max_timeout = 120 * kMillisecond;
+
+  server::QueryServerOptions server_options;
+  server_options.retry = retry;
+  std::vector<std::unique_ptr<server::QueryServer>> servers;
+  for (const std::string& host : scenario.web.Hosts()) {
+    auto qs = std::make_unique<server::QueryServer>(host, &scenario.web,
+                                                    &faulty, server_options);
+    ASSERT_TRUE(qs->Start().ok());
+    servers.push_back(std::move(qs));
+  }
+  client::UserSiteOptions user_options;
+  user_options.retry = retry;
+  client::UserSite user("user.site", &faulty, user_options);
+
+  auto compiled = disql::CompileDisql(scenario.disql);
+  ASSERT_TRUE(compiled.ok());
+  auto id = user.Submit(compiled.value(), "maya");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  tcp.PumpUntilIdle(300);
+
+  const client::UserSite::QueryRun* run = user.Find(id.value());
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(run->completed);
+  EXPECT_EQ(plan.stats().dropped, 1u);
+  uint64_t retries = 0;
+  for (auto& qs : servers) retries += qs->stats().retries;
+  EXPECT_GE(retries, 1u);
+
+  const std::set<std::string> keys = AllRowKeys(run->results);
+  for (const auto& [url, name] : scenario.expected_conveners) {
+    bool found = false;
+    for (const std::string& key : keys) {
+      if (key.find(url) != std::string::npos &&
+          key.find(name) != std::string::npos) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << url << " / " << name;
+  }
+  for (auto& qs : servers) qs->Stop();
+}
+
+}  // namespace
+}  // namespace webdis

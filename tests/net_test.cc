@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "net/fault.h"
+#include "net/reliable.h"
 #include "net/sim.h"
 #include "serialize/framing.h"
 #include "net/tcp.h"
@@ -365,6 +367,276 @@ TEST(TcpTransportTest, MultipleMessagesAndListeners) {
   tcp.PumpUntilIdle(100);
   EXPECT_EQ(a_count, 5);
   EXPECT_EQ(b_count, 1);
+}
+
+// -- Timers -----------------------------------------------------------------
+
+TEST(SimNetworkTest, TimersShareTheEventQueueAndAdvanceTheClock) {
+  SimNetwork net;
+  std::vector<int> fired;
+  net.ScheduleAfter(5 * kMillisecond, [&] { fired.push_back(2); });
+  net.ScheduleAfter(1 * kMillisecond, [&] { fired.push_back(1); });
+  const uint64_t cancelled =
+      net.ScheduleAfter(3 * kMillisecond, [&] { fired.push_back(99); });
+  EXPECT_TRUE(net.CancelTimer(cancelled));
+  EXPECT_FALSE(net.CancelTimer(cancelled));  // already gone
+  net.RunUntilIdle();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(net.now(), 5 * kMillisecond);
+}
+
+TEST(SimNetworkTest, TimerHandlersMaySendAndReschedule) {
+  SimNetwork net;
+  int received = 0;
+  ASSERT_TRUE(net.Listen({"b", 1}, [&](const Endpoint&, MessageType,
+                                       const std::vector<uint8_t>&) {
+                    ++received;
+                  })
+                  .ok());
+  net.ScheduleAfter(1 * kMillisecond, [&] {
+    ASSERT_TRUE(
+        net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1})).ok());
+    net.ScheduleAfter(1 * kMillisecond, [&] {
+      ASSERT_TRUE(net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({2}))
+                      .ok());
+    });
+  });
+  net.RunUntilIdle();
+  EXPECT_EQ(received, 2);
+}
+
+// -- FaultPlan --------------------------------------------------------------
+
+TEST(FaultPlanTest, TypeScopedDropOnlyAffectsThatType) {
+  SimNetwork net;
+  std::vector<MessageType> received;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType type,
+                             const std::vector<uint8_t>&) {
+                           received.push_back(type);
+                         })
+                  .ok());
+  FaultPlan plan;
+  FaultPlan::Rule rule;
+  rule.type = MessageType::kReport;
+  rule.drop_prob = 1.0;
+  plan.AddRule(rule);
+  net.SetFaultPlan(&plan);
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({1})).ok());
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({2})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(received, (std::vector<MessageType>{MessageType::kWebQuery}));
+  EXPECT_EQ(plan.stats().dropped, 1u);
+  EXPECT_EQ(net.dropped_count(), 1u);
+}
+
+TEST(FaultPlanTest, CountPhaseWindowDropsExactlyTheThird) {
+  SimNetwork net;
+  std::vector<uint8_t> received;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint&, MessageType,
+                             const std::vector<uint8_t>& payload) {
+                           received.push_back(payload[0]);
+                         })
+                  .ok());
+  FaultPlan plan;
+  FaultPlan::Rule rule;
+  rule.skip_first = 2;
+  rule.max_faults = 1;
+  rule.drop_prob = 1.0;
+  plan.AddRule(rule);
+  net.SetFaultPlan(&plan);
+  for (uint8_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({i})).ok());
+    net.RunUntilIdle();
+  }
+  EXPECT_EQ(received, (std::vector<uint8_t>{1, 2, 4, 5}));
+  EXPECT_EQ(plan.stats().dropped, 1u);
+}
+
+TEST(FaultPlanTest, DuplicationDeliversExtraCopies) {
+  SimNetwork net;
+  int received = 0;
+  ASSERT_TRUE(net.Listen({"b", 1}, [&](const Endpoint&, MessageType,
+                                       const std::vector<uint8_t>&) {
+                    ++received;
+                  })
+                  .ok());
+  FaultPlan plan;
+  FaultPlan::Rule rule;
+  rule.duplicate_prob = 1.0;
+  plan.AddRule(rule);
+  net.SetFaultPlan(&plan);
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(received, 2);  // original + one duplicate
+  EXPECT_EQ(plan.stats().duplicated, 1u);
+}
+
+TEST(FaultPlanTest, DelayRulePostponesDelivery) {
+  SimNetworkOptions options;
+  options.same_host_latency = 0;
+  options.inter_host_latency = 1 * kMillisecond;
+  options.bandwidth_bytes_per_sec = 1'000'000'000;
+  SimNetwork net(options);
+  ASSERT_TRUE(net.Listen({"b", 1}, [](const Endpoint&, MessageType,
+                                      const std::vector<uint8_t>&) {})
+                  .ok());
+  FaultPlan plan;
+  FaultPlan::Rule rule;
+  rule.delay_prob = 1.0;
+  rule.delay = 7 * kMillisecond;
+  plan.AddRule(rule);
+  net.SetFaultPlan(&plan);
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(net.now(), 8 * kMillisecond);  // latency + injected delay
+  EXPECT_EQ(plan.stats().delayed, 1u);
+}
+
+TEST(FaultPlanTest, PartitionCutsBothDirectionsUntilHealed) {
+  SimNetwork net;
+  int received = 0;
+  auto count = [&](const Endpoint&, MessageType,
+                   const std::vector<uint8_t>&) { ++received; };
+  ASSERT_TRUE(net.Listen({"a", 1}, count).ok());
+  ASSERT_TRUE(net.Listen({"b", 1}, count).ok());
+  FaultPlan plan;
+  plan.Partition("a", "b");
+  EXPECT_TRUE(plan.Partitioned("a", "b"));
+  EXPECT_TRUE(plan.Partitioned("b", "a"));
+  net.SetFaultPlan(&plan);
+  ASSERT_TRUE(
+      net.Send({"a", 1}, {"b", 1}, MessageType::kWebQuery, Bytes({1})).ok());
+  ASSERT_TRUE(
+      net.Send({"b", 1}, {"a", 1}, MessageType::kReport, Bytes({2})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(plan.stats().partition_drops, 2u);
+
+  plan.Heal("a", "b");
+  EXPECT_FALSE(plan.Partitioned("a", "b"));
+  ASSERT_TRUE(
+      net.Send({"a", 1}, {"b", 1}, MessageType::kWebQuery, Bytes({3})).ok());
+  net.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(FaultPlanTest, TimeWindowScopesRule) {
+  SimNetwork net;
+  int received = 0;
+  ASSERT_TRUE(net.Listen({"b", 1}, [&](const Endpoint&, MessageType,
+                                       const std::vector<uint8_t>&) {
+                    ++received;
+                  })
+                  .ok());
+  FaultPlan plan;
+  FaultPlan::Rule rule;
+  rule.active_from = 10 * kMillisecond;
+  rule.drop_prob = 1.0;
+  plan.AddRule(rule);
+  net.SetFaultPlan(&plan);
+  // Before the window: delivered.
+  ASSERT_TRUE(
+      net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1})).ok());
+  // A timer moves the clock into the window; the send from there is dropped.
+  net.ScheduleAfter(15 * kMillisecond, [&] {
+    ASSERT_TRUE(
+        net.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({2})).ok());
+  });
+  net.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(plan.stats().dropped, 1u);
+}
+
+// -- At-least-once delivery --------------------------------------------------
+
+TEST(ReliableDeliveryTest, RetransmitsUntilAckedAndStripsEnvelope) {
+  SimNetwork net;
+  FaultPlan plan;
+  FaultPlan::Rule lose_first;
+  lose_first.type = MessageType::kWebQuery;
+  lose_first.max_faults = 1;
+  lose_first.drop_prob = 1.0;
+  plan.AddRule(lose_first);
+  net.SetFaultPlan(&plan);
+
+  RetryOptions options;
+  options.enabled = true;
+  // Above the simulated ack round-trip, so only real losses retransmit.
+  options.initial_timeout = 100 * kMillisecond;
+  ReliableSender sender(&net, options);
+  ReliableReceiver receiver(&net, /*enabled=*/true);
+
+  std::vector<std::vector<uint8_t>> processed;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint& from, MessageType,
+                             const std::vector<uint8_t>& payload) {
+                           std::vector<uint8_t> inner;
+                           if (receiver.Accept({"b", 1}, from, payload,
+                                               &inner)) {
+                             processed.push_back(inner);
+                           }
+                         })
+                  .ok());
+  ASSERT_TRUE(net.Listen({"a", 2},
+                         [&](const Endpoint&, MessageType type,
+                             const std::vector<uint8_t>& payload) {
+                           if (type == MessageType::kDeliveryAck) {
+                             sender.OnAck(payload);
+                           }
+                         })
+                  .ok());
+
+  ASSERT_TRUE(
+      sender.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({9}))
+          .ok());
+  net.RunUntilIdle();
+  ASSERT_EQ(processed.size(), 1u);
+  EXPECT_EQ(processed[0], Bytes({9}));  // envelope stripped
+  EXPECT_EQ(sender.stats().retries, 1u);
+  EXPECT_EQ(sender.stats().acked, 1u);
+  EXPECT_EQ(sender.pending_count(), 0u);
+
+  // A duplicated transfer is acked again but processed only once.
+  plan.HealAll();
+  FaultPlan::Rule duplicate;
+  duplicate.type = MessageType::kWebQuery;
+  duplicate.duplicate_prob = 1.0;
+  plan.AddRule(duplicate);
+  ASSERT_TRUE(
+      sender.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({7}))
+          .ok());
+  net.RunUntilIdle();
+  ASSERT_EQ(processed.size(), 2u);
+  EXPECT_EQ(processed[1], Bytes({7}));
+  EXPECT_EQ(receiver.suppressed_count(), 1u);
+  EXPECT_EQ(sender.stats().duplicate_acks, 1u);
+}
+
+TEST(FaultyTransportTest, DropSwallowsTheSendWithoutProbingAcceptance) {
+  SimNetwork net;  // no listener anywhere
+  FaultPlan plan;
+  FaultPlan::Rule rule;
+  rule.type = MessageType::kWebQuery;
+  rule.drop_prob = 1.0;
+  plan.AddRule(rule);
+  FaultyTransport faulty(&net, &plan);
+  // A dropped send cannot probe acceptance: it reports OK even though the
+  // base transport would have refused synchronously.
+  EXPECT_TRUE(
+      faulty.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1}))
+          .ok());
+  EXPECT_EQ(plan.stats().dropped, 1u);
+  // Without the plan faulting, refusal passes through.
+  const Status s =
+      faulty.Send({"a", 2}, {"b", 1}, MessageType::kReport, Bytes({2}));
+  EXPECT_EQ(s.code(), StatusCode::kConnectionRefused);
 }
 
 }  // namespace
