@@ -91,6 +91,15 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
     const Status status = sender_.Send(
         self, net::Endpoint{site_host, server::kQueryServerPort},
         net::MessageType::kWebQuery, enc.Release());
+    if (!status.ok() && status.code() != StatusCode::kConnectionRefused &&
+        sender_.enabled()) {
+      // Transient transport error with retry armed: the clone will be
+      // retransmitted, so the CHT entries must stay — falling back now
+      // would process the StartNodes twice (centrally AND on redelivery).
+      // If every retry exhausts, the deadline sweep reclaims the entries.
+      ++raw->stats.dispatch_send_errors;
+      continue;
+    }
     if (!status.ok()) {
       // StartNode site runs no query server: clear the entries and record
       // the nodes for centralized fallback.
@@ -186,7 +195,14 @@ void UserSite::Cancel(const query::QueryId& id) {
       const Status status = transport_->Send(
           self, net::Endpoint{site_host, server::kQueryServerPort},
           net::MessageType::kTerminate, payload);
-      if (status.ok()) ++run->stats.termination_messages_sent;
+      if (status.ok()) {
+        ++run->stats.termination_messages_sent;
+      } else {
+        // Observed, not fatal: a site that misses its kTerminate keeps
+        // processing until its next report send is refused (passive
+        // termination below always runs, so that refusal is guaranteed).
+        ++run->stats.termination_send_failures;
+      }
     }
   }
   // Passive termination (both modes): close the socket; every later result

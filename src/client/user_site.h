@@ -74,6 +74,11 @@ struct QueryRunStats {
   // Failure handling (PROTOCOL.md):
   uint64_t entries_gc = 0;  // CHT keys garbage-collected past the deadline
   uint64_t redeliveries_suppressed = 0;  // duplicate report transfers absorbed
+  // [[nodiscard]] audit counters — send errors that are observed (never
+  // silently dropped) but where the protocol's recovery is asynchronous:
+  uint64_t dispatch_send_errors = 0;     // transient initial-dispatch errors
+  uint64_t termination_send_failures = 0;  // kTerminate lost; passive
+                                           // termination still covers it
 };
 
 /// The WEBDIS client process at the user site: parses nothing itself (takes

@@ -3,11 +3,19 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace webdis {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+// Serializes emission: whole lines never interleave, even when the TCP
+// transport's background threads log concurrently with the dispatch pump.
+Mutex g_sink_mu;
+LogSink g_sink WEBDIS_GUARDED_BY(g_sink_mu);
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -24,6 +32,15 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+void Emit(LogLevel level, const std::string& line) WEBDIS_EXCLUDES(g_sink_mu) {
+  MutexLock lock(&g_sink_mu);
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  std::fputs(line.c_str(), stderr);
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -32,6 +49,11 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  MutexLock lock(&g_sink_mu);
+  g_sink = std::move(sink);
 }
 
 namespace internal_logging {
@@ -43,7 +65,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  Emit(level_, stream_.str());
   if (fatal_) {
     std::fflush(stderr);
     std::abort();

@@ -1,6 +1,7 @@
 #ifndef WEBDIS_COMMON_LOGGING_H_
 #define WEBDIS_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,6 +20,15 @@ enum class LogLevel : int {
 /// tests and benchmarks stay quiet unless something is wrong).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives every emitted log line (already formatted, newline-terminated).
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Installs a sink that replaces the default stderr output; pass nullptr to
+/// restore stderr. Emission is serialized under an internal mutex — the TCP
+/// transport's accept/read threads may log concurrently with the dispatch
+/// pump — so sinks need no locking of their own but must not log reentrantly.
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

@@ -32,7 +32,13 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error value. Cheap to copy when OK (no message
 /// allocation); carries a code plus a context message otherwise.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how a lost send strands a
+/// CHT entry until deadline-GC instead of triggering retry — every ignored
+/// return is a compile error. Where dropping is genuinely correct (e.g.
+/// best-effort acks whose refusal is expected after passive termination),
+/// cast to void with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -96,9 +102,9 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Never holds an OK status
-/// without a value.
+/// without a value. [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: enables `return value;` in functions returning
   /// Result<T>, mirroring absl::StatusOr.

@@ -1,0 +1,98 @@
+#ifndef WEBDIS_COMMON_THREAD_ANNOTATIONS_H_
+#define WEBDIS_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang thread-safety annotations (-Wthread-safety), no-ops elsewhere.
+///
+/// WEBDIS is single-threaded by design — handler dispatch is pumped by the
+/// caller — but the TCP transport runs accept/read background threads and the
+/// logger may be called from any of them. Every field those threads share is
+/// annotated with WEBDIS_GUARDED_BY so the locking discipline is checked at
+/// compile time (CI builds with -Werror=thread-safety), not left to TSan
+/// luck. See CONTRIBUTING.md "Static analysis & sanitizers".
+///
+/// The std::mutex in libstdc++ carries no capability attributes, so the
+/// analysis cannot see through std::lock_guard<std::mutex>. webdis::Mutex /
+/// webdis::MutexLock below are thin annotated wrappers (the absl::Mutex
+/// idiom) that make the analysis work with any standard library.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WEBDIS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define WEBDIS_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Declares a data member protected by the given capability (mutex).
+#define WEBDIS_GUARDED_BY(x) WEBDIS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares a pointer member whose pointee is protected by the capability.
+#define WEBDIS_PT_GUARDED_BY(x) WEBDIS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define WEBDIS_REQUIRES(...) \
+  WEBDIS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires it).
+#define WEBDIS_EXCLUDES(...) \
+  WEBDIS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define WEBDIS_ACQUIRE(...) \
+  WEBDIS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define WEBDIS_RELEASE(...) \
+  WEBDIS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Marks a type as a lockable capability.
+#define WEBDIS_CAPABILITY(x) WEBDIS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose lifetime equals a critical section.
+#define WEBDIS_SCOPED_CAPABILITY WEBDIS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Escape hatch for functions the analysis cannot model (cv predicates).
+#define WEBDIS_NO_THREAD_SAFETY_ANALYSIS \
+  WEBDIS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace webdis {
+
+/// std::mutex with capability annotations. Also a BasicLockable, so
+/// std::condition_variable_any can wait on it directly (the absl::CondVar
+/// shape: the analysis keeps seeing the mutex as held across the wait, which
+/// is exactly the invariant the surrounding code relies on).
+class WEBDIS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WEBDIS_ACQUIRE() { mu_.lock(); }
+  void unlock() WEBDIS_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the annotated replacement for std::lock_guard.
+class WEBDIS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) WEBDIS_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() WEBDIS_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable usable with webdis::Mutex. Callers hold the Mutex (via
+/// MutexLock) for the whole wait; the wait internally releases and reacquires
+/// it, invisible to — and irrelevant for — the static analysis.
+using CondVar = std::condition_variable_any;
+
+}  // namespace webdis
+
+#endif  // WEBDIS_COMMON_THREAD_ANNOTATIONS_H_

@@ -37,8 +37,8 @@ Status WriteAll(int fd, const uint8_t* data, size_t len) {
 
 struct TcpTransport::Listener {
   Endpoint endpoint;
-  MessageHandler handler;
-  int fd = -1;
+  MessageHandler handler;  // immutable after Listen() publishes the listener
+  int fd = -1;             // owned by the accept thread after publication
   std::thread accept_thread;
   std::atomic<bool> stopping{false};
 };
@@ -48,7 +48,7 @@ TcpTransport::TcpTransport() = default;
 TcpTransport::~TcpTransport() {
   std::vector<Endpoint> endpoints;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [ep, listener] : listeners_) endpoints.push_back(ep);
   }
   for (const Endpoint& ep : endpoints) CloseListener(ep);
@@ -95,7 +95,7 @@ Status TcpTransport::Listen(const Endpoint& endpoint,
   listener->fd = fd;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (listeners_.contains(endpoint)) {
       ::close(fd);
       return Status::InvalidArgument(StringPrintf(
@@ -110,7 +110,7 @@ Status TcpTransport::Listen(const Endpoint& endpoint,
 }
 
 uint16_t TcpTransport::ResolvePort(const Endpoint& endpoint) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = real_ports_.find(endpoint);
   return it == real_ports_.end() ? 0 : it->second;
 }
@@ -118,7 +118,7 @@ uint16_t TcpTransport::ResolvePort(const Endpoint& endpoint) const {
 void TcpTransport::CloseListener(const Endpoint& endpoint) {
   std::unique_ptr<Listener> listener;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = listeners_.find(endpoint);
     if (it == listeners_.end()) return;
     listener = std::move(it->second);
@@ -128,8 +128,11 @@ void TcpTransport::CloseListener(const Endpoint& endpoint) {
   listener->stopping.store(true);
   // shutdown unblocks the accept() call.
   ::shutdown(listener->fd, SHUT_RDWR);
-  ::close(listener->fd);
   if (listener->accept_thread.joinable()) listener->accept_thread.join();
+  // Closed only after the accept thread exits: closing a live fd would let
+  // the kernel recycle the descriptor number for a concurrent Send()'s
+  // socket while accept() still references it.
+  ::close(listener->fd);
 }
 
 void TcpTransport::AcceptLoop(Listener* listener) {
@@ -173,7 +176,7 @@ void TcpTransport::ReadConnection(int fd, Listener* listener) {
         frame.payload.begin() + static_cast<ssize_t>(dec.position()),
         frame.payload.end());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       pending_.push_back(std::move(delivery));
     }
     cv_.notify_all();
@@ -224,7 +227,7 @@ Status TcpTransport::Send(const Endpoint& from, const Endpoint& to,
 
 uint64_t TcpTransport::ScheduleAfter(SimDuration delay,
                                      std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t id = next_timer_id_++;
   timers_[id] = Timer{
       std::chrono::steady_clock::now() + std::chrono::microseconds(delay),
@@ -233,7 +236,7 @@ uint64_t TcpTransport::ScheduleAfter(SimDuration delay,
 }
 
 bool TcpTransport::CancelTimer(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return timers_.erase(id) > 0;
 }
 
@@ -242,7 +245,7 @@ size_t TcpTransport::FireDueTimers() {
   while (true) {
     std::function<void()> fn;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       const auto now = std::chrono::steady_clock::now();
       auto due = timers_.end();
       for (auto it = timers_.begin(); it != timers_.end(); ++it) {
@@ -268,7 +271,7 @@ size_t TcpTransport::ProcessPending() {
     Delivery delivery;
     MessageHandler handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_.empty()) break;
       delivery = std::move(pending_.front());
       pending_.pop_front();
@@ -286,7 +289,7 @@ size_t TcpTransport::PumpUntilIdle(int quiesce_ms) {
   size_t total = 0;
   while (true) {
     total += ProcessPending();
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!pending_.empty()) continue;
     // Wake early if a timer comes due before the quiesce window closes, so
     // retransmissions fire while we wait for traffic to settle.
@@ -300,9 +303,15 @@ size_t TcpTransport::PumpUntilIdle(int quiesce_ms) {
         timer_due_first = true;
       }
     }
-    const bool got_more = cv_.wait_until(
-        lock, wait_until, [this] { return !pending_.empty(); });
-    if (!got_more && !timer_due_first) break;
+    // cv_ waits on mu_ itself (condition_variable_any over the annotated
+    // BasicLockable); a spurious wakeup just re-enters the loop and
+    // restarts the quiesce window, which only ever waits longer.
+    const std::cv_status wait_status = cv_.wait_until(mu_, wait_until);
+    const bool got_more = !pending_.empty();
+    if (!got_more && !timer_due_first &&
+        wait_status == std::cv_status::timeout) {
+      break;
+    }
     // Either a delivery arrived or a timer is (about to be) due; loop to
     // pump both.
   }

@@ -12,14 +12,28 @@
 namespace webdis::net {
 
 /// Application-level message types carried over the transport.
+///
+/// The trailing `payload:` annotations are machine-read by tools/webdis_lint
+/// (wire-parity invariant): every constant must name its payload codec —
+/// `struct <Type>` (EncodeTo/DecodeFrom pair), `codec <Enc>/<Dec>` (free
+/// function pair), or a primitive like `u64 <field>` — and must have a
+/// golden frame in tests/wire_golden_test.cc plus a "<Name> (type <N>)"
+/// entry in PROTOCOL.md. Adding a constant without all three fails CI.
 enum class MessageType : uint8_t {
-  kWebQuery = 1,       // a clone, sent to a query-server's well-known port
-  kReport = 2,         // results + CHT entries, sent to the user-site socket
-  kTerminate = 3,      // active termination (ablation of §2.8's passive mode)
-  kFetchRequest = 4,   // data-shipping baseline: document request
-  kFetchResponse = 5,  // data-shipping baseline: document contents
-  kAck = 6,            // ack-tree termination baseline (Related Work [4])
-  kDeliveryAck = 7,    // per-transfer receipt of the at-least-once layer
+  // A clone, sent to a query-server's well-known port.
+  kWebQuery = 1,  // payload: struct query::WebQuery
+  // Results + CHT entries, sent to the user-site result socket.
+  kReport = 2,  // payload: struct query::QueryReport
+  // Active termination (ablation of §2.8's passive mode).
+  kTerminate = 3,  // payload: struct query::QueryId
+  // Data-shipping baseline: document request.
+  kFetchRequest = 4,  // payload: codec EncodeFetchRequest/DecodeFetchRequest
+  // Data-shipping baseline: document contents.
+  kFetchResponse = 5,  // payload: codec EncodeFetchResponse/DecodeFetchResponse
+  // Ack-tree termination baseline (Related Work [4]).
+  kAck = 6,  // payload: u64 ack_token
+  // Per-transfer receipt of the at-least-once layer (PROTOCOL.md §6.1).
+  kDeliveryAck = 7,  // payload: u64 transfer_seq
 };
 
 std::string_view MessageTypeToString(MessageType type);
@@ -60,14 +74,19 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Registers a listener. Fails if the endpoint is already bound.
-  virtual Status Listen(const Endpoint& endpoint, MessageHandler handler) = 0;
+  [[nodiscard]] virtual Status Listen(const Endpoint& endpoint,
+                                      MessageHandler handler) = 0;
 
   /// Stops listening; subsequent Sends to the endpoint are refused.
   virtual void CloseListener(const Endpoint& endpoint) = 0;
 
-  /// Sends one message. See class comment for failure semantics.
-  virtual Status Send(const Endpoint& from, const Endpoint& to,
-                      MessageType type, std::vector<uint8_t> payload) = 0;
+  /// Sends one message. See class comment for failure semantics. The result
+  /// is load-bearing: synchronous ConnectionRefused drives both passive
+  /// termination and the crashed-next-hop fallback, so it must be inspected
+  /// (or explicitly voided with a reason) at every call site.
+  [[nodiscard]] virtual Status Send(const Endpoint& from, const Endpoint& to,
+                                    MessageType type,
+                                    std::vector<uint8_t> payload) = 0;
 
   // -- Timers ---------------------------------------------------------------
   // Optional: the retry/recovery layers (net/reliable.h) need to schedule

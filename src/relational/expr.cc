@@ -60,21 +60,28 @@ std::string_view CompareOpToString(CompareOp op) {
   return "?";
 }
 
+ExprPtr Expr::Make(ExprKind kind) {
+  // webdis-lint: allow(naked-new) — the constructor is private (factories
+  // enforce well-formed nodes), so make_unique cannot reach it; ownership
+  // transfers to the unique_ptr in the same expression.
+  return ExprPtr(new Expr(kind));
+}
+
 ExprPtr Expr::Literal(Value v) {
-  ExprPtr e(new Expr(ExprKind::kLiteral));
+  ExprPtr e = Make(ExprKind::kLiteral);
   e->literal_ = std::move(v);
   return e;
 }
 
 ExprPtr Expr::ColumnRef(std::string alias, std::string column) {
-  ExprPtr e(new Expr(ExprKind::kColumnRef));
+  ExprPtr e = Make(ExprKind::kColumnRef);
   e->alias_ = std::move(alias);
   e->column_ = std::move(column);
   return e;
 }
 
 ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
-  ExprPtr e(new Expr(ExprKind::kCompare));
+  ExprPtr e = Make(ExprKind::kCompare);
   e->compare_op_ = op;
   e->left_ = std::move(lhs);
   e->right_ = std::move(rhs);
@@ -82,28 +89,28 @@ ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
 }
 
 ExprPtr Expr::Contains(ExprPtr haystack, ExprPtr needle) {
-  ExprPtr e(new Expr(ExprKind::kContains));
+  ExprPtr e = Make(ExprKind::kContains);
   e->left_ = std::move(haystack);
   e->right_ = std::move(needle);
   return e;
 }
 
 ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
-  ExprPtr e(new Expr(ExprKind::kAnd));
+  ExprPtr e = Make(ExprKind::kAnd);
   e->left_ = std::move(lhs);
   e->right_ = std::move(rhs);
   return e;
 }
 
 ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
-  ExprPtr e(new Expr(ExprKind::kOr));
+  ExprPtr e = Make(ExprKind::kOr);
   e->left_ = std::move(lhs);
   e->right_ = std::move(rhs);
   return e;
 }
 
 ExprPtr Expr::Not(ExprPtr operand) {
-  ExprPtr e(new Expr(ExprKind::kNot));
+  ExprPtr e = Make(ExprKind::kNot);
   e->left_ = std::move(operand);
   return e;
 }

@@ -122,6 +122,10 @@ class Expr {
  private:
   explicit Expr(ExprKind kind) : kind_(kind) {}
 
+  /// Allocates an empty node of the given kind (the constructor is private,
+  /// so std::make_unique cannot be used by the factories).
+  static ExprPtr Make(ExprKind kind);
+
   static Result<ExprPtr> DecodeRecursive(serialize::Decoder* dec, int depth);
 
   ExprKind kind_;

@@ -48,7 +48,7 @@ std::vector<std::string> Database::RelationNames() const {
 }
 
 const Schema& DocumentSchema() {
-  static const Schema& schema = *new Schema({
+  static const Schema schema({
       {"url", ValueType::kString},
       {"title", ValueType::kString},
       {"text", ValueType::kString},
@@ -58,7 +58,7 @@ const Schema& DocumentSchema() {
 }
 
 const Schema& AnchorSchema() {
-  static const Schema& schema = *new Schema({
+  static const Schema schema({
       {"label", ValueType::kString},
       {"base", ValueType::kString},
       {"href", ValueType::kString},
@@ -68,7 +68,7 @@ const Schema& AnchorSchema() {
 }
 
 const Schema& RelInfonSchema() {
-  static const Schema& schema = *new Schema({
+  static const Schema schema({
       {"delimiter", ValueType::kString},
       {"url", ValueType::kString},
       {"text", ValueType::kString},

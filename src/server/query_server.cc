@@ -244,7 +244,20 @@ void QueryServer::SendAck(const net::Endpoint& parent, uint64_t token) {
   const Status status =
       transport_->Send(net::Endpoint{host_, kQueryServerPort}, parent,
                        net::MessageType::kAck, enc.Release());
-  if (status.ok()) ++stats_.acks_sent;
+  if (status.ok()) {
+    ++stats_.acks_sent;
+    return;
+  }
+  // [[nodiscard]] audit: acks bypass the retry layer (their loss is the
+  // ack-tree baseline's known weakness — the paper's CHT design exists
+  // precisely because a lost ack stalls tree completion). Surface it loudly
+  // instead of dropping the Status on the floor. Refusal is benign: the
+  // parent purged the query (termination) and no longer wants acks.
+  if (status.code() != StatusCode::kConnectionRefused) {
+    ++stats_.ack_send_failures;
+    WEBDIS_LOG(kWarning) << host_ << ": ack to " << parent.ToString()
+                         << " failed: " << status.ToString();
+  }
 }
 
 void QueryServer::OnAck(uint64_t token) {
@@ -283,13 +296,25 @@ bool QueryServer::DispatchReports(const query::WebQuery& clone,
     qr.EncodeTo(&enc);
     const Status status = sender_.Send(
         self, user_site, net::MessageType::kReport, enc.Release());
-    if (!status.ok()) {
+    if (status.code() == StatusCode::kConnectionRefused) {
       // Passive termination (Section 2.8): the user site closed its result
-      // socket; purge the query locally and do not forward.
+      // socket; purge the query locally and do not forward. Only the
+      // synchronous refusal means this — see report_send_errors below.
       ++stats_.passive_terminations;
       terminated_queries_.insert(clone.id.Key());
       log_table_.PurgeQuery(clone.id.Key());
       return false;
+    }
+    if (!status.ok()) {
+      // Transient transport error (e.g. IoError mid-write over real TCP).
+      // NOT a termination signal: purging here would strand the user site's
+      // CHT entries until deadline-GC even though the site is alive. With
+      // retry enabled the transfer is already armed for retransmission;
+      // either way the deadline sweep is the backstop, so keep going.
+      ++stats_.report_send_errors;
+      WEBDIS_LOG(kWarning) << host_ << ": report to "
+                           << user_site.ToString()
+                           << " failed: " << status.ToString();
     }
   }
   return true;
@@ -424,7 +449,7 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
     const Status status =
         sender_.Send(self, net::Endpoint{out.dest_host, kQueryServerPort},
                      net::MessageType::kWebQuery, enc.Release());
-    if (!status.ok()) {
+    if (status.code() == StatusCode::kConnectionRefused) {
       // The destination runs no query server (non-participating site, or it
       // crashed). Tell the user site so (a) its CHT entries clear and
       // (b) it can fall back to centralized processing for those nodes.
@@ -439,12 +464,23 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
         undeliverable_reports.push_back(std::move(nr));
       }
     } else {
+      if (!status.ok()) {
+        // Transient error, not refusal: the clone may still arrive via the
+        // retry layer, so the CHT entries stay valid — do not report the
+        // nodes undeliverable (that would fall back to centralized
+        // processing AND possibly process them remotely on redelivery).
+        ++stats_.forward_send_errors;
+        WEBDIS_LOG(kWarning) << host_ << ": forward to " << out.dest_host
+                             << " failed: " << status.ToString();
+      }
       ++stats_.clones_forwarded;
       ++ack_children;
     }
   }
   if (!undeliverable_reports.empty() && !clone.ack_mode) {
-    DispatchReports(clone, std::move(undeliverable_reports));
+    // Deliberately dropped: this is the last action for the clone, so the
+    // no-forwarding-after-termination contract has nothing left to gate.
+    (void)DispatchReports(clone, std::move(undeliverable_reports));
   }
   if (clone.ack_mode) {
     const net::Endpoint parent{clone.ack_parent_host, clone.ack_parent_port};

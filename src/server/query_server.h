@@ -72,6 +72,13 @@ struct QueryServerStats {
   uint64_t decode_errors = 0;
   uint64_t acks_sent = 0;      // ack-tree termination baseline only
   uint64_t acks_received = 0;  // ack-tree termination baseline only
+  uint64_t ack_send_failures = 0;  // acks lost at send time (tree may stall)
+  // Transient (non-refused) transport errors. Distinct from
+  // passive_terminations: only synchronous ConnectionRefused is the §2.8
+  // protocol signal; an IoError mid-write must NOT purge the query — the
+  // retry layer (when on) retransmits, else the CHT deadline sweep recovers.
+  uint64_t report_send_errors = 0;
+  uint64_t forward_send_errors = 0;
   // At-least-once delivery layer (PROTOCOL.md "Failure handling"):
   uint64_t retries = 0;            // retransmissions put on the wire
   uint64_t retry_exhausted = 0;    // transfers abandoned after max attempts
@@ -167,9 +174,10 @@ class QueryServer {
 
   /// Sends a report to the clone's user site; on connection-refused performs
   /// passive termination bookkeeping. Returns whether forwarding may
-  /// proceed.
-  bool DispatchReports(const query::WebQuery& clone,
-                       std::vector<query::NodeReport> reports);
+  /// proceed — forwarding after a passive termination would resurrect a
+  /// query the user already abandoned, hence [[nodiscard]].
+  [[nodiscard]] bool DispatchReports(const query::WebQuery& clone,
+                                     std::vector<query::NodeReport> reports);
 
   /// Ack-tree termination baseline (Related Work [4]): a clone's ack is
   /// deferred until every child clone forwarded from it has acked.

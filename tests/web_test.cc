@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -224,7 +225,14 @@ TEST(SearchIndexTest, ConjunctiveLookup) {
 class FileWebTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = std::filesystem::temp_directory_path() / "webdis_fileweb_test";
+    // Per-test-case (and per-process) directory: ctest registers each case
+    // individually, so under `ctest -j` two FileWebTest processes can run
+    // concurrently — a shared path would let one TearDown delete the other's
+    // fixture mid-test.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = std::filesystem::temp_directory_path() /
+            ("webdis_fileweb_test_" + std::string(info->name()) + "_" +
+             std::to_string(static_cast<long>(::getpid())));
     std::filesystem::remove_all(root_);
   }
   void TearDown() override { std::filesystem::remove_all(root_); }

@@ -5,11 +5,15 @@
 // if the format is stable; see PROTOCOL.md).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "disql/compiler.h"
+#include "net/transport.h"
 #include "query/report.h"
 #include "query/web_query.h"
 #include "serialize/encoder.h"
 #include "serialize/framing.h"
+#include "server/http_server.h"
 
 namespace webdis {
 namespace {
@@ -22,6 +26,47 @@ std::string Hex(const std::vector<uint8_t>& bytes) {
     out.push_back(kDigits[b & 0xF]);
   }
   return out;
+}
+
+/// Expected full-frame image: the (separately golden-tested) frame header
+/// composed with a frozen payload hex literal. Any byte drift in either the
+/// header layout or the payload codec fails the comparison.
+std::string ExpectedFrameHex(net::MessageType type,
+                             const std::string& payload_hex) {
+  const size_t n = payload_hex.size() / 2;
+  char hdr[32];
+  std::snprintf(hdr, sizeof(hdr), "5349445701%02x%02x%02x%02x%02x",
+                static_cast<unsigned>(type),
+                static_cast<unsigned>(n & 0xFF),
+                static_cast<unsigned>((n >> 8) & 0xFF),
+                static_cast<unsigned>((n >> 16) & 0xFF),
+                static_cast<unsigned>((n >> 24) & 0xFF));
+  return hdr + payload_hex;
+}
+
+std::vector<uint8_t> Framed(net::MessageType type,
+                            const std::vector<uint8_t>& payload) {
+  return serialize::EncodeFrame(static_cast<uint8_t>(type), payload);
+}
+
+// Frozen payload image of the canonical single-stage clone (see
+// MinimalCloneImageIsStable for the field-by-field breakdown).
+const char kMinimalCloneHex[] =
+    "0175" "0168" "0100" "01000000" "01" "0164" "01"
+    "08646f63756d656e74" "0164" "00" "01" "0164" "0375726c" "01" "00"
+    "0201" "01" "09687474703a2f2f612f" "00";
+
+query::WebQuery MinimalClone() {
+  auto compiled = disql::CompileDisql(
+      "select d.url from document d such that \"http://a/\" L d");
+  EXPECT_TRUE(compiled.ok());
+  query::WebQuery clone = compiled->web_query.Clone();
+  clone.id.user = "u";
+  clone.id.reply_host = "h";
+  clone.id.reply_port = 1;
+  clone.id.query_number = 1;
+  clone.dest_urls = {"http://a/"};
+  return clone;
 }
 
 TEST(WireGoldenTest, FrameHeader) {
@@ -67,37 +112,13 @@ TEST(WireGoldenTest, CloneStateImage) {
 
 TEST(WireGoldenTest, MinimalCloneImageIsStable) {
   // A canonical single-stage clone; any byte change here is a wire break.
-  auto compiled = disql::CompileDisql(
-      "select d.url from document d such that \"http://a/\" L d");
-  ASSERT_TRUE(compiled.ok());
-  query::WebQuery clone = compiled->web_query.Clone();
-  clone.id.user = "u";
-  clone.id.reply_host = "h";
-  clone.id.reply_port = 1;
-  clone.id.query_number = 1;
-  clone.dest_urls = {"http://a/"};
+  // Field-by-field: user "u", host "h", port 1, query number 1, 1
+  // node-query ("d": from document d, no where, select d.url, distinct),
+  // 0 future PREs, rem_pre link L, 1 dest "http://a/", ack_mode false.
+  const query::WebQuery clone = MinimalClone();
   serialize::Encoder enc;
   clone.EncodeTo(&enc);
-  EXPECT_EQ(Hex(enc.data()),
-            "0175"        // user "u"
-            "0168"        // host "h"
-            "0100"        // port 1
-            "01000000"    // query number 1
-            "01"          // 1 node-query
-            "0164"        // doc_alias "d"
-            "01"          // 1 from entry
-            "08646f63756d656e74"  // "document"
-            "0164"        // alias "d"
-            "00"          // no where
-            "01"          // 1 select column
-            "0164"        // alias "d"
-            "0375726c"    // column "url"
-            "01"          // distinct
-            "00"          // 0 future PREs
-            "0201"        // rem_pre: link L
-            "01"          // 1 dest
-            "09687474703a2f2f612f"  // "http://a/"
-            "00");        // ack_mode false
+  EXPECT_EQ(Hex(enc.data()), kMinimalCloneHex);
 }
 
 TEST(WireGoldenTest, EmptyReportImage) {
@@ -109,6 +130,86 @@ TEST(WireGoldenTest, EmptyReportImage) {
   serialize::Encoder enc;
   report.EncodeTo(&enc);
   EXPECT_EQ(Hex(enc.data()), "0175" "0168" "0100" "01000000" "00");
+}
+
+// -- Per-message-type golden frames -----------------------------------------
+// One frozen full-frame image per MessageType constant, kept in lockstep
+// with src/net/transport.h by tools/webdis_lint's wire-parity check: adding
+// a message type without a frame here fails CI.
+
+TEST(WireGoldenTest, WebQueryFrame) {
+  const query::WebQuery clone = MinimalClone();
+  serialize::Encoder enc;
+  clone.EncodeTo(&enc);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kWebQuery, enc.data())),
+            ExpectedFrameHex(net::MessageType::kWebQuery, kMinimalCloneHex));
+}
+
+TEST(WireGoldenTest, ReportFrame) {
+  query::QueryReport report;
+  report.id.user = "u";
+  report.id.reply_host = "h";
+  report.id.reply_port = 1;
+  report.id.query_number = 1;
+  serialize::Encoder enc;
+  report.EncodeTo(&enc);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kReport, enc.data())),
+            ExpectedFrameHex(net::MessageType::kReport,
+                             "0175" "0168" "0100" "01000000" "00"));
+}
+
+TEST(WireGoldenTest, TerminateFrame) {
+  // kTerminate carries the bare QueryId of the query being cancelled.
+  query::QueryId id;
+  id.user = "maya";
+  id.reply_host = "u.site";
+  id.reply_port = 9000;
+  id.query_number = 7;
+  serialize::Encoder enc;
+  id.EncodeTo(&enc);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kTerminate, enc.data())),
+            ExpectedFrameHex(net::MessageType::kTerminate,
+                             "046d617961" "06752e73697465" "2823"
+                             "07000000"));
+}
+
+TEST(WireGoldenTest, FetchRequestFrame) {
+  EXPECT_EQ(Hex(Framed(net::MessageType::kFetchRequest,
+                       server::HttpServer::EncodeFetchRequest("http://a/"))),
+            ExpectedFrameHex(net::MessageType::kFetchRequest,
+                             "09687474703a2f2f612f"));
+}
+
+TEST(WireGoldenTest, FetchResponseFrame) {
+  server::HttpServer::FetchResponse resp;
+  resp.url = "http://a/";
+  resp.found = true;
+  resp.html = "hi";
+  EXPECT_EQ(Hex(Framed(net::MessageType::kFetchResponse,
+                       server::HttpServer::EncodeFetchResponse(resp))),
+            ExpectedFrameHex(net::MessageType::kFetchResponse,
+                             "09687474703a2f2f612f"  // url
+                             "01"                    // found
+                             "026869"));             // html "hi"
+}
+
+TEST(WireGoldenTest, AckFrame) {
+  // kAck payload: u64 ack-tree token, little-endian.
+  serialize::Encoder enc;
+  enc.PutU64(42);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kAck, enc.data())),
+            ExpectedFrameHex(net::MessageType::kAck, "2a00000000000000"));
+}
+
+TEST(WireGoldenTest, DeliveryAckFrame) {
+  // kDeliveryAck payload: u64 transfer_seq of the receipt (PROTOCOL.md
+  // §6.1). The same u64 prefix forms the delivery envelope on tracked
+  // transfers, so this image also freezes the envelope layout.
+  serialize::Encoder enc;
+  enc.PutU64(7);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kDeliveryAck, enc.data())),
+            ExpectedFrameHex(net::MessageType::kDeliveryAck,
+                             "0700000000000000"));
 }
 
 }  // namespace

@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""webdis-lint: repo-specific invariant checker, run in CI and under ctest.
+
+Enforces invariants that neither the compiler nor generic linters know about,
+the ones whose violation breaks distributed termination or reproducibility
+(see CONTRIBUTING.md "Static analysis & sanitizers"):
+
+  wire-parity   Every `MessageType::k<Name> = <N>` constant in
+                src/net/transport.h must have (a) a `payload:` annotation
+                naming its codec, (b) the named EncodeTo/DecodeFrom pair (or
+                free-function codec pair) declared somewhere under src/,
+                (c) a `case MessageType::k<Name>` in MessageTypeToString
+                (src/net/transport.cc), (d) a golden frame referencing
+                `MessageType::k<Name>` in tests/wire_golden_test.cc, and
+                (e) a "<Name> (type <N>)" entry in PROTOCOL.md. A wire
+                message nobody can decode — or whose bytes can drift
+                unnoticed — is how one lost report stalls completion forever.
+
+  clock         No direct std::chrono::{system,steady,high_resolution}_clock,
+                rand()/srand(), std::random_device, or std::mt19937 outside
+                src/net/tcp.cc and src/common/clock.h. Everything else goes
+                through common/clock.h (SimTime) and common/rng.h, keeping
+                SimNetwork schedules deterministic and fault tests
+                reproducible seed-for-seed.
+
+  naked-new     No naked `new` under src/. Ownership is unique_ptr /
+                make_unique everywhere; the one sanctioned exception pattern
+                (private constructor behind a factory) carries an allow
+                comment.
+
+Suppressions: a comment containing `webdis-lint: allow(<rule>)` on the same
+line, or anywhere in the contiguous comment block immediately above the
+flagged line, silences that rule for that line.
+
+Exit status: 0 clean, 1 violations (printed one per line, grep-able
+`file:line: [rule] message`), 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_EXTS = (".cc", ".h")
+
+# Files allowed to touch wall clocks / raw randomness directly.
+CLOCK_ALLOWLIST = {
+    os.path.join("src", "net", "tcp.cc"),
+    os.path.join("src", "common", "clock.h"),
+}
+
+CLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+    (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
+    (re.compile(r"std::chrono::high_resolution_clock"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"(?<![:\w])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"std::mt19937"), "std::mt19937"),
+]
+
+NAKED_NEW = re.compile(r"(?<![:\w])new\s+[A-Za-z_][\w:]*(\s*[<({[]|\s*[;,)])")
+
+ENUM_CONSTANT = re.compile(
+    r"^\s*k(?P<name>\w+)\s*=\s*(?P<num>\d+)\s*,\s*(//\s*(?P<comment>.*))?$")
+PAYLOAD_ANNOTATION = re.compile(
+    r"payload:\s*(?P<kind>struct|codec|u8|u16|u32|u64|string|raw|none)"
+    r"(\s+(?P<detail>\S+))?")
+
+ALLOW = re.compile(r"webdis-lint:\s*allow\(([\w,-]+)\)")
+LINE_COMMENT = re.compile(r"//.*$")
+STRING_LITERAL = re.compile(r'"(\\.|[^"\\])*"')
+CHAR_LITERAL = re.compile(r"'(\\.|[^'\\])*'")
+
+
+class Linter:
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.errors: list[str] = []
+
+    def error(self, rel: str, line: int, rule: str, msg: str) -> None:
+        self.errors.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def read(self, rel: str) -> str | None:
+        path = os.path.join(self.root, rel)
+        if not os.path.isfile(path):
+            return None
+        with open(path, encoding="utf-8", errors="replace") as f:
+            return f.read()
+
+    def source_files(self) -> list[str]:
+        out = []
+        for d in SOURCE_DIRS:
+            base = os.path.join(self.root, d)
+            for dirpath, _, files in os.walk(base):
+                for name in sorted(files):
+                    if name.endswith(SOURCE_EXTS):
+                        out.append(os.path.relpath(
+                            os.path.join(dirpath, name), self.root))
+        return sorted(out)
+
+    @staticmethod
+    def strip_code(line: str) -> str:
+        """Removes string/char literals and // comments: what's left is code."""
+        line = STRING_LITERAL.sub('""', line)
+        line = CHAR_LITERAL.sub("''", line)
+        return LINE_COMMENT.sub("", line)
+
+    @staticmethod
+    def suppressed(lines: list[str], idx: int, rule: str) -> bool:
+        """True if line idx (0-based) carries or follows an allow(rule)."""
+        def allows(text: str) -> bool:
+            m = ALLOW.search(text)
+            return m is not None and rule in m.group(1).split(",")
+
+        if allows(lines[idx]):
+            return True
+        j = idx - 1
+        while j >= 0 and lines[j].lstrip().startswith(("//", "///")):
+            if allows(lines[j]):
+                return True
+            j -= 1
+        return False
+
+    # -- wire-parity ---------------------------------------------------------
+
+    def check_wire_parity(self) -> None:
+        transport_h = self.read(os.path.join("src", "net", "transport.h"))
+        if transport_h is None:
+            self.error("src/net/transport.h", 1, "wire-parity",
+                       "file missing — cannot check MessageType parity")
+            return
+        m = re.search(
+            r"enum\s+class\s+MessageType[^{]*\{(?P<body>.*?)\};",
+            transport_h, re.DOTALL)
+        if m is None:
+            self.error("src/net/transport.h", 1, "wire-parity",
+                       "enum class MessageType not found")
+            return
+        body_start_line = transport_h[:m.start("body")].count("\n") + 1
+
+        transport_cc = self.read(os.path.join("src", "net", "transport.cc")) or ""
+        golden = self.read(os.path.join("tests", "wire_golden_test.cc")) or ""
+        protocol = self.read("PROTOCOL.md") or ""
+        # Every header under src/, for codec symbol lookups.
+        src_headers = ""
+        for rel in self.source_files():
+            if rel.startswith("src" + os.sep) and rel.endswith(".h"):
+                src_headers += self.read(rel) or ""
+
+        constants: list[tuple[str, int]] = []
+        for off, raw in enumerate(m.group("body").splitlines()):
+            em = ENUM_CONSTANT.match(raw)
+            if em is None:
+                continue
+            name, num = em.group("name"), int(em.group("num"))
+            line = body_start_line + off
+            constants.append((name, num))
+            rel = "src/net/transport.h"
+
+            comment = em.group("comment") or ""
+            pm = PAYLOAD_ANNOTATION.search(comment)
+            if pm is None:
+                self.error(rel, line, "wire-parity",
+                           f"k{name} has no `// payload: ...` annotation")
+            else:
+                kind, detail = pm.group("kind"), pm.group("detail")
+                if kind == "struct":
+                    if detail is None:
+                        self.error(rel, line, "wire-parity",
+                                   f"k{name}: `payload: struct` needs a type")
+                    else:
+                        tail = detail.split("::")[-1]
+                        if not re.search(
+                                rf"DecodeFrom\(serialize::Decoder\*\s*\w+,\s*"
+                                rf"{tail}\*", src_headers):
+                            self.error(
+                                rel, line, "wire-parity",
+                                f"k{name}: no DecodeFrom(Decoder*, {tail}*) "
+                                "declared under src/")
+                        if not re.search(
+                                rf"{tail}[^;]*\{{|struct\s+{tail}|class\s+{tail}",
+                                src_headers) or "EncodeTo" not in src_headers:
+                            self.error(
+                                rel, line, "wire-parity",
+                                f"k{name}: no EncodeTo for {tail} under src/")
+                elif kind == "codec":
+                    if detail is None or "/" not in detail:
+                        self.error(rel, line, "wire-parity",
+                                   f"k{name}: `payload: codec` needs Enc/Dec")
+                    else:
+                        for fn in detail.split("/"):
+                            if not re.search(rf"\b{fn}\s*\(", src_headers):
+                                self.error(
+                                    rel, line, "wire-parity",
+                                    f"k{name}: codec function {fn}() not "
+                                    "declared under src/")
+                # primitives (u64 etc.): nothing further to resolve
+
+            if f"case MessageType::k{name}" not in transport_cc:
+                self.error(rel, line, "wire-parity",
+                           f"k{name} missing from MessageTypeToString "
+                           "(src/net/transport.cc)")
+            if f"MessageType::k{name}" not in golden:
+                self.error(rel, line, "wire-parity",
+                           f"k{name} has no golden frame in "
+                           "tests/wire_golden_test.cc")
+            if not re.search(rf"\b{name}\s*\(type\s+{num}\)", protocol):
+                self.error(rel, line, "wire-parity",
+                           f"k{name}: PROTOCOL.md lacks a "
+                           f"\"{name} (type {num})\" entry")
+
+        # Reverse direction: golden tests / ToString cases must not reference
+        # constants that no longer exist (stale goldens pass vacuously).
+        declared = {name for name, _ in constants}
+        for src_rel, text in (("tests/wire_golden_test.cc", golden),
+                              ("src/net/transport.cc", transport_cc)):
+            for rm in re.finditer(r"MessageType::k(\w+)", text):
+                if rm.group(1) not in declared:
+                    line = text[:rm.start()].count("\n") + 1
+                    self.error(src_rel, line, "wire-parity",
+                               f"references MessageType::k{rm.group(1)}, "
+                               "which is not declared in transport.h")
+
+    # -- clock / rng hygiene -------------------------------------------------
+
+    def check_clock_hygiene(self) -> None:
+        for rel in self.source_files():
+            if rel in CLOCK_ALLOWLIST:
+                continue
+            text = self.read(rel)
+            if text is None:
+                continue
+            lines = text.splitlines()
+            for idx, raw in enumerate(lines):
+                code = self.strip_code(raw)
+                for pattern, what in CLOCK_PATTERNS:
+                    if pattern.search(code) and not self.suppressed(
+                            lines, idx, "clock"):
+                        self.error(
+                            rel, idx + 1, "clock",
+                            f"{what} outside src/net/tcp.cc & "
+                            "src/common/clock.h — use common/clock.h "
+                            "(SimTime) / common/rng.h (Rng) so schedules "
+                            "stay deterministic")
+
+    # -- naked new -----------------------------------------------------------
+
+    def check_naked_new(self) -> None:
+        for rel in self.source_files():
+            if not rel.startswith("src" + os.sep):
+                continue
+            text = self.read(rel)
+            if text is None:
+                continue
+            lines = text.splitlines()
+            for idx, raw in enumerate(lines):
+                code = self.strip_code(raw)
+                if NAKED_NEW.search(code) and not self.suppressed(
+                        lines, idx, "naked-new"):
+                    self.error(rel, idx + 1, "naked-new",
+                               "naked `new` — use std::make_unique (or add "
+                               "a webdis-lint: allow(naked-new) comment "
+                               "explaining the ownership transfer)")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to lint (default: this script's repo)")
+    parser.add_argument(
+        "--rules", default="wire-parity,clock,naked-new",
+        help="comma-separated subset of rules to run")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.root):
+        print(f"webdis-lint: no such root: {args.root}", file=sys.stderr)
+        return 2
+
+    linter = Linter(args.root)
+    rules = set(args.rules.split(","))
+    if "wire-parity" in rules:
+        linter.check_wire_parity()
+    if "clock" in rules:
+        linter.check_clock_hygiene()
+    if "naked-new" in rules:
+        linter.check_naked_new()
+
+    for err in linter.errors:
+        print(err)
+    if linter.errors:
+        print(f"webdis-lint: {len(linter.errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("webdis-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

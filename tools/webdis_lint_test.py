@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Unit tests for webdis-lint: each invariant must catch a deliberate break.
+
+Builds minimal synthetic repo trees in a temp dir and asserts that the
+checker (a) passes a consistent tree, and (b) fails — with the right rule
+tag — when exactly one invariant is broken. This is the acceptance proof
+that the CI lint job actually gates: a checker that cannot fail is
+decoration.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import webdis_lint  # noqa: E402
+
+
+TRANSPORT_H = """\
+enum class MessageType : uint8_t {
+  kPing = 1,  // payload: u64 nonce
+  kEcho = 2,  // payload: struct query::Echo
+};
+"""
+
+TRANSPORT_CC = """\
+case MessageType::kPing:
+case MessageType::kEcho:
+"""
+
+QUERY_H = """\
+struct Echo {
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, Echo* out);
+};
+"""
+
+GOLDEN_CC = """\
+TEST(WireGoldenTest, PingFrame) { Use(net::MessageType::kPing); }
+TEST(WireGoldenTest, EchoFrame) { Use(net::MessageType::kEcho); }
+"""
+
+PROTOCOL_MD = """\
+## Ping (type 1)
+## Echo (type 2)
+"""
+
+
+class LintTreeTest(unittest.TestCase):
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="webdis_lint_test_")
+        self.addCleanup(shutil.rmtree, self.root)
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def write_consistent_tree(self):
+        self.write("src/net/transport.h", TRANSPORT_H)
+        self.write("src/net/transport.cc", TRANSPORT_CC)
+        self.write("src/query/echo.h", QUERY_H)
+        self.write("tests/wire_golden_test.cc", GOLDEN_CC)
+        self.write("PROTOCOL.md", PROTOCOL_MD)
+
+    def run_lint(self, rules):
+        linter = webdis_lint.Linter(self.root)
+        if "wire-parity" in rules:
+            linter.check_wire_parity()
+        if "clock" in rules:
+            linter.check_clock_hygiene()
+        if "naked-new" in rules:
+            linter.check_naked_new()
+        return linter.errors
+
+    # -- wire-parity ---------------------------------------------------------
+
+    def test_consistent_tree_is_clean(self):
+        self.write_consistent_tree()
+        self.assertEqual(self.run_lint({"wire-parity", "clock", "naked-new"}),
+                         [])
+
+    def test_missing_golden_frame_fails(self):
+        self.write_consistent_tree()
+        self.write("tests/wire_golden_test.cc",
+                   "TEST(WireGoldenTest, PingFrame) "
+                   "{ Use(net::MessageType::kPing); }\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("[wire-parity]" in e and "kEcho" in e
+                            and "golden" in e for e in errors), errors)
+
+    def test_missing_tostring_case_fails(self):
+        self.write_consistent_tree()
+        self.write("src/net/transport.cc", "case MessageType::kPing:\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("MessageTypeToString" in e and "kEcho" in e
+                            for e in errors), errors)
+
+    def test_missing_decoder_fails(self):
+        self.write_consistent_tree()
+        self.write("src/query/echo.h",
+                   "struct Echo { void EncodeTo(serialize::Encoder*) "
+                   "const; };\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("DecodeFrom" in e and "kEcho" in e
+                            for e in errors), errors)
+
+    def test_missing_payload_annotation_fails(self):
+        self.write_consistent_tree()
+        self.write("src/net/transport.h",
+                   "enum class MessageType : uint8_t {\n"
+                   "  kPing = 1,  // payload: u64 nonce\n"
+                   "  kEcho = 2,\n"
+                   "};\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("payload" in e and "kEcho" in e for e in errors),
+                        errors)
+
+    def test_missing_protocol_entry_fails(self):
+        self.write_consistent_tree()
+        self.write("PROTOCOL.md", "## Ping (type 1)\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("PROTOCOL.md" in e and "kEcho" in e
+                            for e in errors), errors)
+
+    def test_stale_golden_reference_fails(self):
+        self.write_consistent_tree()
+        self.write("tests/wire_golden_test.cc",
+                   GOLDEN_CC +
+                   "TEST(WireGoldenTest, Gone) "
+                   "{ Use(net::MessageType::kRetired); }\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("kRetired" in e and "not declared" in e
+                            for e in errors), errors)
+
+    # -- clock hygiene -------------------------------------------------------
+
+    def test_steady_clock_outside_allowlist_fails(self):
+        self.write_consistent_tree()
+        self.write("src/core/engine.cc",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        errors = self.run_lint({"clock"})
+        self.assertTrue(any("[clock]" in e and "engine.cc" in e
+                            for e in errors), errors)
+
+    def test_rand_in_bench_fails(self):
+        self.write_consistent_tree()
+        self.write("bench/b.cc", "int x = rand();\n")
+        errors = self.run_lint({"clock"})
+        self.assertTrue(any("[clock]" in e and "bench" in e for e in errors),
+                        errors)
+
+    def test_clock_in_allowlisted_file_passes(self):
+        self.write_consistent_tree()
+        self.write("src/net/tcp.cc",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual(self.run_lint({"clock"}), [])
+
+    def test_clock_with_allow_comment_passes(self):
+        self.write_consistent_tree()
+        self.write("src/net/tcp.h",
+                   "// webdis-lint: allow(clock) — wall-clock timer store\n"
+                   "std::chrono::steady_clock::time_point due;\n")
+        self.assertEqual(self.run_lint({"clock"}), [])
+
+    def test_clock_in_comment_or_string_passes(self):
+        self.write_consistent_tree()
+        self.write("src/core/engine.cc",
+                   "// never use std::chrono::steady_clock here\n"
+                   'const char* kDoc = "std::chrono::steady_clock";\n')
+        self.assertEqual(self.run_lint({"clock"}), [])
+
+    # -- naked new -----------------------------------------------------------
+
+    def test_naked_new_fails(self):
+        self.write_consistent_tree()
+        self.write("src/core/engine.cc", "auto* p = new Engine();\n")
+        errors = self.run_lint({"naked-new"})
+        self.assertTrue(any("[naked-new]" in e for e in errors), errors)
+
+    def test_naked_new_with_allow_comment_passes(self):
+        self.write_consistent_tree()
+        self.write("src/core/engine.cc",
+                   "// webdis-lint: allow(naked-new) — private ctor factory\n"
+                   "return EnginePtr(new Engine(kind));\n")
+        self.assertEqual(self.run_lint({"naked-new"}), [])
+
+    def test_make_unique_passes(self):
+        self.write_consistent_tree()
+        self.write("src/core/engine.cc",
+                   "auto p = std::make_unique<Engine>();\n"
+                   "int renewed = renew(foo);\n")
+        self.assertEqual(self.run_lint({"naked-new"}), [])
+
+    # -- end to end ----------------------------------------------------------
+
+    def test_main_exit_codes(self):
+        self.write_consistent_tree()
+        self.assertEqual(webdis_lint.main(["--root", self.root]), 0)
+        self.write("src/core/engine.cc", "auto* p = new Engine();\n")
+        self.assertEqual(webdis_lint.main(["--root", self.root]), 1)
+        self.assertEqual(webdis_lint.main(["--root", "/nonexistent/xyz"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
