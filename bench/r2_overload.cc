@@ -1,0 +1,292 @@
+// R2 — overload protection & graceful degradation (PROTOCOL.md §7): a hot
+// StartNode site is driven past its admission limit by a burst of identical
+// queries while a light, site-local query runs elsewhere on the same
+// deployment. Three rounds:
+//
+//   baseline   — no admission limits: reference latency for both queries;
+//   hot/backoff— admission-limited hot site, tracked senders: shed clones
+//                are NACKed (Overloaded), retried on the overload backoff
+//                class, and every query still completes exactly;
+//   hot/shed   — same burst with no retry layer: shedding is terminal but
+//                explicit — BudgetExceeded outcomes naming the lost nodes,
+//                the CHT fully drains, nothing hangs;
+//
+// then a breaker epilogue: a crashed host trips its per-destination circuit
+// breakers, a second run short-circuits against the open breaker, and after
+// the host returns and the open interval elapses, half-open probes recover
+// it with no operator action. The headline check: the light query's latency
+// under overload stays within 2x its unloaded baseline (the hot site's
+// queue does not leak into unrelated traffic). Deterministic under
+// SimNetwork. Emits one machine-readable JSON line per round.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "disql/compiler.h"
+#include "html/url.h"
+#include "web/university.h"
+
+namespace webdis {
+namespace {
+
+constexpr int kBurst = 6;
+
+core::EngineOptions TrackedOptions() {
+  core::EngineOptions options;
+  options.server.retry.enabled = true;
+  options.server.retry.initial_timeout = 100 * kMillisecond;
+  options.server.retry.max_timeout = 400 * kMillisecond;
+  options.server.retry.max_attempts = 8;
+  options.server.retry.overload_initial_timeout = 300 * kMillisecond;
+  options.server.retry.overload_max_timeout = 2 * kSecond;
+  options.client.retry = options.server.retry;
+  options.client.entry_deadline = 30 * kSecond;
+  return options;
+}
+
+server::QueryServerOptions HotOverride(const core::EngineOptions& base) {
+  server::QueryServerOptions hot = base.server;
+  hot.admission.max_pending = 2;
+  hot.admission.service_time = 20 * kMillisecond;
+  return hot;
+}
+
+struct RoundResult {
+  SimTime hot_response = 0;    // mean over the burst
+  SimTime light_response = 0;  // the bystander query
+  int completed = 0;
+  int degraded = 0;  // budget_exhausted outcomes
+  size_t exact_rows = 0;
+  server::QueryServerStats stats;
+  uint64_t client_overload_nacks = 0;
+};
+
+/// Submits `kBurst` hot queries plus one light query concurrently, drives
+/// the network to quiescence, and collects everything.
+RoundResult RunRound(const web::WebGraph* web,
+                     const core::EngineOptions& options,
+                     const disql::CompiledQuery& hot,
+                     const disql::CompiledQuery& light,
+                     size_t hot_reference_rows) {
+  core::Engine engine(web, options);
+  const core::TrafficSummary before = engine.TrafficSnapshot();
+  std::vector<query::QueryId> hot_ids;
+  for (int i = 0; i < kBurst; ++i) {
+    auto id = engine.Submit(hot);
+    if (!id.ok()) continue;
+    hot_ids.push_back(id.value());
+  }
+  auto light_id = engine.Submit(light);
+  engine.network().RunUntilIdle();
+
+  RoundResult r;
+  for (const query::QueryId& id : hot_ids) {
+    core::RunOutcome outcome = engine.CollectOutcome(id, before);
+    r.completed += outcome.completed ? 1 : 0;
+    r.degraded += outcome.budget_exhausted ? 1 : 0;
+    if (!outcome.budget_exhausted && outcome.TotalRows() == hot_reference_rows)
+      ++r.exact_rows;
+    r.hot_response += outcome.completion_time - outcome.submit_time;
+  }
+  r.hot_response /= hot_ids.size();
+  if (light_id.ok()) {
+    core::RunOutcome outcome = engine.CollectOutcome(light_id.value(), before);
+    r.completed += outcome.completed ? 1 : 0;
+    r.light_response = outcome.completion_time - outcome.submit_time;
+  }
+  r.stats = engine.AggregateServerStats();
+  r.client_overload_nacks = engine.user_site().retry_stats().overload_nacks;
+  return r;
+}
+
+int Main() {
+  web::UniversityOptions uni_options;
+  uni_options.seed = 23;
+  uni_options.departments = 3;
+  uni_options.labs_per_department = 2;
+  const web::UniversityWeb uni = web::GenerateUniversityWeb(uni_options);
+  auto root = html::ParseUrl(uni.root_url);
+  if (!root.ok()) return 1;
+
+  auto hot = disql::CompileDisql(uni.convener_disql);
+  if (!hot.ok()) return 1;
+
+  // The bystander: a purely site-local walk (L edges never leave the host)
+  // on a quiet site the burst does not touch.
+  std::string quiet_host;
+  for (const std::string& host : uni.web.Hosts()) {
+    if (host != root->host) quiet_host = host;
+  }
+  const std::vector<std::string> quiet_urls = uni.web.UrlsOnHost(quiet_host);
+  if (quiet_urls.empty()) return 1;
+  const std::string light_disql =
+      "select d.url from document d such that \"" + quiet_urls.front() +
+      "\" L*2 d";
+  auto light = disql::CompileDisql(light_disql);
+  if (!light.ok()) return 1;
+
+  size_t hot_reference_rows = 0;
+  {
+    core::Engine engine(&uni.web);
+    auto outcome = engine.RunCompiled(hot.value());
+    if (!outcome.ok() || !outcome->completed) return 1;
+    hot_reference_rows = outcome->TotalRows();
+  }
+
+  std::printf(
+      "R2 — Overload protection: %d-query burst against an admission-"
+      "limited\nStartNode site (queue cap 2, 20 ms service time) plus one "
+      "site-local\nbystander query on an unrelated host.\n\n",
+      kBurst);
+
+  // Round 1: unloaded baseline (tracked senders, no admission limit).
+  const RoundResult base =
+      RunRound(&uni.web, TrackedOptions(), hot.value(), light.value(),
+               hot_reference_rows);
+
+  // Round 2: hot site + tracked senders — Overloaded NACKs, lossless.
+  core::EngineOptions tracked = TrackedOptions();
+  tracked.server_overrides[root->host] = HotOverride(tracked);
+  const RoundResult backoff = RunRound(&uni.web, tracked, hot.value(),
+                                       light.value(), hot_reference_rows);
+
+  // Round 3: hot site, no retry layer — terminal but explicit shedding.
+  core::EngineOptions untracked;
+  untracked.fallback_processing = false;
+  untracked.server_overrides[root->host] = HotOverride(untracked);
+  const RoundResult shed = RunRound(&uni.web, untracked, hot.value(),
+                                    light.value(), hot_reference_rows);
+
+  bench::TablePrinter table({
+      "round", "hot ms", "light ms", "completed", "exact", "degraded",
+      "nacks", "shed", "evicted", "queue peak",
+  });
+  struct Row {
+    const char* name;
+    const RoundResult* r;
+  };
+  const Row rows[] = {
+      {"baseline", &base}, {"hot/backoff", &backoff}, {"hot/shed", &shed}};
+  for (const Row& row : rows) {
+    table.AddRow({
+        row.name,
+        bench::Ms(row.r->hot_response),
+        bench::Ms(row.r->light_response),
+        bench::Num(static_cast<uint64_t>(row.r->completed)),
+        bench::Num(row.r->exact_rows),
+        bench::Num(static_cast<uint64_t>(row.r->degraded)),
+        bench::Num(row.r->stats.overload_nacks_sent),
+        bench::Num(row.r->stats.clones_shed),
+        bench::Num(row.r->stats.clones_evicted),
+        bench::Num(row.r->stats.queue_peak),
+    });
+  }
+  table.Print();
+
+  // Every burst query terminates in every round: NACK+backoff keeps the
+  // answer exact, terminal shedding degrades it explicitly — never a hang.
+  const int expected = kBurst + 1;
+  if (base.completed != expected || backoff.completed != expected ||
+      shed.completed != expected) {
+    std::fprintf(stderr, "FAIL: a query did not complete\n");
+    return 1;
+  }
+  if (backoff.client_overload_nacks == 0 || backoff.exact_rows != kBurst) {
+    std::fprintf(stderr, "FAIL: backoff round not lossless-via-NACK\n");
+    return 1;
+  }
+  if (shed.degraded == 0 || shed.stats.clones_shed == 0) {
+    std::fprintf(stderr, "FAIL: shed round shed nothing\n");
+    return 1;
+  }
+  // The headline: overload at the hot site does not leak into the
+  // site-local bystander.
+  if (backoff.light_response > 2 * base.light_response ||
+      shed.light_response > 2 * base.light_response) {
+    std::fprintf(stderr, "FAIL: bystander latency exceeded 2x baseline\n");
+    return 1;
+  }
+
+  // Breaker epilogue: crash -> trip -> short-circuit -> probe -> recover.
+  core::EngineOptions breaker_options;
+  breaker_options.server.breaker.enabled = true;
+  breaker_options.server.breaker.failure_threshold = 1;
+  breaker_options.server.breaker.open_timeout = 2 * kSecond;
+  breaker_options.server.breaker.open_timeout_jitter = 0;
+  core::Engine engine(&uni.web, breaker_options);
+  std::string victim;
+  for (const std::string& host : engine.participating_hosts()) {
+    if (host != root->host) victim = host;
+  }
+  server::QueryServer* victim_qs = engine.server_for(victim);
+  if (victim_qs == nullptr) return 1;
+  victim_qs->Crash();
+  auto trip_run = engine.RunCompiled(hot.value());
+  auto open_run = engine.RunCompiled(hot.value());
+  if (!trip_run.ok() || !open_run.ok()) return 1;
+  if (!victim_qs->Restart().ok()) return 1;
+  engine.network().ScheduleAfter(3 * kSecond, [] {});
+  engine.network().RunUntilIdle();
+  auto recovered_run = engine.RunCompiled(hot.value());
+  if (!recovered_run.ok()) return 1;
+  const server::QueryServerStats bstats = engine.AggregateServerStats();
+  std::printf(
+      "\nBreaker epilogue (crashed host %s, threshold 1, open 2 s):\n"
+      "  trips %llu, short-circuits %llu, probes %llu, recoveries %llu;\n"
+      "  recovered run rows: %zu (reference %zu)\n",
+      victim.c_str(), static_cast<unsigned long long>(bstats.breaker_trips),
+      static_cast<unsigned long long>(bstats.breaker_short_circuits),
+      static_cast<unsigned long long>(bstats.breaker_probes),
+      static_cast<unsigned long long>(bstats.breaker_recoveries),
+      recovered_run->TotalRows(), hot_reference_rows);
+  if (bstats.breaker_trips == 0 || bstats.breaker_short_circuits == 0 ||
+      bstats.breaker_probes == 0 || bstats.breaker_recoveries == 0 ||
+      recovered_run->TotalRows() != hot_reference_rows) {
+    std::fprintf(stderr, "FAIL: breaker lifecycle incomplete\n");
+    return 1;
+  }
+
+  std::printf(
+      "\nThe admission queue converts a burst into bounded work: tracked\n"
+      "senders absorb shedding via the Overloaded backoff class (exact\n"
+      "answers, later), untracked senders get explicit BudgetExceeded\n"
+      "verdicts (degraded answers, named nodes, no hang), and the\n"
+      "site-local bystander never pays for the hot site's queue.\n\n");
+
+  for (const Row& row : rows) {
+    std::printf(
+        "{\"bench\":\"r2_overload\",\"round\":\"%s\",\"hot_ms\":%.1f,"
+        "\"light_ms\":%.1f,\"completed\":%d,\"exact\":%zu,\"degraded\":%d,"
+        "\"overload_nacks_sent\":%llu,\"client_overload_nacks\":%llu,"
+        "\"clones_shed\":%llu,\"clones_evicted\":%llu,\"queue_peak\":%llu,"
+        "\"budget_expired\":%llu,\"rows_truncated\":%llu}\n",
+        row.name, static_cast<double>(row.r->hot_response) / 1000.0,
+        static_cast<double>(row.r->light_response) / 1000.0, row.r->completed,
+        row.r->exact_rows, row.r->degraded,
+        static_cast<unsigned long long>(row.r->stats.overload_nacks_sent),
+        static_cast<unsigned long long>(row.r->client_overload_nacks),
+        static_cast<unsigned long long>(row.r->stats.clones_shed),
+        static_cast<unsigned long long>(row.r->stats.clones_evicted),
+        static_cast<unsigned long long>(row.r->stats.queue_peak),
+        static_cast<unsigned long long>(row.r->stats.budget_expired_clones),
+        static_cast<unsigned long long>(row.r->stats.rows_truncated));
+  }
+  std::printf(
+      "{\"bench\":\"r2_overload\",\"round\":\"breaker\","
+      "\"breaker_trips\":%llu,\"breaker_short_circuits\":%llu,"
+      "\"breaker_probes\":%llu,\"breaker_recoveries\":%llu,"
+      "\"recovered_rows\":%zu}\n",
+      static_cast<unsigned long long>(bstats.breaker_trips),
+      static_cast<unsigned long long>(bstats.breaker_short_circuits),
+      static_cast<unsigned long long>(bstats.breaker_probes),
+      static_cast<unsigned long long>(bstats.breaker_recoveries),
+      recovered_run->TotalRows());
+  return 0;
+}
+
+}  // namespace
+}  // namespace webdis
+
+int main() { return webdis::Main(); }

@@ -10,6 +10,28 @@
 
 namespace webdis::client {
 
+std::string QueryRunStats::ToText() const {
+  std::string out;
+  const auto line = [&out](const char* name, uint64_t value) {
+    if (value != 0) out += StringPrintf("%s: %llu\n", name,
+                                        static_cast<unsigned long long>(value));
+  };
+  line("reports_received", reports_received);
+  line("node_reports", node_reports);
+  line("duplicate_drop_reports", duplicate_drop_reports);
+  line("undeliverable_reports", undeliverable_reports);
+  line("budget_exceeded_reports", budget_exceeded_reports);
+  line("result_rows_received", result_rows_received);
+  line("duplicate_rows_filtered", duplicate_rows_filtered);
+  line("termination_messages_sent", termination_messages_sent);
+  line("root_acks_received", root_acks_received);
+  line("entries_gc", entries_gc);
+  line("redeliveries_suppressed", redeliveries_suppressed);
+  line("dispatch_send_errors", dispatch_send_errors);
+  line("termination_send_failures", termination_send_failures);
+  return out;
+}
+
 UserSite::UserSite(std::string host, net::Transport* transport,
                    UserSiteOptions options)
     : host_(std::move(host)),
@@ -62,11 +84,37 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
     by_host[parsed->host].push_back(parsed->ResourceKey());
   }
 
+  // Per-query resource budget (PROTOCOL.md §7.1): deadlines become absolute
+  // here, and the clone allowance is split across the initial per-site
+  // clones (remainder to the first sites) so the *global* dispatch count is
+  // bounded no matter how the traversal fans out.
+  query::QueryBudget budget;
+  if (options_.budget_deadline > 0) {
+    budget.has_deadline = true;
+    budget.deadline = clock_() + options_.budget_deadline;
+  }
+  if (options_.budget_max_hops > 0) {
+    budget.has_hop_limit = true;
+    budget.hops_left = options_.budget_max_hops;
+  }
+  if (options_.budget_max_rows_per_visit > 0) {
+    budget.has_row_limit = true;
+    budget.max_rows_per_visit = options_.budget_max_rows_per_visit;
+  }
+  uint64_t clone_alloc_base = 0;
+  uint64_t clone_alloc_extra = 0;
+  if (options_.budget_max_clones > 0) {
+    budget.has_clone_limit = true;
+    clone_alloc_base = options_.budget_max_clones / by_host.size();
+    clone_alloc_extra = options_.budget_max_clones % by_host.size();
+  }
+
   const query::CloneState initial_state{
       static_cast<uint32_t>(compiled.web_query.remaining_queries.size()),
       compiled.web_query.rem_pre};
   const net::Endpoint self{host_, id.reply_port};
   uint64_t next_root_token = 1;
+  size_t site_index = 0;
   for (const auto& [site_host, urls] : by_host) {
     // Figure 2: enter the CHT entries, then dispatch.
     if (!options_.ack_tree_termination) {
@@ -77,6 +125,12 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
     query::WebQuery clone = compiled.web_query.Clone();
     clone.id = id;
     clone.dest_urls = urls;
+    clone.budget = budget;
+    if (budget.has_clone_limit) {
+      clone.budget.clones_left =
+          clone_alloc_base + (site_index < clone_alloc_extra ? 1 : 0);
+    }
+    ++site_index;
     uint64_t root_token = 0;
     if (options_.ack_tree_termination) {
       root_token = next_root_token++;
@@ -263,6 +317,12 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
     sender_.OnAck(payload);
     return;
   }
+  if (type == net::MessageType::kOverloaded) {
+    // A StartNode server shed an initial clone: re-arm it on the overload
+    // backoff schedule instead of retrying hot.
+    sender_.OnOverloaded(payload);
+    return;
+  }
   if (type != net::MessageType::kReport) {
     WEBDIS_LOG(kWarning) << "user site ignoring message of type "
                          << net::MessageTypeToString(type);
@@ -315,6 +375,20 @@ void UserSite::HandleReport(QueryRun* run,
       run->fallback_nodes.push_back(
           query::ChtEntry{nr.node_url, nr.received_state});
       continue;
+    }
+    if (nr.budget_exceeded) {
+      // Explicit degradation (PROTOCOL.md §7.1): the visit was shed,
+      // expired, vetoed, or truncated. The topmost entry was already
+      // cleared above; record the node so the partial outcome names it.
+      // NOT a `continue`: a truncated visit still carries its surviving
+      // rows and CHT entries below.
+      ++run->stats.budget_exceeded_reports;
+      run->budget_exhausted = true;
+      if (std::find(run->budget_exceeded_nodes.begin(),
+                    run->budget_exceeded_nodes.end(),
+                    nr.node_url) == run->budget_exceeded_nodes.end()) {
+        run->budget_exceeded_nodes.push_back(nr.node_url);
+      }
     }
     if (!options_.ack_tree_termination) {
       for (const query::ChtEntry& entry : nr.next_entries) {

@@ -59,6 +59,21 @@ struct UserSiteOptions {
   /// still completes, flagged as a *partial* outcome naming the host.
   /// 0 = disabled. Needs a timer-capable transport and use_cht.
   SimDuration entry_deadline = 0;
+  /// Per-query resource budget (PROTOCOL.md §7.1), stamped on every initial
+  /// clone and enforced by every server the query visits. All 0 = no budget
+  /// (the seed wire bytes then end in a zero flags byte).
+  /// Relative deadline, converted to an absolute virtual time at Submit.
+  SimDuration budget_deadline = 0;
+  /// Maximum forward hops from a StartNode (0 = unlimited).
+  uint32_t budget_max_hops = 0;
+  /// Total clone dispatches allowed across the whole traversal, split
+  /// between the initial per-site clones (which themselves ride free — the
+  /// user chose the StartNodes). 0 = unlimited.
+  uint64_t budget_max_clones = 0;
+  /// Result-row cap per node visit (0 = unlimited). Unlike `row_limit`
+  /// above — which stops the whole query once enough rows arrived — this
+  /// degrades each visit individually and the traversal continues.
+  uint64_t budget_max_rows_per_visit = 0;
 };
 
 /// Per-query client-side statistics.
@@ -79,6 +94,12 @@ struct QueryRunStats {
   uint64_t dispatch_send_errors = 0;     // transient initial-dispatch errors
   uint64_t termination_send_failures = 0;  // kTerminate lost; passive
                                            // termination still covers it
+  // Overload & degradation (PROTOCOL.md §7):
+  uint64_t budget_exceeded_reports = 0;  // visits shed/expired/truncated
+
+  /// Human-readable dump of the non-zero counters, one `name: value` per
+  /// line — degradation should be observable, not just counted.
+  std::string ToText() const;
 };
 
 /// The WEBDIS client process at the user site: parses nothing itself (takes
@@ -112,6 +133,12 @@ class UserSite {
     bool partial = false;
     /// Hosts whose CHT entries were garbage-collected (deduplicated).
     std::vector<std::string> unreachable_hosts;
+    /// Set when any visit was cut short by the per-query budget or shed by
+    /// admission control — the answer is explicitly partial (PROTOCOL.md
+    /// §7.1), in contrast to a silent stall.
+    bool budget_exhausted = false;
+    /// Nodes named in budget-exceeded reports (deduplicated).
+    std::vector<std::string> budget_exceeded_nodes;
     /// Pending deadline-sweep timer id (0 = none armed).
     uint64_t sweep_timer = 0;
     SimTime submit_time = 0;

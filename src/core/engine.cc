@@ -55,6 +55,47 @@ std::string FormatResults(const std::vector<relational::ResultSet>& results) {
   return out;
 }
 
+std::string FormatRunStats(const RunOutcome& outcome) {
+  std::string out;
+  if (outcome.partial) out += "partial: true\n";
+  if (outcome.budget_exhausted) out += "budget_exhausted: true\n";
+  for (const std::string& node : outcome.budget_exceeded_nodes) {
+    out += "budget_exceeded_node: " + node + "\n";
+  }
+  out += "client:\n";
+  const std::string client = outcome.client_stats.ToText();
+  if (client.empty()) out += "  (all zero)\n";
+  for (const std::string& line : Split(client, '\n')) {
+    if (!line.empty()) out += "  " + line + "\n";
+  }
+  const auto emit = [&out](const char* name, uint64_t value) {
+    if (value != 0) out += StringPrintf("  %s: %llu\n", name,
+                                        (unsigned long long)value);
+  };
+  out += "servers:\n";
+  const server::QueryServerStats& s = outcome.server_stats;
+  emit("clones_received", s.clones_received);
+  emit("clones_forwarded", s.clones_forwarded);
+  emit("report_send_errors", s.report_send_errors);
+  emit("forward_send_errors", s.forward_send_errors);
+  emit("undeliverable_forwards", s.undeliverable_forwards);
+  emit("retries", s.retries);
+  emit("retry_exhausted", s.retry_exhausted);
+  emit("clones_shed", s.clones_shed);
+  emit("clones_evicted", s.clones_evicted);
+  emit("overload_nacks_sent", s.overload_nacks_sent);
+  emit("overload_nacks_received", s.overload_nacks_received);
+  emit("queue_peak", s.queue_peak);
+  emit("budget_expired_clones", s.budget_expired_clones);
+  emit("budget_vetoed_forwards", s.budget_vetoed_forwards);
+  emit("rows_truncated", s.rows_truncated);
+  emit("breaker_trips", s.breaker_trips);
+  emit("breaker_short_circuits", s.breaker_short_circuits);
+  emit("breaker_probes", s.breaker_probes);
+  emit("breaker_recoveries", s.breaker_recoveries);
+  return out;
+}
+
 Engine::Engine(const web::WebGraph* web, EngineOptions options)
     : web_(web), options_(options) {
   // The at-least-once envelope is not self-describing: a retry-enabled
@@ -62,6 +103,10 @@ Engine::Engine(const web::WebGraph* web, EngineOptions options)
   // misparse every message. Catch the misconfiguration at construction.
   WEBDIS_CHECK(options_.server.retry.enabled == options_.client.retry.enabled)
       << "server and client retry settings must match";
+  for (const auto& [host, override_opts] : options_.server_overrides) {
+    WEBDIS_CHECK(override_opts.retry.enabled == options_.client.retry.enabled)
+        << "server override for " << host << " must match client retry";
+  }
   network_ = std::make_unique<net::SimNetwork>(options_.network);
   const std::vector<std::string> hosts = web_->Hosts();
 
@@ -85,10 +130,15 @@ Engine::Engine(const web::WebGraph* web, EngineOptions options)
         forced || options_.participation_fraction >= 1.0 ||
         rng.Bernoulli(options_.participation_fraction);
     if (!participates) continue;
+    const auto override_it = options_.server_overrides.find(host);
+    const server::QueryServerOptions& server_options =
+        override_it == options_.server_overrides.end() ? options_.server
+                                                       : override_it->second;
     auto qs = std::make_unique<server::QueryServer>(
-        host, web_, network_.get(), options_.server);
+        host, web_, network_.get(), server_options);
     const Status status = qs->Start();
     WEBDIS_CHECK(status.ok()) << status.ToString();
+    qs->SetClock([this] { return network_->now(); });
     participating_hosts_.push_back(host);
     query_servers_.emplace(host, std::move(qs));
   }
@@ -175,9 +225,24 @@ server::QueryServerStats Engine::AggregateServerStats() const {
     total.decode_errors += s.decode_errors;
     total.acks_sent += s.acks_sent;
     total.acks_received += s.acks_received;
+    total.ack_send_failures += s.ack_send_failures;
+    total.report_send_errors += s.report_send_errors;
+    total.forward_send_errors += s.forward_send_errors;
     total.retries += s.retries;
     total.retry_exhausted += s.retry_exhausted;
     total.redeliveries_suppressed += s.redeliveries_suppressed;
+    total.clones_shed += s.clones_shed;
+    total.clones_evicted += s.clones_evicted;
+    total.overload_nacks_sent += s.overload_nacks_sent;
+    total.overload_nacks_received += s.overload_nacks_received;
+    total.queue_peak = std::max(total.queue_peak, s.queue_peak);
+    total.budget_expired_clones += s.budget_expired_clones;
+    total.budget_vetoed_forwards += s.budget_vetoed_forwards;
+    total.rows_truncated += s.rows_truncated;
+    total.breaker_trips += s.breaker_trips;
+    total.breaker_short_circuits += s.breaker_short_circuits;
+    total.breaker_probes += s.breaker_probes;
+    total.breaker_recoveries += s.breaker_recoveries;
   }
   return total;
 }
@@ -196,6 +261,8 @@ RunOutcome Engine::CollectOutcome(const query::QueryId& id,
   outcome.completed = run->completed;
   outcome.partial = run->partial;
   outcome.unreachable_hosts = run->unreachable_hosts;
+  outcome.budget_exhausted = run->budget_exhausted;
+  outcome.budget_exceeded_nodes = run->budget_exceeded_nodes;
   outcome.results = run->results;
   outcome.submit_time = run->submit_time;
   outcome.completion_time = run->completion_time;

@@ -23,6 +23,9 @@ struct EngineOptions {
   net::SimNetworkOptions network;
   server::QueryServerOptions server;
   client::UserSiteOptions client;
+  /// Per-host overrides of `server` (e.g. a tight admission queue on one
+  /// hot site while the rest of the federation runs the defaults).
+  std::map<std::string, server::QueryServerOptions> server_overrides;
   /// Fraction of web hosts that run a WEBDIS query server (1.0 = every
   /// host participates; lower values exercise the §7.1 migration path).
   double participation_fraction = 1.0;
@@ -63,6 +66,11 @@ struct RunOutcome {
   /// hosts were unreachable and the answer may be missing their rows.
   bool partial = false;
   std::vector<std::string> unreachable_hosts;
+  /// Some visits were shed, expired, vetoed or truncated by the per-query
+  /// budget / admission control (PROTOCOL.md §7): the answer is explicitly
+  /// degraded and `budget_exceeded_nodes` names where.
+  bool budget_exhausted = false;
+  std::vector<std::string> budget_exceeded_nodes;
   std::vector<relational::ResultSet> results;
   SimTime submit_time = 0;
   SimTime completion_time = 0;     // when the user site *knew* it was done
@@ -85,6 +93,12 @@ struct RunOutcome {
 
 /// Renders result sets as aligned text tables (the Figure 8 display).
 std::string FormatResults(const std::vector<relational::ResultSet>& results);
+
+/// Renders one run's degradation-relevant counters — client-side stats plus
+/// the aggregated server-side send-error / shed / breaker / budget counters
+/// — as `name: value` lines (zero counters omitted). The observability
+/// companion to the partial-outcome flags.
+std::string FormatRunStats(const RunOutcome& outcome);
 
 /// A complete single-process WEBDIS deployment over the simulated network:
 /// one HttpServer per web host, one QueryServer per *participating* host,

@@ -1,0 +1,106 @@
+#include "net/breaker.h"
+
+namespace webdis::net {
+
+void HostBreakers::Trip(Breaker* b, SimTime now) {
+  b->state = State::kOpen;
+  b->consecutive_failures = 0;
+  b->probes_in_flight = 0;
+  b->probe_successes = 0;
+  SimDuration interval = options_.open_timeout;
+  const double j = options_.open_timeout_jitter;
+  if (j > 0.0) {
+    const double factor = 1.0 - j / 2.0 + j * jitter_rng_.NextDouble();
+    interval = static_cast<SimDuration>(static_cast<double>(interval) * factor);
+  }
+  if (interval < 1) interval = 1;
+  b->open_until = now + interval;
+  ++stats_.trips;
+}
+
+bool HostBreakers::Allow(const std::string& host, SimTime now) {
+  if (!options_.enabled) return true;
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return true;  // no history: closed
+  Breaker& b = it->second;
+  switch (b.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < b.open_until) {
+        ++stats_.short_circuits;
+        return false;
+      }
+      b.state = State::kHalfOpen;
+      b.probes_in_flight = 0;
+      b.probe_successes = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (b.probes_in_flight >= options_.half_open_probes) {
+        // Probe budget in flight; wait for an outcome.
+        ++stats_.short_circuits;
+        return false;
+      }
+      ++b.probes_in_flight;
+      ++stats_.probes;
+      return true;
+  }
+  return true;
+}
+
+void HostBreakers::RecordSuccess(const std::string& host, SimTime now) {
+  (void)now;
+  if (!options_.enabled) return;
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return;  // closed with no failures: nothing to do
+  Breaker& b = it->second;
+  switch (b.state) {
+    case State::kClosed:
+      b.consecutive_failures = 0;
+      break;
+    case State::kOpen:
+      // Ack for a send admitted before the trip; the trip stands.
+      break;
+    case State::kHalfOpen:
+      ++b.probe_successes;
+      if (b.probes_in_flight > 0) --b.probes_in_flight;
+      if (b.probe_successes >= options_.half_open_probes) {
+        b = Breaker{};  // closed, history cleared
+        ++stats_.recoveries;
+      }
+      break;
+  }
+}
+
+void HostBreakers::RecordFailure(const std::string& host, SimTime now) {
+  if (!options_.enabled) return;
+  Breaker& b = hosts_[host];
+  switch (b.state) {
+    case State::kClosed:
+      if (++b.consecutive_failures >= options_.failure_threshold) {
+        Trip(&b, now);
+      }
+      break;
+    case State::kOpen:
+      // Late failure from a pre-trip send; the trip stands.
+      break;
+    case State::kHalfOpen:
+      Trip(&b, now);  // probe failed: back to open with a fresh interval
+      break;
+  }
+}
+
+HostBreakers::State HostBreakers::GetState(const std::string& host,
+                                           SimTime now) {
+  if (!options_.enabled) return State::kClosed;
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return State::kClosed;
+  Breaker& b = it->second;
+  if (b.state == State::kOpen && now >= b.open_until) {
+    // Report what Allow() would see: the probe window is open.
+    return State::kHalfOpen;
+  }
+  return b.state;
+}
+
+}  // namespace webdis::net

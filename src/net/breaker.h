@@ -1,0 +1,104 @@
+#ifndef WEBDIS_NET_BREAKER_H_
+#define WEBDIS_NET_BREAKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace webdis::net {
+
+/// Tuning for the per-destination circuit breaker (PROTOCOL.md §7.3).
+/// Disabled by default: the seed forwarding path is unchanged unless a
+/// deployment opts in.
+struct BreakerOptions {
+  bool enabled = false;
+  /// Consecutive delivery failures to one host that trip its breaker.
+  uint32_t failure_threshold = 3;
+  /// How long a tripped breaker stays open before the first half-open
+  /// probe is admitted.
+  SimDuration open_timeout = 2 * kSecond;
+  /// The open interval is multiplied by a uniform factor in
+  /// [1 - j/2, 1 + j/2] per trip, so breakers tripped by the same outage
+  /// do not probe in lockstep.
+  double open_timeout_jitter = 0.25;
+  /// Consecutive probe successes required in half-open to close again.
+  uint32_t half_open_probes = 1;
+  /// Seed for the jitter stream (deterministic under SimNetwork).
+  uint64_t seed = 1;
+};
+
+/// Aggregate breaker activity across all destination hosts.
+struct BreakerStats {
+  uint64_t trips = 0;           // closed/half-open -> open transitions
+  uint64_t short_circuits = 0;  // sends vetoed while open (or probe-capped)
+  uint64_t probes = 0;          // half-open sends admitted
+  uint64_t recoveries = 0;      // half-open -> closed transitions
+};
+
+/// Per-destination-host circuit breaker bank, consulted on the forwarding
+/// path. Classic three-state machine:
+///
+///   closed ──(failure_threshold consecutive failures)──▶ open
+///   open ──(open_timeout elapsed; next Allow)──▶ half-open
+///   half-open ──(half_open_probes successes)──▶ closed
+///   half-open ──(any failure)──▶ open (fresh jittered timeout)
+///
+/// "Failure" is delivery-layer evidence the host is unreachable: a
+/// synchronous ConnectionRefused on first attempt, retry exhaustion, or
+/// refusal on a retransmission (DeliveryEvent). An Overloaded NACK is NOT a
+/// failure — the host answered. Time is injected by the caller (the owning
+/// server's clock), so the machine is deterministic under SimNetwork and
+/// never reads a wall clock.
+class HostBreakers {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit HostBreakers(BreakerOptions options)
+      : options_(options), jitter_rng_(options.seed) {}
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Returns true if a send to `host` may proceed now. Transitions
+  /// open -> half-open when the open interval has elapsed, and admits (and
+  /// counts) half-open probes up to the configured limit; further sends
+  /// short-circuit until a probe outcome arrives.
+  bool Allow(const std::string& host, SimTime now);
+
+  /// Delivery succeeded (synchronous accept confirmed by ack, or plain
+  /// send success on transports without delivery tracking).
+  void RecordSuccess(const std::string& host, SimTime now);
+
+  /// Delivery failed (refused / exhausted). May trip the breaker.
+  void RecordFailure(const std::string& host, SimTime now);
+
+  /// Current state, with the open -> half-open time transition applied.
+  State GetState(const std::string& host, SimTime now);
+
+  /// Forgets everything (crash semantics: breaker state is volatile).
+  void Reset() { hosts_.clear(); }
+
+  const BreakerStats& stats() const { return stats_; }
+
+ private:
+  struct Breaker {
+    State state = State::kClosed;
+    uint32_t consecutive_failures = 0;
+    SimTime open_until = 0;
+    uint32_t probes_in_flight = 0;
+    uint32_t probe_successes = 0;
+  };
+
+  void Trip(Breaker* b, SimTime now);
+
+  BreakerOptions options_;
+  Rng jitter_rng_;
+  std::map<std::string, Breaker> hosts_;
+  BreakerStats stats_;
+};
+
+}  // namespace webdis::net
+
+#endif  // WEBDIS_NET_BREAKER_H_

@@ -50,7 +50,9 @@ void ReliableSender::OnTimeout(uint64_t seq) {
   Pending& pending = it->second;
   if (pending.attempts >= options_.max_attempts) {
     ++stats_.exhausted;
+    const Endpoint to = pending.to;
     pending_.erase(it);
+    Notify(to, DeliveryEvent::kExhausted);
     return;
   }
   ++pending.attempts;
@@ -62,13 +64,19 @@ void ReliableSender::OnTimeout(uint64_t seq) {
     // socket after completion). The original Send already succeeded from
     // the caller's view; stop retrying quietly.
     ++stats_.refused_on_retry;
+    const Endpoint to = pending.to;
     pending_.erase(it);
+    Notify(to, DeliveryEvent::kRefusedOnRetry);
     return;
   }
-  pending.timeout = std::min<SimDuration>(
-      static_cast<SimDuration>(static_cast<double>(pending.timeout) *
-                               options_.backoff_factor),
-      options_.max_timeout);
+  if (!pending.overloaded) {
+    pending.timeout = std::min<SimDuration>(
+        static_cast<SimDuration>(static_cast<double>(pending.timeout) *
+                                 options_.backoff_factor),
+        options_.max_timeout);
+  }
+  // Overloaded transfers keep their interval here: growth happens in
+  // OnOverloaded, where the NACK confirms the destination is still shedding.
   Arm(seq);
 }
 
@@ -82,8 +90,43 @@ void ReliableSender::OnAck(const std::vector<uint8_t>& payload) {
     return;
   }
   if (it->second.timer != 0) transport_->CancelTimer(it->second.timer);
+  const Endpoint to = it->second.to;
   pending_.erase(it);
   ++stats_.acked;
+  Notify(to, DeliveryEvent::kAcked);
+}
+
+void ReliableSender::OnOverloaded(const std::vector<uint8_t>& payload) {
+  serialize::Decoder dec(payload);
+  uint64_t seq = 0;
+  if (!dec.GetU64(&seq).ok()) return;  // malformed NACK: ignore
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // already acked, NACKed, or abandoned
+  Pending& pending = it->second;
+  ++stats_.overload_nacks;
+  if (pending.timer != 0) transport_->CancelTimer(pending.timer);
+  pending.timer = 0;
+  if (!pending.overloaded) {
+    // Class change: restart the schedule at the (longer) overload base.
+    pending.overloaded = true;
+    pending.timeout = options_.overload_initial_timeout;
+  } else {
+    pending.timeout = static_cast<SimDuration>(
+        static_cast<double>(pending.timeout) * options_.overload_backoff_factor);
+  }
+  pending.timeout = JitterOverload(pending.timeout);
+  Arm(seq);
+  Notify(pending.to, DeliveryEvent::kOverloadNack);
+}
+
+SimDuration ReliableSender::JitterOverload(SimDuration timeout) {
+  const double j = options_.overload_jitter;
+  if (j > 0.0) {
+    const double factor = 1.0 - j / 2.0 + j * jitter_rng_.NextDouble();
+    timeout = static_cast<SimDuration>(static_cast<double>(timeout) * factor);
+  }
+  if (timeout < 1) timeout = 1;
+  return std::min(timeout, options_.overload_max_timeout);
 }
 
 void ReliableSender::CancelAll() {
@@ -114,6 +157,51 @@ bool ReliableReceiver::Accept(const Endpoint& self, const Endpoint& from,
     return false;  // replay: already processed
   }
   inner->assign(payload.begin() + dec.position(), payload.end());
+  return true;
+}
+
+bool ReliableReceiver::PeekSeq(const std::vector<uint8_t>& payload,
+                               uint64_t* seq) {
+  serialize::Decoder dec(payload);
+  return dec.GetU64(seq).ok();
+}
+
+bool ReliableReceiver::StripEnvelope(const std::vector<uint8_t>& payload,
+                                     std::vector<uint8_t>* inner) {
+  serialize::Decoder dec(payload);
+  uint64_t seq = 0;
+  if (!dec.GetU64(&seq).ok()) return false;
+  inner->assign(payload.begin() + dec.position(), payload.end());
+  return true;
+}
+
+bool ReliableReceiver::TestSeen(const Endpoint& from, uint64_t seq) const {
+  auto it = seen_.find(from);
+  return it != seen_.end() && it->second.count(seq) != 0;
+}
+
+void ReliableReceiver::SendAck(const Endpoint& self, const Endpoint& from,
+                               uint64_t seq) {
+  serialize::Encoder ack;
+  ack.PutU64(seq);
+  // Refusal is fine: the sender may already be gone.
+  (void)transport_->Send(self, from, MessageType::kDeliveryAck, ack.Release());
+}
+
+void ReliableReceiver::SendOverloaded(const Endpoint& self,
+                                      const Endpoint& from, uint64_t seq) {
+  serialize::Encoder nack;
+  nack.PutU64(seq);
+  (void)transport_->Send(self, from, MessageType::kOverloaded, nack.Release());
+}
+
+bool ReliableReceiver::AcceptSeq(const Endpoint& self, const Endpoint& from,
+                                 uint64_t seq) {
+  SendAck(self, from, seq);
+  if (!seen_[from].insert(seq).second) {
+    ++suppressed_;
+    return false;
+  }
   return true;
 }
 

@@ -2,11 +2,13 @@
 #define WEBDIS_NET_RELIABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "net/transport.h"
 
@@ -27,6 +29,20 @@ struct RetryOptions {
   /// transfer is abandoned — recovery then falls to the receiver side
   /// (CHT deadline GC at the user site).
   uint32_t max_attempts = 5;
+
+  /// Overload backoff class (PROTOCOL.md §7.2). A transfer NACKed with
+  /// MessageType::kOverloaded proved the host is *alive but saturated* —
+  /// retrying on the loss-recovery schedule above would pile on. Once
+  /// NACKed, a transfer re-arms on this longer, jittered schedule instead.
+  SimDuration overload_initial_timeout = 800 * kMillisecond;
+  double overload_backoff_factor = 2.0;
+  SimDuration overload_max_timeout = 8 * kSecond;
+  /// Timeout is multiplied by a uniform factor in [1 - j/2, 1 + j/2] so a
+  /// cohort of shed senders does not retry in lockstep. The cap above is
+  /// applied *after* jitter, so it is a hard bound.
+  double overload_jitter = 0.5;
+  /// Seed for the jitter stream (deterministic under SimNetwork).
+  uint64_t jitter_seed = 1;
 };
 
 struct RetryStats {
@@ -36,6 +52,19 @@ struct RetryStats {
   uint64_t duplicate_acks = 0;   // acks for transfers no longer tracked
   uint64_t exhausted = 0;        // transfers abandoned after max_attempts
   uint64_t refused_on_retry = 0; // retransmissions refused at connect time
+  uint64_t overload_nacks = 0;   // kOverloaded NACKs received
+};
+
+/// Terminal (or class-changing) per-transfer outcomes, surfaced to the
+/// delivery observer so the owner can feed a circuit breaker: an ack is
+/// evidence the destination is healthy; exhaustion and refusal-on-retry are
+/// evidence it is not. An overload NACK is deliberately *neither* — the
+/// host answered, it is alive, just saturated.
+enum class DeliveryEvent {
+  kAcked,
+  kExhausted,
+  kRefusedOnRetry,
+  kOverloadNack,
 };
 
 /// Sender half of at-least-once delivery for clone forwarding and report
@@ -55,7 +84,9 @@ struct RetryStats {
 class ReliableSender {
  public:
   ReliableSender(Transport* transport, RetryOptions options)
-      : transport_(transport), options_(options) {}
+      : transport_(transport),
+        options_(options),
+        jitter_rng_(options.jitter_seed) {}
   ~ReliableSender() { CancelAll(); }
 
   ReliableSender(const ReliableSender&) = delete;
@@ -74,6 +105,18 @@ class ReliableSender {
   /// Routes a received kDeliveryAck payload (u64 transfer_seq) here.
   void OnAck(const std::vector<uint8_t>& payload);
 
+  /// Routes a received kOverloaded payload (u64 transfer_seq) here: the
+  /// receiver shed the transfer. The pending entry moves to the overload
+  /// backoff class and re-arms with a longer, jittered timeout.
+  void OnOverloaded(const std::vector<uint8_t>& payload);
+
+  /// Observes per-transfer outcomes (see DeliveryEvent). Called with the
+  /// destination endpoint; the owner typically feeds a HostBreakers.
+  void set_delivery_observer(
+      std::function<void(const Endpoint& to, DeliveryEvent event)> observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Drops all in-flight tracking and cancels timers (crash semantics:
   /// pending retransmissions are volatile state).
   void CancelAll();
@@ -90,16 +133,24 @@ class ReliableSender {
     uint32_t attempts = 1;
     SimDuration timeout = 0;
     uint64_t timer = 0;
+    bool overloaded = false;  // NACKed at least once: overload backoff class
   };
 
   void Arm(uint64_t seq);
   void OnTimeout(uint64_t seq);
+  void Notify(const Endpoint& to, DeliveryEvent event) {
+    if (observer_) observer_(to, event);
+  }
+  /// Applies the overload jitter factor, then the overload cap.
+  SimDuration JitterOverload(SimDuration timeout);
 
   Transport* transport_;
   RetryOptions options_;
   uint64_t next_seq_ = 1;
   std::map<uint64_t, Pending> pending_;
   RetryStats stats_;
+  std::function<void(const Endpoint& to, DeliveryEvent event)> observer_;
+  Rng jitter_rng_;
 };
 
 /// Receiver half: strips the transfer envelope, acknowledges every copy,
@@ -123,6 +174,39 @@ class ReliableReceiver {
   bool Accept(const Endpoint& self, const Endpoint& from,
               const std::vector<uint8_t>& payload,
               std::vector<uint8_t>* inner);
+
+  /// --- Deferred-acceptance API (admission control, PROTOCOL.md §7.2) ---
+  /// An admission-controlled server must NOT ack a transfer it may still
+  /// shed: the ack would stop the sender's retries and turn the shed into
+  /// silent loss. Instead it peeks the envelope on arrival, decides
+  /// admission, and acks only when the clone is actually dequeued for
+  /// processing (AcceptSeq) — or NACKs it (SendOverloaded).
+
+  /// Decodes the u64 transfer_seq from an enveloped payload without acking
+  /// or recording anything. False on a malformed envelope.
+  static bool PeekSeq(const std::vector<uint8_t>& payload, uint64_t* seq);
+
+  /// Copies the inner payload (envelope stripped) without acking or
+  /// recording anything. False on a malformed envelope.
+  static bool StripEnvelope(const std::vector<uint8_t>& payload,
+                            std::vector<uint8_t>* inner);
+
+  /// True if this transfer was already accepted (a retransmission).
+  bool TestSeen(const Endpoint& from, uint64_t seq) const;
+
+  /// Acks without recording: used to re-ack a replay whose original ack may
+  /// have been lost.
+  void SendAck(const Endpoint& self, const Endpoint& from, uint64_t seq);
+
+  /// Sends the kOverloaded NACK for a shed transfer: the sender moves it to
+  /// the overload backoff class and retries later.
+  void SendOverloaded(const Endpoint& self, const Endpoint& from,
+                      uint64_t seq);
+
+  /// Commits acceptance of a peeked transfer: acks it and records the seq.
+  /// Returns false for a replay (a retransmitted copy of a transfer that
+  /// was already committed — the queue can briefly hold both).
+  bool AcceptSeq(const Endpoint& self, const Endpoint& from, uint64_t seq);
 
   /// Forgets all receipt history (crash semantics: the dedup table is
   /// volatile, like the log table — after restart, redelivered transfers

@@ -20,6 +20,8 @@ std::string_view MessageTypeToString(MessageType type) {
       return "Ack";
     case MessageType::kDeliveryAck:
       return "DeliveryAck";
+    case MessageType::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

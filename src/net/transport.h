@@ -34,6 +34,10 @@ enum class MessageType : uint8_t {
   kAck = 6,  // payload: u64 ack_token
   // Per-transfer receipt of the at-least-once layer (PROTOCOL.md §6.1).
   kDeliveryAck = 7,  // payload: u64 transfer_seq
+  // Admission-control NACK (PROTOCOL.md §7.2): the receiver shed the
+  // transfer instead of processing it; the sender re-arms it under the
+  // overload backoff class instead of retrying hot.
+  kOverloaded = 8,  // payload: u64 transfer_seq
 };
 
 std::string_view MessageTypeToString(MessageType type);

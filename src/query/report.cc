@@ -73,6 +73,7 @@ void NodeReport::EncodeTo(serialize::Encoder* enc) const {
   }
   enc->PutBool(duplicate_drop);
   enc->PutBool(undeliverable);
+  enc->PutBool(budget_exceeded);
   enc->PutVarint(result_sets.size());
   for (const relational::ResultSet& rs : result_sets) {
     EncodeResultSet(rs, enc);
@@ -94,6 +95,7 @@ Status NodeReport::DecodeFrom(serialize::Decoder* dec, NodeReport* out) {
   }
   WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->duplicate_drop));
   WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->undeliverable));
+  WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->budget_exceeded));
   uint64_t result_set_count = 0;
   WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&result_set_count));
   if (result_set_count > 1024) {

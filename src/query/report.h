@@ -42,6 +42,14 @@ struct NodeReport {
   /// the CHT entry and records the node for centralized fallback
   /// processing (the paper's §7.1 migration path).
   bool undeliverable = false;
+  /// Set when the visit or forward for this node was blocked by the clone's
+  /// resource budget (deadline passed, hop/clone allowance exhausted —
+  /// PROTOCOL.md §7.1) or shed by admission control (§7.2). The user site
+  /// clears the CHT entry and records the node in the run's
+  /// budget-exceeded partial outcome — an explicit degradation signal, not
+  /// a silent stall. A report can also carry truncated results with this
+  /// flag (per-visit row cap hit).
+  bool budget_exceeded = false;
   /// One result set per node-query evaluated during this visit (a node can
   /// evaluate several pipeline stages at once when a later PRE is nullable).
   /// Empty for PureRouters and dead-ends.

@@ -21,6 +21,62 @@ Status CloneState::DecodeFrom(serialize::Decoder* dec, CloneState* out) {
   return Status::OK();
 }
 
+bool QueryBudget::Equals(const QueryBudget& other) const {
+  if (has_deadline != other.has_deadline || has_hop_limit != other.has_hop_limit ||
+      has_clone_limit != other.has_clone_limit || has_row_limit != other.has_row_limit) {
+    return false;
+  }
+  if (has_deadline && deadline != other.deadline) return false;
+  if (has_hop_limit && hops_left != other.hops_left) return false;
+  if (has_clone_limit && clones_left != other.clones_left) return false;
+  if (has_row_limit && max_rows_per_visit != other.max_rows_per_visit) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+constexpr uint8_t kBudgetDeadlineBit = 1 << 0;
+constexpr uint8_t kBudgetHopBit = 1 << 1;
+constexpr uint8_t kBudgetCloneBit = 1 << 2;
+constexpr uint8_t kBudgetRowBit = 1 << 3;
+}  // namespace
+
+void QueryBudget::EncodeTo(serialize::Encoder* enc) const {
+  uint8_t flags = 0;
+  if (has_deadline) flags |= kBudgetDeadlineBit;
+  if (has_hop_limit) flags |= kBudgetHopBit;
+  if (has_clone_limit) flags |= kBudgetCloneBit;
+  if (has_row_limit) flags |= kBudgetRowBit;
+  enc->PutU8(flags);
+  if (has_deadline) enc->PutU64(deadline);
+  if (has_hop_limit) enc->PutU32(hops_left);
+  if (has_clone_limit) enc->PutVarint(clones_left);
+  if (has_row_limit) enc->PutVarint(max_rows_per_visit);
+}
+
+Status QueryBudget::DecodeFrom(serialize::Decoder* dec, QueryBudget* out) {
+  uint8_t flags = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetU8(&flags));
+  if ((flags & ~(kBudgetDeadlineBit | kBudgetHopBit | kBudgetCloneBit |
+                 kBudgetRowBit)) != 0) {
+    return Status::Corruption("unknown budget flags");
+  }
+  out->has_deadline = (flags & kBudgetDeadlineBit) != 0;
+  out->has_hop_limit = (flags & kBudgetHopBit) != 0;
+  out->has_clone_limit = (flags & kBudgetCloneBit) != 0;
+  out->has_row_limit = (flags & kBudgetRowBit) != 0;
+  if (out->has_deadline) WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->deadline));
+  if (out->has_hop_limit) WEBDIS_RETURN_IF_ERROR(dec->GetU32(&out->hops_left));
+  if (out->has_clone_limit) {
+    WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&out->clones_left));
+  }
+  if (out->has_row_limit) {
+    WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&out->max_rows_per_visit));
+  }
+  return Status::OK();
+}
+
 Status WebQuery::Validate() const {
   if (remaining_queries.empty()) {
     return Status::InvalidArgument("clone with no remaining node-queries");
@@ -50,6 +106,7 @@ WebQuery WebQuery::Clone() const {
   out.ack_parent_host = ack_parent_host;
   out.ack_parent_port = ack_parent_port;
   out.ack_token = ack_token;
+  out.budget = budget;
   return out;
 }
 
@@ -74,6 +131,7 @@ void WebQuery::EncodeTo(serialize::Encoder* enc) const {
     enc->PutU16(ack_parent_port);
     enc->PutU64(ack_token);
   }
+  budget.EncodeTo(enc);
 }
 
 Status WebQuery::DecodeFrom(serialize::Decoder* dec, WebQuery* out) {
@@ -112,6 +170,7 @@ Status WebQuery::DecodeFrom(serialize::Decoder* dec, WebQuery* out) {
     WEBDIS_RETURN_IF_ERROR(dec->GetU16(&out->ack_parent_port));
     WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->ack_token));
   }
+  WEBDIS_RETURN_IF_ERROR(QueryBudget::DecodeFrom(dec, &out->budget));
   return out->Validate();
 }
 

@@ -4,12 +4,55 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "pre/pre.h"
 #include "query/node_query.h"
 #include "query/query_id.h"
 
 namespace webdis::query {
+
+/// Per-query resource budget (PROTOCOL.md §7.1), attached at the user site
+/// and carried in every clone. The language bounds closure with `*k`, but a
+/// dense site can still multiply one clone into thousands; the budget is the
+/// runtime defense. Every limit is optional (its `has_` flag gates it), and
+/// every QueryServer enforces the carried limits *before* node-query
+/// evaluation and before each forward — exhaustion is reported to the CHT as
+/// an explicit BudgetExceeded outcome, never a silent stall.
+struct QueryBudget {
+  /// Absolute virtual-time deadline: a clone arriving after it is not
+  /// processed (its visit is reported budget-exceeded so the CHT settles).
+  bool has_deadline = false;
+  SimTime deadline = 0;
+  /// Remaining forward hops along any path. A clone carrying hops_left == 1
+  /// is on its last hop: it is processed locally but forwards nothing;
+  /// children carry hops_left - 1.
+  bool has_hop_limit = false;
+  uint32_t hops_left = 0;
+  /// Remaining clone dispatches allowed in this clone's entire forwarding
+  /// subtree. Each dispatch costs 1; the remainder is split across the
+  /// dispatched children, so the global clone count is bounded by the value
+  /// the user site stamped.
+  bool has_clone_limit = false;
+  uint64_t clones_left = 0;
+  /// Cap on result rows reported per node visit (cheap local degradation;
+  /// the user site's row_limit remains the global cap).
+  bool has_row_limit = false;
+  uint64_t max_rows_per_visit = 0;
+
+  /// True if any limit is armed.
+  bool Any() const {
+    return has_deadline || has_hop_limit || has_clone_limit || has_row_limit;
+  }
+
+  bool Equals(const QueryBudget& other) const;
+
+  /// Wire: `u8 flags` (bit 0 deadline, 1 hop, 2 clone, 3 row) followed by
+  /// the present fields in that order. Flags 0 = no budget — the encoding
+  /// the seed's budget-less clones now carry as a single trailing byte.
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, QueryBudget* out);
+};
 
 /// The processing state of a clone (Section 2.7.1): the number of
 /// node-queries still to be evaluated and the remaining part of the current
@@ -60,6 +103,10 @@ class WebQuery {
   std::string ack_parent_host;
   uint16_t ack_parent_port = 0;
   uint64_t ack_token = 0;
+
+  /// Resource budget carried by this clone (PROTOCOL.md §7.1). Defaults to
+  /// "no limits" (flags byte 0 on the wire).
+  QueryBudget budget;
 
   /// State(Q_clone) = (num_q, rem(p_i)).
   CloneState State() const {

@@ -1,6 +1,8 @@
 #include "server/query_server.h"
 
 #include <algorithm>
+#include <iterator>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -20,12 +22,43 @@ QueryServer::QueryServer(std::string host, const web::WebGraph* web,
       options_(options),
       sender_(transport, options.retry),
       receiver_(transport,
-                options.retry.enabled && transport->SupportsTimers()) {}
+                options.retry.enabled && transport->SupportsTimers()),
+      breakers_(options.breaker) {
+  // Delivery outcomes feed the forwarding-path circuit breaker: an ack is
+  // evidence the peer server is healthy, exhaustion/refusal-on-retry that
+  // it is not. Overload NACKs are neutral (the host answered). Only peer
+  // query servers are scored — report traffic to the user site's result
+  // socket has its own semantics (passive termination).
+  sender_.set_delivery_observer(
+      [this](const net::Endpoint& to, net::DeliveryEvent event) {
+        if (to.port != kQueryServerPort) return;
+        switch (event) {
+          case net::DeliveryEvent::kAcked:
+            breakers_.RecordSuccess(to.host, Now());
+            break;
+          case net::DeliveryEvent::kExhausted:
+          case net::DeliveryEvent::kRefusedOnRetry:
+            breakers_.RecordFailure(to.host, Now());
+            break;
+          case net::DeliveryEvent::kOverloadNack:
+            break;
+        }
+      });
+}
+
+QueryServer::~QueryServer() {
+  if (drain_timer_ != 0) transport_->CancelTimer(drain_timer_);
+}
 
 const QueryServerStats& QueryServer::stats() const {
   stats_.retries = sender_.stats().retries;
   stats_.retry_exhausted = sender_.stats().exhausted;
   stats_.redeliveries_suppressed = receiver_.suppressed_count();
+  stats_.overload_nacks_received = sender_.stats().overload_nacks;
+  stats_.breaker_trips = breakers_.stats().trips;
+  stats_.breaker_short_circuits = breakers_.stats().short_circuits;
+  stats_.breaker_probes = breakers_.stats().probes;
+  stats_.breaker_recoveries = breakers_.stats().recoveries;
   return stats_;
 }
 
@@ -33,10 +66,19 @@ void QueryServer::Crash() {
   Stop();
   sender_.CancelAll();
   receiver_.Reset();
+  breakers_.Reset();
   log_table_.Purge();
   terminated_queries_.clear();
   pending_acks_.clear();
   db_cache_.clear();
+  // Queued clones are volatile: lost with the crash, recovered by the
+  // sender's retries (unacked — acks are deferred to dequeue) or, failing
+  // that, by the user site's CHT deadline sweep.
+  pending_clones_.clear();
+  if (drain_timer_ != 0) {
+    transport_->CancelTimer(drain_timer_);
+    drain_timer_ = 0;
+  }
 }
 
 Status QueryServer::Start() {
@@ -62,6 +104,10 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
                             const std::vector<uint8_t>& payload) {
   switch (type) {
     case net::MessageType::kWebQuery: {
+      if (options_.admission.max_pending != 0) {
+        AdmitClone(from, payload);
+        return;
+      }
       // Delivery dedup MUST precede all protocol processing: a redelivered
       // clone that reached the log table would emit a second duplicate-drop
       // report and unbalance the robust CHT's add/delete counts.
@@ -87,6 +133,10 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
     }
     case net::MessageType::kDeliveryAck: {
       sender_.OnAck(payload);
+      return;
+    }
+    case net::MessageType::kOverloaded: {
+      sender_.OnOverloaded(payload);
       return;
     }
     case net::MessageType::kAck: {
@@ -119,6 +169,150 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
       WEBDIS_LOG(kWarning) << host_ << ": unexpected message type "
                            << net::MessageTypeToString(type);
   }
+}
+
+namespace {
+
+/// Deadline used for eviction ordering: absent means "never".
+SimTime EffectiveDeadline(const query::WebQuery& clone) {
+  return clone.budget.has_deadline ? clone.budget.deadline
+                                   : std::numeric_limits<SimTime>::max();
+}
+
+query::NodeReport MakeBudgetReport(std::string url, query::CloneState state) {
+  query::NodeReport nr;
+  nr.node_url = std::move(url);
+  nr.received_state = std::move(state);
+  nr.budget_exceeded = true;
+  return nr;
+}
+
+}  // namespace
+
+void QueryServer::AdmitClone(const net::Endpoint& from,
+                             const std::vector<uint8_t>& payload) {
+  const net::Endpoint self{host_, kQueryServerPort};
+  QueuedClone entry;
+  entry.from = from;
+  entry.tracked = receiver_.enabled();
+  std::vector<uint8_t> inner;
+  const std::vector<uint8_t>* body = &payload;
+  if (entry.tracked) {
+    if (!net::ReliableReceiver::PeekSeq(payload, &entry.seq)) {
+      return;  // malformed envelope: drop (matches Accept)
+    }
+    if (receiver_.TestSeen(from, entry.seq)) {
+      // Retransmission of a committed transfer — its ack may have been
+      // lost. Re-ack; nothing to queue.
+      receiver_.SendAck(self, from, entry.seq);
+      return;
+    }
+    if (!net::ReliableReceiver::StripEnvelope(payload, &inner)) return;
+    body = &inner;
+  }
+  serialize::Decoder dec(*body);
+  if (const Status status = query::WebQuery::DecodeFrom(&dec, &entry.clone);
+      !status.ok()) {
+    ++stats_.decode_errors;
+    WEBDIS_LOG(kWarning) << host_ << ": bad clone: " << status.ToString();
+    // A malformed clone decodes no better on retransmission: commit (ack)
+    // the transfer so the sender stops.
+    if (entry.tracked) (void)receiver_.AcceptSeq(self, from, entry.seq);
+    return;
+  }
+
+  if (pending_clones_.size() >= options_.admission.max_pending) {
+    // Overflow. Refinement first: evict the queued clone with the earliest
+    // deadline when it is strictly closer to death than the newcomer (it
+    // would likely expire in the queue anyway); otherwise reject-newest.
+    size_t victim = pending_clones_.size();
+    if (options_.admission.evict_earliest_deadline) {
+      SimTime earliest = EffectiveDeadline(entry.clone);
+      for (size_t i = 0; i < pending_clones_.size(); ++i) {
+        const SimTime d = EffectiveDeadline(pending_clones_[i].clone);
+        if (d < earliest) {
+          earliest = d;
+          victim = i;
+        }
+      }
+    }
+    if (victim < pending_clones_.size()) {
+      QueuedClone evicted = std::move(pending_clones_[victim]);
+      pending_clones_.erase(pending_clones_.begin() +
+                            static_cast<ptrdiff_t>(victim));
+      ++stats_.clones_evicted;
+      ShedClone(std::move(evicted));
+      // The newcomer takes the freed slot below.
+    } else {
+      ++stats_.clones_shed;
+      if (entry.tracked) {
+        // NACK: the sender moves the transfer to the overload backoff class
+        // and retries once the queue has (hopefully) drained.
+        receiver_.SendOverloaded(self, from, entry.seq);
+        ++stats_.overload_nacks_sent;
+      } else {
+        // No retry layer to come back later — shedding silently would
+        // strand the user site's CHT entries until deadline GC. Terminal
+        // shed with explicit budget-exceeded reports instead.
+        ShedClone(std::move(entry));
+      }
+      return;
+    }
+  }
+  pending_clones_.push_back(std::move(entry));
+  stats_.queue_peak =
+      std::max<uint64_t>(stats_.queue_peak, pending_clones_.size());
+  ScheduleDrain();
+}
+
+void QueryServer::ScheduleDrain() {
+  if (pending_clones_.empty() || drain_timer_ != 0) return;
+  if (!transport_->SupportsTimers()) {
+    // No timer queue to pace against: drain inline. Admission stays bounded
+    // (the queue never exceeds max_pending mid-burst) but is not paced.
+    while (!pending_clones_.empty()) DrainOne();
+    return;
+  }
+  drain_timer_ =
+      transport_->ScheduleAfter(options_.admission.service_time, [this] {
+        drain_timer_ = 0;
+        DrainOne();
+        ScheduleDrain();
+      });
+}
+
+void QueryServer::DrainOne() {
+  if (pending_clones_.empty()) return;
+  QueuedClone next = std::move(pending_clones_.front());
+  pending_clones_.pop_front();
+  if (next.tracked &&
+      !receiver_.AcceptSeq(net::Endpoint{host_, kQueryServerPort}, next.from,
+                           next.seq)) {
+    return;  // a retransmitted copy of this transfer was queued twice
+  }
+  ProcessClone(std::move(next.clone));
+}
+
+void QueryServer::ShedClone(QueuedClone shed) {
+  const net::Endpoint self{host_, kQueryServerPort};
+  if (shed.tracked && !receiver_.AcceptSeq(self, shed.from, shed.seq)) {
+    return;  // replay of a committed transfer: already handled once
+  }
+  if (terminated_queries_.contains(shed.clone.id.Key())) return;
+  if (shed.clone.ack_mode) {
+    // Ack-tree baseline: a shed clone is a leaf — ack the parent so the
+    // tree still completes.
+    SendAck(net::Endpoint{shed.clone.ack_parent_host,
+                          shed.clone.ack_parent_port},
+            shed.clone.ack_token);
+    return;
+  }
+  std::vector<query::NodeReport> reports;
+  reports.reserve(shed.clone.dest_urls.size());
+  for (const std::string& url : shed.clone.dest_urls) {
+    reports.push_back(MakeBudgetReport(url, shed.clone.State()));
+  }
+  (void)DispatchReports(shed.clone, std::move(reports));
 }
 
 const relational::Database& QueryServer::NodeDatabase(
@@ -335,6 +529,27 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
     return;
   }
 
+  // -- Budget: deadline gate (PROTOCOL.md §7.1) -----------------------------
+  // Checked before any evaluation: a clone that arrives past its deadline is
+  // dead on arrival. Its visit is still *reported* (budget-exceeded) so the
+  // user site's CHT entries clear and the degradation is named, never silent.
+  const query::QueryBudget budget = clone.budget;
+  if (budget.has_deadline && Now() > budget.deadline) {
+    ++stats_.budget_expired_clones;
+    if (clone.ack_mode) {
+      SendAck(net::Endpoint{clone.ack_parent_host, clone.ack_parent_port},
+              clone.ack_token);
+      return;
+    }
+    std::vector<query::NodeReport> expired;
+    expired.reserve(clone.dest_urls.size());
+    for (const std::string& url : clone.dest_urls) {
+      expired.push_back(MakeBudgetReport(url, clone.State()));
+    }
+    (void)DispatchReports(clone, std::move(expired));
+    return;
+  }
+
   std::vector<query::NodeReport> reports;
   std::vector<Forward> forwards;
   for (const std::string& url : clone.dest_urls) {
@@ -342,6 +557,20 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
     const size_t report_index = reports.size();
     const size_t forwards_before = forwards.size();
     ProcessNode(clone, url, &report, &forwards);
+    // Budget: per-visit result cap. Truncation is flagged on the report —
+    // the user site records the node as budget-degraded but still takes the
+    // surviving rows and CHT entries.
+    if (budget.has_row_limit) {
+      uint64_t allowed = budget.max_rows_per_visit;
+      for (relational::ResultSet& rs : report.result_sets) {
+        if (rs.rows.size() > allowed) {
+          stats_.rows_truncated += rs.rows.size() - allowed;
+          rs.rows.resize(allowed);
+          report.budget_exceeded = true;
+        }
+        allowed -= rs.rows.size();
+      }
+    }
     for (size_t i = forwards_before; i < forwards.size(); ++i) {
       forwards[i].origin_report = report_index;
     }
@@ -418,6 +647,33 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
     return;  // passive termination
   }
 
+  // -- Budget: hop & clone-allowance gates (PROTOCOL.md §7.1) ---------------
+  // The CHT entries for every out-clone were just announced above, so a
+  // blocked dispatch must produce a follow-up budget-exceeded report that
+  // deletes them — the same announce-then-delete pattern the undeliverable
+  // path uses. A clone on its last hop (hops_left == 1) forwards nothing;
+  // the clone allowance pays one unit per dispatched out-clone and splits
+  // the remainder across the children, bounding the forwarding tree by the
+  // value the user site stamped.
+  std::vector<OutClone> vetoed;
+  if (budget.has_hop_limit && budget.hops_left <= 1) {
+    vetoed = std::move(out_clones);
+    out_clones.clear();
+  }
+  if (budget.has_clone_limit && out_clones.size() > budget.clones_left) {
+    const auto keep = static_cast<ptrdiff_t>(budget.clones_left);
+    std::move(out_clones.begin() + keep, out_clones.end(),
+              std::back_inserter(vetoed));
+    out_clones.resize(budget.clones_left);
+  }
+  uint64_t child_alloc_base = 0;
+  uint64_t child_alloc_extra = 0;
+  if (budget.has_clone_limit && !out_clones.empty()) {
+    const uint64_t leftover = budget.clones_left - out_clones.size();
+    child_alloc_base = leftover / out_clones.size();
+    child_alloc_extra = leftover % out_clones.size();
+  }
+
   const net::Endpoint self{host_, kQueryServerPort};
   // Ack-tree mode: children forwarded from this clone ack against a fresh
   // local token; this clone's own ack to its parent is deferred until all
@@ -425,8 +681,19 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
   const uint64_t ack_token =
       clone.ack_mode ? next_ack_token_++ : 0;
   size_t ack_children = 0;
-  std::vector<query::NodeReport> undeliverable_reports;
-  for (const OutClone& out : out_clones) {
+  std::vector<query::NodeReport> followup_reports;
+  for (const OutClone& out : vetoed) {
+    ++stats_.budget_vetoed_forwards;
+    for (const std::string& url : out.dest_urls) {
+      query::CloneState state;
+      state.num_q =
+          total_queries - static_cast<uint32_t>(out.queries_consumed);
+      state.rem_pre = out.rem;
+      followup_reports.push_back(MakeBudgetReport(url, std::move(state)));
+    }
+  }
+  for (size_t out_index = 0; out_index < out_clones.size(); ++out_index) {
+    const OutClone& out = out_clones[out_index];
     query::WebQuery next;
     next.id = clone.id;
     for (size_t i = out.queries_consumed;
@@ -438,11 +705,33 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
     }
     next.rem_pre = out.rem;
     next.dest_urls = out.dest_urls;
+    next.budget = budget;
+    if (next.budget.has_hop_limit) --next.budget.hops_left;
+    if (next.budget.has_clone_limit) {
+      next.budget.clones_left =
+          child_alloc_base + (out_index < child_alloc_extra ? 1 : 0);
+    }
     if (clone.ack_mode) {
       next.ack_mode = true;
       next.ack_parent_host = host_;
       next.ack_parent_port = kQueryServerPort;
       next.ack_token = ack_token;
+    }
+    // Circuit breaker (PROTOCOL.md §7.3): a tripped destination converts
+    // the dispatch into an immediate host-unreachable outcome instead of
+    // burning the retry budget against a host known to be failing.
+    if (!breakers_.Allow(out.dest_host, Now())) {
+      ++stats_.undeliverable_forwards;
+      for (const std::string& url : out.dest_urls) {
+        query::NodeReport nr;
+        nr.node_url = url;
+        nr.received_state.num_q =
+            static_cast<uint32_t>(next.remaining_queries.size());
+        nr.received_state.rem_pre = next.rem_pre;
+        nr.undeliverable = true;
+        followup_reports.push_back(std::move(nr));
+      }
+      continue;
     }
     serialize::Encoder enc;
     next.EncodeTo(&enc);
@@ -454,6 +743,7 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
       // crashed). Tell the user site so (a) its CHT entries clear and
       // (b) it can fall back to centralized processing for those nodes.
       ++stats_.undeliverable_forwards;
+      breakers_.RecordFailure(out.dest_host, Now());
       for (const std::string& url : out.dest_urls) {
         query::NodeReport nr;
         nr.node_url = url;
@@ -461,7 +751,7 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
             static_cast<uint32_t>(next.remaining_queries.size());
         nr.received_state.rem_pre = next.rem_pre;
         nr.undeliverable = true;
-        undeliverable_reports.push_back(std::move(nr));
+        followup_reports.push_back(std::move(nr));
       }
     } else {
       if (!status.ok()) {
@@ -472,15 +762,19 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
         ++stats_.forward_send_errors;
         WEBDIS_LOG(kWarning) << host_ << ": forward to " << out.dest_host
                              << " failed: " << status.ToString();
+      } else if (!sender_.enabled()) {
+        // No delivery acks to wait for: synchronous acceptance is the best
+        // evidence of destination health we will get.
+        breakers_.RecordSuccess(out.dest_host, Now());
       }
       ++stats_.clones_forwarded;
       ++ack_children;
     }
   }
-  if (!undeliverable_reports.empty() && !clone.ack_mode) {
+  if (!followup_reports.empty() && !clone.ack_mode) {
     // Deliberately dropped: this is the last action for the clone, so the
     // no-forwarding-after-termination contract has nothing left to gate.
-    (void)DispatchReports(clone, std::move(undeliverable_reports));
+    (void)DispatchReports(clone, std::move(followup_reports));
   }
   if (clone.ack_mode) {
     const net::Endpoint parent{clone.ack_parent_host, clone.ack_parent_port};

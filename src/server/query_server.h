@@ -1,6 +1,7 @@
 #ifndef WEBDIS_SERVER_QUERY_SERVER_H_
 #define WEBDIS_SERVER_QUERY_SERVER_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/breaker.h"
 #include "net/reliable.h"
 #include "net/transport.h"
 #include "query/report.h"
@@ -18,6 +20,26 @@
 #include "web/graph.h"
 
 namespace webdis::server {
+
+/// Admission control (PROTOCOL.md §7.2): a bounded pending-clone queue in
+/// front of clone processing. Off by default — the seed processes clones
+/// inline on arrival.
+struct AdmissionOptions {
+  /// Maximum clones queued awaiting processing. 0 = admission control off
+  /// (inline processing, the seed behavior).
+  size_t max_pending = 0;
+  /// Per-clone service interval: the queue drains one clone per interval
+  /// through the transport's timer queue, which is what makes a server
+  /// saturable in the first place (and deterministic under SimNetwork).
+  /// On transports without timers the queue drains inline.
+  SimDuration service_time = 0;
+  /// Overflow policy refinement: before rejecting a newcomer, evict the
+  /// queued clone with the earliest deadline if that deadline is earlier
+  /// than the newcomer's — it is the clone most likely to be dead on
+  /// arrival anyway. Eviction is terminal: the evicted clone's nodes are
+  /// reported budget-exceeded so the CHT settles (no silent loss).
+  bool evict_earliest_deadline = true;
+};
 
 /// Feature toggles of the WEBDIS query server. Defaults are the paper's
 /// design; each toggle ablates one optimization for the benchmarks.
@@ -51,6 +73,11 @@ struct QueryServerOptions {
   /// Purge the log table after this many clone arrivals (0 = never). The
   /// paper purges periodically; an early purge costs only recomputation.
   uint64_t log_purge_every = 0;
+  /// Overload protection (PROTOCOL.md §7): bounded admission queue with
+  /// load shedding, and a per-destination circuit breaker on the forwarding
+  /// path. Both off by default.
+  AdmissionOptions admission;
+  net::BreakerOptions breaker;
 };
 
 /// Counters exposed for tests and benchmarks.
@@ -83,6 +110,19 @@ struct QueryServerStats {
   uint64_t retries = 0;            // retransmissions put on the wire
   uint64_t retry_exhausted = 0;    // transfers abandoned after max attempts
   uint64_t redeliveries_suppressed = 0;  // duplicate transfers absorbed
+  // Overload protection (PROTOCOL.md §7):
+  uint64_t clones_shed = 0;        // newcomers rejected at the full queue
+  uint64_t clones_evicted = 0;     // queued clones evicted (earliest deadline)
+  uint64_t overload_nacks_sent = 0;      // kOverloaded NACKs put on the wire
+  uint64_t overload_nacks_received = 0;  // own forwards shed by a peer
+  uint64_t queue_peak = 0;         // admission-queue high-water mark
+  uint64_t budget_expired_clones = 0;   // dead on arrival (deadline passed)
+  uint64_t budget_vetoed_forwards = 0;  // dispatches blocked by hop/clone caps
+  uint64_t rows_truncated = 0;     // result rows cut by the per-visit cap
+  uint64_t breaker_trips = 0;           // closed/half-open -> open
+  uint64_t breaker_short_circuits = 0;  // forwards vetoed while open
+  uint64_t breaker_probes = 0;          // half-open probe sends admitted
+  uint64_t breaker_recoveries = 0;      // half-open -> closed
 };
 
 /// One per-node visit, emitted to the observer hook (used by the figure
@@ -118,10 +158,18 @@ class QueryServer {
   QueryServer(std::string host, const web::WebGraph* web,
               net::Transport* transport,
               QueryServerOptions options = QueryServerOptions());
+  ~QueryServer();
 
   /// Binds (host, kQueryServerPort).
   Status Start();
   void Stop();
+
+  /// Injects the clock used for budget deadlines, queue eviction and the
+  /// circuit breaker (the engine passes the SimNetwork's virtual clock).
+  /// Without a clock those features see time 0: deadlines never expire and
+  /// a tripped breaker never reaches half-open — so deployments enabling
+  /// them must provide one.
+  void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
 
   /// Simulates a site crash: stops listening on the query port and loses
   /// all volatile protocol state — log table, delivery-dedup history,
@@ -139,6 +187,11 @@ class QueryServer {
   const QueryServerStats& stats() const;
   const LogTable& log_table() const { return log_table_; }
   void PurgeLogTable() { log_table_.Purge(); }
+  uint64_t pending_clones() const { return pending_clones_.size(); }
+  /// Breaker state for one destination host (tests and benchmarks).
+  net::HostBreakers::State BreakerState(const std::string& dest_host) {
+    return breakers_.GetState(dest_host, Now());
+  }
 
   using VisitObserver = std::function<void(const VisitEvent&)>;
   void SetVisitObserver(VisitObserver observer) {
@@ -157,8 +210,29 @@ class QueryServer {
     size_t origin_report = 0;
   };
 
+  /// One admitted clone awaiting its service slot. `tracked` transfers
+  /// carry the delivery seq; their ack is deferred until the dequeue
+  /// commits (acking a clone that may still be shed would turn the shed
+  /// into silent loss — see ReliableReceiver's deferred-acceptance API).
+  struct QueuedClone {
+    net::Endpoint from;
+    bool tracked = false;
+    uint64_t seq = 0;
+    query::WebQuery clone;
+  };
+
   void OnMessage(const net::Endpoint& from, net::MessageType type,
                  const std::vector<uint8_t>& payload);
+  /// Admission control front door for kWebQuery (PROTOCOL.md §7.2).
+  void AdmitClone(const net::Endpoint& from,
+                  const std::vector<uint8_t>& payload);
+  void ScheduleDrain();
+  void DrainOne();
+  /// Terminal shed: acks tracked transfers (so the sender stops), then
+  /// reports every destination node budget-exceeded so the CHT settles.
+  void ShedClone(QueuedClone shed);
+  SimTime Now() const { return clock_ ? clock_() : 0; }
+
   void ProcessClone(query::WebQuery clone);
   void ProcessNode(const query::WebQuery& clone, const std::string& url,
                    query::NodeReport* report, std::vector<Forward>* forwards);
@@ -198,6 +272,10 @@ class QueryServer {
   mutable QueryServerStats stats_;
   net::ReliableSender sender_;
   net::ReliableReceiver receiver_;
+  net::HostBreakers breakers_;
+  std::function<SimTime()> clock_;
+  std::deque<QueuedClone> pending_clones_;
+  uint64_t drain_timer_ = 0;
   LogTable log_table_;
   std::set<std::string> terminated_queries_;  // by QueryId::Key()
   std::map<uint64_t, PendingAck> pending_acks_;  // by local token

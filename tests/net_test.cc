@@ -619,6 +619,82 @@ TEST(ReliableDeliveryTest, RetransmitsUntilAckedAndStripsEnvelope) {
   EXPECT_EQ(sender.stats().duplicate_acks, 1u);
 }
 
+TEST(ReliableDeliveryTest, OverloadBackoffGrowsJitteredAndCapHolds) {
+  // A persistently overloaded receiver NACKs every copy (PROTOCOL.md §7.2):
+  // the transfer must move to the overload backoff class, grow its interval
+  // per NACK, and never exceed overload_max_timeout — the cap is applied
+  // after jitter, so it is a hard bound even under unbounded NACK streams.
+  SimNetwork net;
+  RetryOptions options;
+  options.enabled = true;
+  options.initial_timeout = 50 * kMillisecond;
+  options.max_attempts = 10;
+  options.overload_initial_timeout = 200 * kMillisecond;
+  options.overload_backoff_factor = 2.0;
+  options.overload_max_timeout = 1 * kSecond;
+  options.overload_jitter = 0.5;
+  options.jitter_seed = 42;
+  ReliableSender sender(&net, options);
+  ReliableReceiver receiver(&net, /*enabled=*/true);
+
+  std::vector<SimTime> arrivals;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint& from, MessageType,
+                             const std::vector<uint8_t>& payload) {
+                           uint64_t seq = 0;
+                           if (!ReliableReceiver::PeekSeq(payload, &seq)) {
+                             return;
+                           }
+                           arrivals.push_back(net.now());
+                           receiver.SendOverloaded({"b", 1}, from, seq);
+                         })
+                  .ok());
+  int overload_events = 0;
+  sender.set_delivery_observer([&](const Endpoint&, DeliveryEvent event) {
+    if (event == DeliveryEvent::kOverloadNack) ++overload_events;
+  });
+  ASSERT_TRUE(net.Listen({"a", 2},
+                         [&](const Endpoint&, MessageType type,
+                             const std::vector<uint8_t>& payload) {
+                           if (type == MessageType::kOverloaded) {
+                             sender.OnOverloaded(payload);
+                           }
+                         })
+                  .ok());
+
+  ASSERT_TRUE(
+      sender.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1}))
+          .ok());
+  net.RunUntilIdle();
+
+  // Every attempt arrived, was NACKed, and the transfer finally exhausted
+  // (resends still count against max_attempts; the NACKs themselves don't).
+  ASSERT_EQ(arrivals.size(), options.max_attempts);
+  EXPECT_EQ(sender.stats().overload_nacks, options.max_attempts);
+  EXPECT_EQ(overload_events, static_cast<int>(options.max_attempts));
+  EXPECT_EQ(sender.stats().exhausted, 1u);
+  EXPECT_EQ(sender.pending_count(), 0u);
+
+  // Inter-send gaps = NACK round-trip + jittered overload interval. With
+  // jitter 0.5 the factor lies in [0.75, 1.25], so even the first overload
+  // gap clears the loss-recovery schedule, and growth hits the hard cap by
+  // the 4th NACK (1600ms * 0.75 > cap): the late gaps are exactly equal.
+  const SimDuration rtt_slack = 2 * 25 * kMillisecond;
+  std::vector<SimDuration> gaps;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  EXPECT_GE(gaps.front(),
+            static_cast<SimDuration>(0.75 * options.overload_initial_timeout));
+  for (const SimDuration gap : gaps) {
+    EXPECT_LE(gap, options.overload_max_timeout + rtt_slack);
+  }
+  for (size_t i = 4; i < gaps.size(); ++i) {
+    EXPECT_EQ(gaps[i], gaps[4]);  // pinned at the cap
+    EXPECT_GE(gaps[i], options.overload_max_timeout);
+  }
+}
+
 TEST(FaultyTransportTest, DropSwallowsTheSendWithoutProbingAcceptance) {
   SimNetwork net;  // no listener anywhere
   FaultPlan plan;

@@ -54,7 +54,7 @@ std::vector<uint8_t> Framed(net::MessageType type,
 const char kMinimalCloneHex[] =
     "0175" "0168" "0100" "01000000" "01" "0164" "01"
     "08646f63756d656e74" "0164" "00" "01" "0164" "0375726c" "01" "00"
-    "0201" "01" "09687474703a2f2f612f" "00";
+    "0201" "01" "09687474703a2f2f612f" "00" "00";
 
 query::WebQuery MinimalClone() {
   auto compiled = disql::CompileDisql(
@@ -114,11 +114,57 @@ TEST(WireGoldenTest, MinimalCloneImageIsStable) {
   // A canonical single-stage clone; any byte change here is a wire break.
   // Field-by-field: user "u", host "h", port 1, query number 1, 1
   // node-query ("d": from document d, no where, select d.url, distinct),
-  // 0 future PREs, rem_pre link L, 1 dest "http://a/", ack_mode false.
+  // 0 future PREs, rem_pre link L, 1 dest "http://a/", ack_mode false,
+  // empty budget flags byte (no per-query budget; PROTOCOL.md §7.1).
   const query::WebQuery clone = MinimalClone();
   serialize::Encoder enc;
   clone.EncodeTo(&enc);
   EXPECT_EQ(Hex(enc.data()), kMinimalCloneHex);
+}
+
+TEST(WireGoldenTest, BudgetedCloneImageIsStable) {
+  // The same clone carrying a full resource budget (PROTOCOL.md §7.1): the
+  // flags byte announces which limits are present, then the present fields
+  // follow in flag-bit order.
+  query::WebQuery clone = MinimalClone();
+  clone.budget.has_deadline = true;
+  clone.budget.deadline = 1 * kSecond;  // absolute virtual time 1'000'000us
+  clone.budget.has_hop_limit = true;
+  clone.budget.hops_left = 3;
+  clone.budget.has_clone_limit = true;
+  clone.budget.clones_left = 300;
+  clone.budget.has_row_limit = true;
+  clone.budget.max_rows_per_visit = 5;
+  serialize::Encoder enc;
+  clone.EncodeTo(&enc);
+  std::string expected(kMinimalCloneHex);
+  expected.resize(expected.size() - 2);  // drop the empty flags byte
+  expected += "0f"                // flags: deadline|hops|clones|rows
+              "40420f0000000000"  // deadline u64 LE
+              "03000000"          // hops_left u32 LE
+              "ac02"              // clones_left varint 300
+              "05";               // max_rows_per_visit varint 5
+  EXPECT_EQ(Hex(enc.data()), expected);
+}
+
+TEST(WireGoldenTest, BudgetExceededNodeReportImage) {
+  // A degradation report (PROTOCOL.md §7): flags order within NodeReport is
+  // duplicate_drop, undeliverable, budget_exceeded.
+  query::NodeReport report;
+  report.node_url = "n";
+  report.received_state = {1, pre::Pre::Parse("L").value()};
+  report.budget_exceeded = true;
+  serialize::Encoder enc;
+  report.EncodeTo(&enc);
+  EXPECT_EQ(Hex(enc.data()),
+            "016e"      // node_url "n"
+            "01000000"  // state num_q
+            "0201"      // state PRE: kLink L
+            "00"        // 0 next_entries
+            "00"        // duplicate_drop false
+            "00"        // undeliverable false
+            "01"        // budget_exceeded true
+            "00");      // 0 result_sets
 }
 
 TEST(WireGoldenTest, EmptyReportImage) {
@@ -199,6 +245,16 @@ TEST(WireGoldenTest, AckFrame) {
   enc.PutU64(42);
   EXPECT_EQ(Hex(Framed(net::MessageType::kAck, enc.data())),
             ExpectedFrameHex(net::MessageType::kAck, "2a00000000000000"));
+}
+
+TEST(WireGoldenTest, OverloadedFrame) {
+  // kOverloaded payload: u64 transfer_seq of the shed tracked transfer
+  // (PROTOCOL.md §7.2) — the admission-control NACK mirror of kDeliveryAck.
+  serialize::Encoder enc;
+  enc.PutU64(9);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kOverloaded, enc.data())),
+            ExpectedFrameHex(net::MessageType::kOverloaded,
+                             "0900000000000000"));
 }
 
 TEST(WireGoldenTest, DeliveryAckFrame) {

@@ -22,12 +22,14 @@ TRANSPORT_H = """\
 enum class MessageType : uint8_t {
   kPing = 1,  // payload: u64 nonce
   kEcho = 2,  // payload: struct query::Echo
+  kBusy = 3,  // payload: u64 transfer_seq
 };
 """
 
 TRANSPORT_CC = """\
 case MessageType::kPing:
 case MessageType::kEcho:
+case MessageType::kBusy:
 """
 
 QUERY_H = """\
@@ -40,11 +42,13 @@ struct Echo {
 GOLDEN_CC = """\
 TEST(WireGoldenTest, PingFrame) { Use(net::MessageType::kPing); }
 TEST(WireGoldenTest, EchoFrame) { Use(net::MessageType::kEcho); }
+TEST(WireGoldenTest, BusyFrame) { Use(net::MessageType::kBusy); }
 """
 
 PROTOCOL_MD = """\
 ## Ping (type 1)
 ## Echo (type 2)
+## Busy (type 3)
 """
 
 
@@ -124,6 +128,28 @@ class LintTreeTest(unittest.TestCase):
         self.write("PROTOCOL.md", "## Ping (type 1)\n")
         errors = self.run_lint({"wire-parity"})
         self.assertTrue(any("PROTOCOL.md" in e and "kEcho" in e
+                            for e in errors), errors)
+
+    # A status/NACK type like kBusy (or the real kOverloaded) carries a
+    # primitive payload: the codec requirement is the golden frame +
+    # PROTOCOL.md entry, with no struct En/DecodeTo pair to cross-check.
+
+    def test_status_type_missing_golden_frame_fails(self):
+        self.write_consistent_tree()
+        self.write("tests/wire_golden_test.cc",
+                   "TEST(WireGoldenTest, PingFrame) "
+                   "{ Use(net::MessageType::kPing); }\n"
+                   "TEST(WireGoldenTest, EchoFrame) "
+                   "{ Use(net::MessageType::kEcho); }\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("[wire-parity]" in e and "kBusy" in e
+                            and "golden" in e for e in errors), errors)
+
+    def test_status_type_missing_protocol_entry_fails(self):
+        self.write_consistent_tree()
+        self.write("PROTOCOL.md", "## Ping (type 1)\n## Echo (type 2)\n")
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("PROTOCOL.md" in e and "kBusy" in e
                             for e in errors), errors)
 
     def test_stale_golden_reference_fails(self):
