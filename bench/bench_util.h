@@ -79,6 +79,41 @@ inline std::string Ratio(double num, double den) {
   return buf;
 }
 
+/// Machine-readable benchmark output: one JSON object per line, written next
+/// to the human table so tools/bench_compare.py can gate CI on wall-clock
+/// regressions. Fixed schema — bench_compare keys rows on
+/// (workload, workers) and compares wall_ms.
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    }
+  }
+  ~JsonBenchWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonBenchWriter(const JsonBenchWriter&) = delete;
+  JsonBenchWriter& operator=(const JsonBenchWriter&) = delete;
+
+  void Record(const std::string& workload, size_t workers, double wall_ms,
+              double virtual_ms, uint64_t messages, uint64_t bytes) {
+    if (file_ == nullptr) return;
+    std::fprintf(
+        file_,
+        "{\"workload\": \"%s\", \"workers\": %zu, \"wall_ms\": %.3f, "
+        "\"virtual_ms\": %.3f, \"messages\": %llu, \"bytes\": %llu}\n",
+        workload.c_str(), workers, wall_ms, virtual_ms,
+        static_cast<unsigned long long>(messages),
+        static_cast<unsigned long long>(bytes));
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_;
+};
+
 }  // namespace webdis::bench
 
 #endif  // WEBDIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,164 @@
+// P1 — multi-core site evaluation: the same multi-site, multi-query
+// workload driven by the time-stepped stepper at 1, 2, 4 and 8 workers.
+// Virtual time, message counts, and results are identical by construction
+// (verified here against the 1-worker reference); the only thing allowed to
+// change is the host wall-clock, which is what this harness measures. With
+// zero latency jitter and uniform inter-host latency, each traversal hop
+// arrives as one wavefront — a wide slice whose per-host partitions the
+// stepper fans out across cores.
+//
+// Writes BENCH_PARALLEL.json (JSON lines; see bench::JsonBenchWriter) for
+// tools/bench_compare.py to gate CI on wall-clock regressions.
+#include <chrono>  // webdis-lint: allow(clock) — measuring real time is the point
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "web/synth.h"
+
+namespace webdis {
+namespace {
+
+constexpr int kQueries = 8;
+constexpr int kRepetitions = 3;  // best-of-N to damp scheduler noise
+
+std::string QueryFor(int i) {
+  return "select d.url, d.title from document d such that \"" +
+         web::SynthUrl(i % 6, i % 5) +
+         "\" (L|G)*3 d where d.title contains \"alpha\"";
+}
+
+struct RunResult {
+  double wall_ms = 0;
+  SimTime virtual_makespan = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  std::string results_signature;
+  net::ParallelStats parallel;
+  bool all_complete = true;
+};
+
+RunResult RunOnce(const web::WebGraph& web, size_t workers) {
+  core::EngineOptions options;
+  options.network.worker_threads = workers;
+  // Aligned arrivals: every hop lands as one wavefront, maximizing slice
+  // width. Real-world jitter narrows slices; parallel_test covers that the
+  // answers stay identical either way.
+  options.network.latency_jitter = 0;
+  options.network.bandwidth_bytes_per_sec = 0;  // latency-only cost model
+  core::Engine engine(&web, options);
+
+  const core::TrafficSummary before = engine.TrafficSnapshot();
+  std::vector<query::QueryId> ids;
+  for (int i = 0; i < kQueries; ++i) {
+    auto compiled = disql::CompileDisql(QueryFor(i));
+    WEBDIS_CHECK(compiled.ok());
+    auto id = engine.Submit(compiled.value(), "u" + std::to_string(i));
+    WEBDIS_CHECK(id.ok());
+    ids.push_back(id.value());
+  }
+
+  // webdis-lint: allow(clock) — wall-clock speedup is the measurement
+  const auto start = std::chrono::steady_clock::now();
+  engine.network().RunUntilIdle();
+  // webdis-lint: allow(clock)
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  for (const query::QueryId& id : ids) {
+    const core::RunOutcome outcome = engine.CollectOutcome(id, before);
+    r.all_complete = r.all_complete && outcome.completed;
+    r.virtual_makespan = std::max(r.virtual_makespan, outcome.completion_time);
+    r.results_signature += core::FormatResults(outcome.results);
+    r.results_signature += "\n--\n";
+  }
+  const core::TrafficSummary after = engine.TrafficSnapshot();
+  r.messages = after.messages - before.messages;
+  r.bytes = after.bytes - before.bytes;
+  r.parallel = engine.network().parallel_stats();
+  return r;
+}
+
+int Main() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "P1 — Deterministic parallel stepper: %d concurrent queries, "
+      "12 sites (%u hardware threads)\n\n",
+      kQueries, cores);
+
+  web::SynthWebOptions web_options;
+  web_options.seed = 7;
+  web_options.num_sites = 12;
+  web_options.docs_per_site = 20;
+  web_options.filler_paragraphs = 6;
+  web_options.words_per_paragraph = 60;
+  const web::WebGraph web = web::GenerateSynthWeb(web_options);
+
+  bench::JsonBenchWriter json("BENCH_PARALLEL.json");
+  bench::TablePrinter table({
+      "workers", "wall ms", "speedup", "virtual ms", "msgs",
+      "occupancy %", "identical",
+  });
+
+  double reference_wall = 0;
+  double wall_at_4 = 0;
+  std::string reference_signature;
+  bool all_identical = true;
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    RunResult best;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      RunResult r = RunOnce(web, workers);
+      WEBDIS_CHECK(r.all_complete);
+      if (rep == 0 || r.wall_ms < best.wall_ms) best = std::move(r);
+    }
+    if (workers == 1) {
+      reference_wall = best.wall_ms;
+      reference_signature = best.results_signature;
+    }
+    if (workers == 4) wall_at_4 = best.wall_ms;
+    const bool identical = best.results_signature == reference_signature;
+    all_identical = all_identical && identical;
+    table.AddRow({
+        bench::Num(workers),
+        bench::Ms(static_cast<SimTime>(best.wall_ms * 1000.0)),
+        bench::Ratio(reference_wall, best.wall_ms),
+        bench::Ms(best.virtual_makespan),
+        bench::Num(best.messages),
+        bench::Ratio(best.parallel.Occupancy() * 100.0, 1.0),
+        identical ? "yes" : "NO",
+    });
+    json.Record("p1_parallel", workers, best.wall_ms,
+                static_cast<double>(best.virtual_makespan) / 1000.0,
+                best.messages, best.bytes);
+  }
+  table.Print();
+
+  if (!all_identical) {
+    std::printf("\nFAIL: results diverged across worker counts\n");
+    return 1;
+  }
+  const double speedup_at_4 =
+      wall_at_4 > 0 ? reference_wall / wall_at_4 : 0.0;
+  std::printf("\nspeedup at 4 workers: %.2fx\n", speedup_at_4);
+  if (cores >= 4 && speedup_at_4 < 2.5) {
+    std::printf("FAIL: expected >= 2.5x at 4 workers on %u cores\n", cores);
+    return 1;
+  }
+  if (cores < 4) {
+    std::printf(
+        "(speedup gate skipped: only %u hardware threads available)\n",
+        cores);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace webdis
+
+int main() { return webdis::Main(); }

@@ -3,6 +3,7 @@
 // lets independent queries overlap across sites, so the virtual makespan of
 // the batch grows far slower than the serial sum — the "client-site
 // bottleneck" argument of Section 1 seen from the throughput side.
+#include <chrono>  // webdis-lint: allow(clock) — wall time for bench_compare
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -27,6 +28,7 @@ int Main() {
   web_options.docs_per_site = 8;
   const web::WebGraph web = web::GenerateSynthWeb(web_options);
 
+  bench::JsonBenchWriter json("BENCH_MULTIQUERY.json");
   bench::TablePrinter table({
       "queries", "batch makespan ms", "serial sum ms", "speedup",
       "batch msgs", "all complete",
@@ -44,7 +46,14 @@ int Main() {
       if (!id.ok()) return 1;
       ids.push_back(id.value());
     }
+    // webdis-lint: allow(clock) — wall time feeds the bench-regression gate
+    const auto wall_start = std::chrono::steady_clock::now();
     batch_engine.network().RunUntilIdle();
+    // webdis-lint: allow(clock)
+    const auto wall_end = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(wall_end - wall_start)
+            .count();
     bool all_complete = true;
     SimTime makespan = 0;
     for (const query::QueryId& id : ids) {
@@ -73,6 +82,9 @@ int Main() {
         bench::Num(after.messages - before.messages),
         all_complete ? "yes" : "NO",
     });
+    json.Record("s2_multiquery_q" + std::to_string(q), 0, wall_ms,
+                static_cast<double>(makespan) / 1000.0,
+                after.messages - before.messages, after.bytes - before.bytes);
   }
   table.Print();
   std::printf(

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+namespace webdis::common {
+
+ThreadPool::ThreadPool(size_t extra_threads) {
+  threads_.reserve(extra_threads);
+  for (size_t i = 0; i < extra_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::DrainBatch(uint64_t generation) {
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t index = 0;
+    {
+      MutexLock lock(&mu_);
+      if (batch_generation_ != generation || batch_fn_ == nullptr ||
+          next_index_ >= batch_count_) {
+        return;
+      }
+      index = next_index_++;
+      fn = batch_fn_;
+    }
+    // An index of the current generation was claimed, so finished_ stays
+    // below batch_count_ until we report back: that batch's RunBatch is
+    // still blocked, *fn is alive, and the generation cannot advance.
+    (*fn)(index);
+    {
+      MutexLock lock(&mu_);
+      ++finished_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunBatch(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    // Sequential degenerate case: skip the synchronization entirely.
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  uint64_t generation = 0;
+  {
+    MutexLock lock(&mu_);
+    batch_fn_ = &fn;
+    batch_count_ = count;
+    next_index_ = 0;
+    finished_ = 0;
+    generation = ++batch_generation_;
+  }
+  work_cv_.notify_all();
+  DrainBatch(generation);
+  {
+    MutexLock lock(&mu_);
+    // Own claims are exhausted, but pool threads may still be running theirs.
+    while (finished_ < count) done_cv_.wait(mu_);
+    batch_fn_ = nullptr;  // workers must not touch a dead batch
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      while (!shutdown_ &&
+             (batch_fn_ == nullptr || batch_generation_ == seen_generation ||
+              next_index_ >= batch_count_)) {
+        work_cv_.wait(mu_);
+      }
+      if (shutdown_) return;
+      seen_generation = batch_generation_;
+    }
+    DrainBatch(seen_generation);
+  }
+}
+
+}  // namespace webdis::common

@@ -1,0 +1,68 @@
+#ifndef WEBDIS_COMMON_THREAD_POOL_H_
+#define WEBDIS_COMMON_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace webdis::common {
+
+/// Fixed-size worker pool for the deterministic parallel stepper
+/// (net/sim.h). The usage pattern is fork/join batches, not a task queue:
+/// RunBatch(n, fn) invokes fn(0) … fn(n-1) exactly once each, spread across
+/// the pool threads *and* the calling thread, and returns only when every
+/// invocation has finished. Between batches the workers sleep on a condvar,
+/// so an idle pool costs nothing but memory.
+///
+/// The calling thread participates, so a pool constructed with
+/// `extra_threads == 0` degenerates to a plain sequential loop — that is how
+/// `worker_threads = 1` stepper mode runs with zero threading overhead while
+/// still exercising the slice/merge machinery.
+class ThreadPool {
+ public:
+  /// Spawns `extra_threads` workers (may be 0).
+  explicit ThreadPool(size_t extra_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for i in [0, count), distributing indices dynamically over
+  /// the pool plus the calling thread; blocks until all have completed.
+  /// `fn` must be safe to invoke concurrently with distinct indices. Must
+  /// not be called reentrantly (from inside a batch task) or from two
+  /// threads at once — the stepper's barrier structure guarantees this.
+  void RunBatch(size_t count, const std::function<void(size_t)>& fn)
+      WEBDIS_EXCLUDES(mu_);
+
+  /// Concurrent executors available to a batch (pool threads + caller).
+  size_t concurrency() const { return threads_.size() + 1; }
+
+ private:
+  void WorkerLoop() WEBDIS_EXCLUDES(mu_);
+  /// Claims and runs tasks of batch `generation` until none are left or a
+  /// different batch is current. The generation check and the index claim
+  /// happen in one critical section: a worker that went to sleep holding
+  /// nothing and woke after its batch completed simply returns, instead of
+  /// claiming indices (and bounds) from a batch it never saw.
+  void DrainBatch(uint64_t generation) WEBDIS_EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar work_cv_;  // new batch posted, or shutdown
+  CondVar done_cv_;  // batch fully finished
+  const std::function<void(size_t)>* batch_fn_ WEBDIS_GUARDED_BY(mu_) =
+      nullptr;
+  size_t batch_count_ WEBDIS_GUARDED_BY(mu_) = 0;
+  size_t next_index_ WEBDIS_GUARDED_BY(mu_) = 0;
+  size_t finished_ WEBDIS_GUARDED_BY(mu_) = 0;
+  uint64_t batch_generation_ WEBDIS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ WEBDIS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace webdis::common
+
+#endif  // WEBDIS_COMMON_THREAD_POOL_H_

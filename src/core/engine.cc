@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 
 namespace webdis::core {
 
@@ -93,6 +94,19 @@ std::string FormatRunStats(const RunOutcome& outcome) {
   emit("breaker_short_circuits", s.breaker_short_circuits);
   emit("breaker_probes", s.breaker_probes);
   emit("breaker_recoveries", s.breaker_recoveries);
+  emit("db_cache_evictions", s.db_cache_evictions);
+  emit("db_cache_bytes", s.db_cache_bytes);
+  if (outcome.workers > 0) {
+    // Cumulative over the network's lifetime, not per query: occupancy is a
+    // property of how the whole run's slices partitioned.
+    out += StringPrintf(
+        "parallel: workers=%zu slices=%llu parallel_slices=%llu "
+        "max_partitions=%llu occupancy=%.1f%%\n",
+        outcome.workers, (unsigned long long)outcome.parallel.slices,
+        (unsigned long long)outcome.parallel.parallel_slices,
+        (unsigned long long)outcome.parallel.max_slice_partitions,
+        100.0 * outcome.parallel.Occupancy());
+  }
   return out;
 }
 
@@ -156,6 +170,20 @@ server::QueryServer* Engine::server_for(const std::string& host) {
 }
 
 void Engine::ObserveVisits(server::QueryServer::VisitObserver observer) {
+  if (options_.network.worker_threads > 0 && observer != nullptr) {
+    // The observer is the one deliberately shared sink across all servers
+    // (e.g. the trace collector). Under the parallel stepper, servers on
+    // distinct hosts invoke it concurrently, so serialize it here; within a
+    // time-slice the cross-host observation order is unspecified.
+    auto mu = std::make_shared<webdis::Mutex>();
+    auto inner =
+        std::make_shared<server::QueryServer::VisitObserver>(
+            std::move(observer));
+    observer = [mu, inner](const server::VisitEvent& event) {
+      webdis::MutexLock lock(mu.get());
+      (*inner)(event);
+    };
+  }
   for (auto& [host, qs] : query_servers_) {
     qs->SetVisitObserver(observer);
   }
@@ -214,6 +242,8 @@ server::QueryServerStats Engine::AggregateServerStats() const {
     total.answers_found += s.answers_found;
     total.db_constructions += s.db_constructions;
     total.db_cache_hits += s.db_cache_hits;
+    total.db_cache_evictions += s.db_cache_evictions;
+    total.db_cache_bytes += s.db_cache_bytes;
     total.duplicates_dropped += s.duplicates_dropped;
     total.superset_rewrites += s.superset_rewrites;
     total.clones_forwarded += s.clones_forwarded;
@@ -276,6 +306,8 @@ RunOutcome Engine::CollectOutcome(const query::QueryId& id,
   outcome.client_retry = user_site_->retry_stats();
   outcome.server_stats = AggregateServerStats();
   outcome.traffic = Subtract(TrafficSnapshot(), baseline_traffic);
+  outcome.workers = options_.network.worker_threads;
+  outcome.parallel = network_->parallel_stats();
   return outcome;
 }
 

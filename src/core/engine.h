@@ -86,6 +86,10 @@ struct RunOutcome {
   /// Client-side at-least-once delivery counters (initial dispatch).
   net::RetryStats client_retry;
   TrafficSummary traffic;
+  /// Stepper configuration and concurrency counters (workers == 0 means the
+  /// run used the legacy single-threaded event loop).
+  size_t workers = 0;
+  net::ParallelStats parallel;
 
   /// Total rows across all result sets.
   size_t TotalRows() const;

@@ -1,0 +1,357 @@
+// Deterministic time-stepped parallel mode for SimNetwork ("ParallelSimNetwork",
+// enabled by SimNetworkOptions::worker_threads; see DESIGN.md "Parallel
+// execution").
+//
+// The loop: take every queued event sharing the minimum virtual timestamp (a
+// *time-slice*), partition the slice by destination host — the paper's own
+// serialization unit, since each site's daemon "sequentially processes the
+// queue of pending web-queries" (§4.4) — and run the partitions concurrently
+// on a common::ThreadPool. While a slice runs, worker threads never mutate
+// shared network state: every Transport call they make is diverted into their
+// partition's SliceContext, which buffers the operation tagged with
+// (issuing event sequence, issue index). After the barrier, the driving
+// thread replays all buffers in that tag order, which is exactly the order a
+// sequential stepper would have issued them — so the jitter RNG stream, the
+// per-endpoint busy_until_ queues, sequence-number assignment, fault-plan
+// decisions and traffic meters evolve bit-identically for any worker count.
+//
+// Visibility rule: a partition sees its *own* listener mutations immediately
+// (via a per-partition overlay) and everyone else's from the start of the
+// slice; mutations commit globally at the slice barrier. Handlers must
+// confine their state to their endpoint's host (the confinement rule checked
+// by tools/webdis_lint.py); timers carry the affinity of the context that
+// armed them, and driver-context timers (empty affinity) force their whole
+// slice to run serially through the legacy dispatch path.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "net/sim.h"
+
+namespace webdis::net {
+
+struct SimNetwork::SliceContext {
+  struct Op {
+    enum Kind {
+      kSend,
+      kListen,
+      kCloseListener,
+      kScheduleTimer,
+      kCancelTimer,
+    };
+    Kind kind;
+    uint64_t seq = 0;    // sequence of the slice event that issued the op
+    uint32_t index = 0;  // issue order within that event's handler
+    Endpoint from;
+    Endpoint to;  // also the endpoint for kListen / kCloseListener
+    MessageType type{};
+    std::vector<uint8_t> payload;
+    MessageHandler handler;          // kListen
+    SimDuration delay = 0;           // kScheduleTimer
+    std::function<void()> timer_fn;  // kScheduleTimer
+    uint64_t timer_id = 0;           // kScheduleTimer / kCancelTimer
+    std::string affinity;            // kScheduleTimer
+  };
+
+  SimNetwork* net = nullptr;
+  std::string key;            // partition affinity (destination host)
+  std::vector<Event> events;  // this partition's slice, in sequence order
+  // Listener changes made by this partition during the slice: engaged =
+  // (re)bound handler, nullopt = closed. Own mutations are visible to the
+  // partition immediately; the base map stays frozen until the barrier.
+  std::map<Endpoint, std::optional<MessageHandler>> listener_overlay;
+  std::set<uint64_t> scheduled;  // timer ids armed during this slice
+  std::set<uint64_t> cancelled;  // timer ids cancelled during this slice
+  std::set<uint64_t> fired;      // timer ids fired during this slice
+  std::vector<Op> ops;
+  uint64_t current_seq = 0;
+  uint32_t op_index = 0;
+  uint64_t delivered = 0;
+  uint64_t refused = 0;
+  uint64_t dropped = 0;
+  uint64_t timers_fired = 0;
+
+  Op& PushOp(Op::Kind kind) {
+    Op& op = ops.emplace_back();
+    op.kind = kind;
+    op.seq = current_seq;
+    op.index = op_index++;
+    return op;
+  }
+};
+
+SimNetwork::SliceContext*& SimNetwork::ThreadSliceContext() {
+  thread_local SliceContext* ctx = nullptr;
+  return ctx;
+}
+
+SimNetwork::SliceContext* SimNetwork::CurrentSliceContext(
+    const SimNetwork* net) {
+  SliceContext* ctx = ThreadSliceContext();
+  return (ctx != nullptr && ctx->net == net) ? ctx : nullptr;
+}
+
+Status SimNetwork::SliceSend(SliceContext* ctx, const Endpoint& from,
+                             const Endpoint& to, MessageType type,
+                             std::vector<uint8_t> payload) {
+  // Same synchronous refusal semantics as the legacy path, resolved against
+  // the slice view: own overlay first, then the frozen base map.
+  bool listening;
+  auto ov = ctx->listener_overlay.find(to);
+  if (ov != ctx->listener_overlay.end()) {
+    listening = ov->second.has_value();
+  } else {
+    listening = listeners_.contains(to);
+  }
+  if (!listening) {
+    ++ctx->refused;
+    return Status::ConnectionRefused(
+        StringPrintf("no listener at %s", to.ToString().c_str()));
+  }
+  SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kSend);
+  op.from = from;
+  op.to = to;
+  op.type = type;
+  op.payload = std::move(payload);
+  return Status::OK();
+}
+
+Status SimNetwork::SliceListen(SliceContext* ctx, const Endpoint& endpoint,
+                               MessageHandler handler) {
+  bool bound;
+  auto ov = ctx->listener_overlay.find(endpoint);
+  if (ov != ctx->listener_overlay.end()) {
+    bound = ov->second.has_value();
+  } else {
+    bound = listeners_.contains(endpoint);
+  }
+  if (bound) {
+    return Status::InvalidArgument(StringPrintf(
+        "endpoint %s already bound", endpoint.ToString().c_str()));
+  }
+  SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kListen);
+  op.to = endpoint;
+  op.handler = handler;
+  ctx->listener_overlay[endpoint] = std::move(handler);
+  return Status::OK();
+}
+
+void SimNetwork::SliceCloseListener(SliceContext* ctx,
+                                    const Endpoint& endpoint) {
+  SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kCloseListener);
+  op.to = endpoint;
+  ctx->listener_overlay[endpoint] = std::nullopt;
+}
+
+uint64_t SimNetwork::SliceScheduleAfter(SliceContext* ctx, SimDuration delay,
+                                        std::function<void()> fn) {
+  const uint64_t id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  ctx->scheduled.insert(id);
+  SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kScheduleTimer);
+  op.delay = delay;
+  op.timer_fn = std::move(fn);
+  op.timer_id = id;
+  op.affinity = ctx->key;  // the new timer fires on the arming partition
+  return id;
+}
+
+bool SimNetwork::SliceCancelTimer(SliceContext* ctx, uint64_t id) {
+  if (ctx->cancelled.contains(id)) return false;  // already cancelled
+  if (ctx->fired.contains(id)) return false;      // fired earlier this slice
+  const bool was_pending =
+      ctx->scheduled.contains(id) || pending_timers_.contains(id);
+  if (!was_pending) return false;
+  ctx->cancelled.insert(id);
+  ctx->PushOp(SliceContext::Op::kCancelTimer).timer_id = id;
+  return true;
+}
+
+void SimNetwork::DispatchSlice(SliceContext* ctx) {
+  for (Event& event : ctx->events) {
+    ctx->current_seq = event.sequence;
+    ctx->op_index = 0;
+    if (event.timer) {
+      // Skip timers cancelled in an earlier slice (no longer pending) or by
+      // an earlier event of this partition; same rule as the legacy loop.
+      if (!pending_timers_.contains(event.timer_id) ||
+          ctx->cancelled.contains(event.timer_id)) {
+        continue;
+      }
+      ctx->fired.insert(event.timer_id);
+      ++ctx->timers_fired;
+      event.timer();
+      continue;
+    }
+    ++ctx->delivered;
+    MessageHandler handler;  // copied: the handler may close/re-register
+    auto ov = ctx->listener_overlay.find(event.to);
+    if (ov != ctx->listener_overlay.end()) {
+      if (!ov->second.has_value()) {
+        ++ctx->dropped;
+        continue;
+      }
+      handler = *ov->second;
+    } else {
+      auto it = listeners_.find(event.to);
+      if (it == listeners_.end()) {
+        ++ctx->dropped;
+        continue;
+      }
+      handler = it->second;
+    }
+    handler(event.from, event.type, event.payload);
+  }
+}
+
+void SimNetwork::StepSlice() {
+  const SimTime t = events_.top().deliver_at;
+  std::vector<Event> slice;
+  while (!events_.empty() && events_.top().deliver_at == t) {
+    // priority_queue::top() is const; copy out (payloads are modest).
+    slice.push_back(events_.top());
+    events_.pop();
+  }
+  ++parallel_stats_.slices;
+  parallel_stats_.events += slice.size();
+  parallel_stats_.max_slice_events =
+      std::max<uint64_t>(parallel_stats_.max_slice_events, slice.size());
+
+  // Driver-context timers (empty affinity: sweeps, completion strawmen,
+  // crash/restart schedules) may touch global state such as listener tables
+  // directly, so their slice keeps exact legacy semantics, serially.
+  const bool driver_slice =
+      std::any_of(slice.begin(), slice.end(), [](const Event& e) {
+        return e.timer != nullptr && e.affinity.empty();
+      });
+  if (driver_slice) {
+    parallel_stats_.max_slice_partitions =
+        std::max<uint64_t>(parallel_stats_.max_slice_partitions, 1);
+    for (Event& event : slice) DispatchEventLegacy(std::move(event));
+    return;
+  }
+
+  // Advance the clock exactly when the legacy loop would: the first event
+  // that actually runs does it. A slice of nothing but stale cancelled
+  // timers leaves `now_` untouched.
+  const bool advances =
+      std::any_of(slice.begin(), slice.end(), [this](const Event& e) {
+        return e.timer == nullptr || pending_timers_.contains(e.timer_id);
+      });
+  if (advances) now_ = t;
+
+  // Partition by affinity, first-appearance (= sequence) order.
+  std::map<std::string, size_t> part_index;
+  std::vector<std::unique_ptr<SliceContext>> parts;
+  for (Event& event : slice) {
+    const std::string& key = event.timer ? event.affinity : event.to.host;
+    auto [it, inserted] = part_index.try_emplace(key, parts.size());
+    if (inserted) {
+      parts.push_back(std::make_unique<SliceContext>());
+      parts.back()->net = this;
+      parts.back()->key = key;
+    }
+    parts[it->second]->events.push_back(std::move(event));
+  }
+  parallel_stats_.max_slice_partitions = std::max<uint64_t>(
+      parallel_stats_.max_slice_partitions, parts.size());
+  if (parts.size() >= 2) {
+    ++parallel_stats_.parallel_slices;
+    parallel_stats_.parallel_events += slice.size();
+  }
+
+  if (parts.size() == 1) {
+    ThreadSliceContext() = parts[0].get();
+    DispatchSlice(parts[0].get());
+    ThreadSliceContext() = nullptr;
+  } else {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<common::ThreadPool>(options_.worker_threads - 1);
+    }
+    pool_->RunBatch(parts.size(), [this, &parts](size_t i) {
+      ThreadSliceContext() = parts[i].get();
+      DispatchSlice(parts[i].get());
+      ThreadSliceContext() = nullptr;
+    });
+  }
+
+  // -- Barrier passed: merge, on the driving thread. ------------------------
+  for (const auto& ctx : parts) {
+    delivered_ += ctx->delivered;
+    refused_ += ctx->refused;
+    dropped_ += ctx->dropped;
+    timers_fired_ += ctx->timers_fired;
+  }
+  WEBDIS_CHECK(delivered_ + timers_fired_ <= options_.max_deliveries)
+      << "simulated network exceeded max_deliveries — runaway forwarding?";
+  // Every timer event of this slice leaves the pending set, whether it
+  // fired or had been cancelled (erase is idempotent).
+  for (const auto& ctx : parts) {
+    for (const Event& event : ctx->events) {
+      if (event.timer) pending_timers_.erase(event.timer_id);
+    }
+  }
+  // Replay buffered ops in (sequence, issue-index) order — the order the
+  // sequential stepper would have issued them.
+  std::vector<SliceContext::Op*> ops;
+  for (const auto& ctx : parts) {
+    for (SliceContext::Op& op : ctx->ops) ops.push_back(&op);
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const SliceContext::Op* a, const SliceContext::Op* b) {
+              if (a->seq != b->seq) return a->seq < b->seq;
+              return a->index < b->index;
+            });
+  for (SliceContext::Op* op : ops) {
+    switch (op->kind) {
+      case SliceContext::Op::kSend: {
+        // Refusal was already resolved by the issuing worker; the accepted
+        // path always returns OK.
+        const Status accepted =
+            SendAccepted(op->from, op->to, op->type, std::move(op->payload));
+        WEBDIS_CHECK(accepted.ok());
+        break;
+      }
+      case SliceContext::Op::kListen:
+        // First listener wins on a (cross-partition) conflict, matching the
+        // sequential rule that later Listen calls are refused.
+        listeners_.emplace(op->to, std::move(op->handler));
+        break;
+      case SliceContext::Op::kCloseListener:
+        listeners_.erase(op->to);
+        busy_until_.erase(op->to);
+        break;
+      case SliceContext::Op::kScheduleTimer: {
+        Event event;
+        event.deliver_at = t + op->delay;
+        event.sequence = next_sequence_++;
+        event.timer = std::move(op->timer_fn);
+        event.timer_id = op->timer_id;
+        event.affinity = std::move(op->affinity);
+        pending_timers_.insert(op->timer_id);
+        events_.push(std::move(event));
+        break;
+      }
+      case SliceContext::Op::kCancelTimer:
+        pending_timers_.erase(op->timer_id);
+        break;
+    }
+  }
+}
+
+void SimNetwork::RunStepped() {
+  while (!events_.empty()) {
+    StepSlice();
+  }
+}
+
+}  // namespace webdis::net

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "net/fault.h"
 #include "serialize/framing.h"
 
@@ -10,7 +11,12 @@ namespace webdis::net {
 SimNetwork::SimNetwork(SimNetworkOptions options)
     : options_(std::move(options)), jitter_rng_(options_.jitter_seed) {}
 
+SimNetwork::~SimNetwork() = default;
+
 Status SimNetwork::Listen(const Endpoint& endpoint, MessageHandler handler) {
+  if (SliceContext* ctx = CurrentSliceContext(this); ctx != nullptr) {
+    return SliceListen(ctx, endpoint, std::move(handler));
+  }
   if (listeners_.contains(endpoint)) {
     return Status::InvalidArgument(StringPrintf(
         "endpoint %s already bound", endpoint.ToString().c_str()));
@@ -20,12 +26,19 @@ Status SimNetwork::Listen(const Endpoint& endpoint, MessageHandler handler) {
 }
 
 void SimNetwork::CloseListener(const Endpoint& endpoint) {
+  if (SliceContext* ctx = CurrentSliceContext(this); ctx != nullptr) {
+    SliceCloseListener(ctx, endpoint);
+    return;
+  }
   listeners_.erase(endpoint);
   busy_until_.erase(endpoint);
 }
 
 Status SimNetwork::Send(const Endpoint& from, const Endpoint& to,
                         MessageType type, std::vector<uint8_t> payload) {
+  if (SliceContext* ctx = CurrentSliceContext(this); ctx != nullptr) {
+    return SliceSend(ctx, from, to, type, std::move(payload));
+  }
   // Connect-time check: no listener means connection refused, which the
   // caller observes synchronously (like a failed TCP connect).
   if (!listeners_.contains(to)) {
@@ -33,6 +46,12 @@ Status SimNetwork::Send(const Endpoint& from, const Endpoint& to,
     return Status::ConnectionRefused(StringPrintf(
         "no listener at %s", to.ToString().c_str()));
   }
+  return SendAccepted(from, to, type, std::move(payload));
+}
+
+Status SimNetwork::SendAccepted(const Endpoint& from, const Endpoint& to,
+                                MessageType type,
+                                std::vector<uint8_t> payload) {
   // Meter the wire cost: payload plus the frame header every transport
   // prepends.
   const uint64_t wire_bytes =
@@ -113,6 +132,9 @@ void SimNetwork::EnqueueDelivery(const Endpoint& from, const Endpoint& to,
 
 uint64_t SimNetwork::ScheduleAfter(SimDuration delay,
                                    std::function<void()> fn) {
+  if (SliceContext* ctx = CurrentSliceContext(this); ctx != nullptr) {
+    return SliceScheduleAfter(ctx, delay, std::move(fn));
+  }
   Event event;
   event.deliver_at = now_ + delay;
   event.sequence = next_sequence_++;
@@ -125,6 +147,9 @@ uint64_t SimNetwork::ScheduleAfter(SimDuration delay,
 }
 
 bool SimNetwork::CancelTimer(uint64_t id) {
+  if (SliceContext* ctx = CurrentSliceContext(this); ctx != nullptr) {
+    return SliceCancelTimer(ctx, id);
+  }
   // The queued event stays; RunOne skips it when the id is no longer
   // pending.
   return pending_timers_.erase(id) > 0;
@@ -135,16 +160,21 @@ bool SimNetwork::RunOne() {
   // priority_queue::top() is const; copy out (payloads are modest).
   Event event = events_.top();
   events_.pop();
+  DispatchEventLegacy(std::move(event));
+  return true;
+}
+
+void SimNetwork::DispatchEventLegacy(Event event) {
   if (event.timer) {
     if (pending_timers_.erase(event.timer_id) == 0) {
-      return true;  // cancelled while queued
+      return;  // cancelled while queued
     }
     now_ = event.deliver_at;
     ++timers_fired_;
     WEBDIS_CHECK(delivered_ + timers_fired_ <= options_.max_deliveries)
         << "simulated network exceeded max_deliveries — runaway timers?";
     event.timer();
-    return true;
+    return;
   }
   now_ = event.deliver_at;
   ++delivered_;
@@ -155,15 +185,18 @@ bool SimNetwork::RunOne() {
     // Listener closed while the message was in flight: silently dropped,
     // exactly like packets racing a socket close.
     ++dropped_;
-    return true;
+    return;
   }
   // Copy the handler: the handler itself may close/re-register listeners.
   MessageHandler handler = it->second;
   handler(event.from, event.type, event.payload);
-  return true;
 }
 
 void SimNetwork::RunUntilIdle() {
+  if (options_.worker_threads > 0) {
+    RunStepped();
+    return;
+  }
   while (RunOne()) {
   }
 }

@@ -34,4 +34,40 @@ LogDecision ComparePreForLog(const Pre& incoming, const Pre& logged) {
   return decision;
 }
 
+LogPreForm MakeLogPreForm(const Pre& pre) {
+  LogPreForm form;
+  form.canonical = pre.CanonicalKey();
+  form.star = pre.DecomposeStarPrefix(&form.prefix);
+  if (form.star) form.rest_canonical = form.prefix.rest.CanonicalKey();
+  return form;
+}
+
+LogDecision ComparePreForLog(const Pre& incoming,
+                             const LogPreForm& incoming_form,
+                             const LogPreForm& logged_form) {
+  LogDecision decision;
+  if (incoming_form.canonical == logged_form.canonical) {
+    decision.comparison = LogComparison::kDuplicate;
+    return decision;
+  }
+  if (!incoming_form.star || !logged_form.star) {
+    return decision;  // kUnrelated
+  }
+  const StarPrefix& in_sp = incoming_form.prefix;
+  const StarPrefix& log_sp = logged_form.prefix;
+  if (in_sp.link != log_sp.link ||
+      incoming_form.rest_canonical != logged_form.rest_canonical) {
+    return decision;  // kUnrelated
+  }
+  const bool incoming_covers_logged =
+      in_sp.unbounded || (!log_sp.unbounded && in_sp.bound > log_sp.bound);
+  if (!incoming_covers_logged) {
+    decision.comparison = LogComparison::kDuplicate;
+    return decision;
+  }
+  decision.comparison = LogComparison::kSupersetRewrite;
+  decision.rewritten = incoming.MultipleRewriteOnce();
+  return decision;
+}
+
 }  // namespace webdis::pre

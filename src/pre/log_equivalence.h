@@ -40,6 +40,26 @@ struct LogDecision {
 ///  * anything else                  -> kUnrelated
 LogDecision ComparePreForLog(const Pre& incoming, const Pre& logged);
 
+/// Precomputed canonical view of a PRE for repeated log-table comparisons:
+/// the canonical key and, when the PRE has the `(A*m)·B` shape, its star
+/// decomposition with B's canonical key. Computing these once per logged
+/// entry (instead of re-canonicalizing both sides on every arrival) is what
+/// makes the log-table check O(entries) string compares per arrival.
+struct LogPreForm {
+  std::string canonical;  // Pre::CanonicalKey()
+  bool star = false;      // DecomposeStarPrefix() succeeded
+  StarPrefix prefix;      // valid iff star
+  std::string rest_canonical;  // prefix.rest.CanonicalKey(), iff star
+};
+
+LogPreForm MakeLogPreForm(const Pre& pre);
+
+/// Same decision procedure as the two-argument overload — asserted
+/// equivalent in pre_test — but comparing the precomputed forms. `incoming`
+/// itself is still needed to build the kSupersetRewrite result.
+LogDecision ComparePreForLog(const Pre& incoming, const LogPreForm& incoming_form,
+                             const LogPreForm& logged_form);
+
 }  // namespace webdis::pre
 
 #endif  // WEBDIS_PRE_LOG_EQUIVALENCE_H_

@@ -67,6 +67,23 @@ const Schema& AnchorSchema() {
   return schema;
 }
 
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table);
+  for (const Tuple& row : rows_) {
+    bytes += sizeof(Tuple) + (row.capacity() - row.size()) * sizeof(Value);
+    for (const Value& cell : row) bytes += cell.ApproxBytes();
+  }
+  return bytes;
+}
+
+size_t Database::ApproxBytes() const {
+  size_t bytes = sizeof(Database);
+  for (const auto& [name, table] : tables_) {
+    bytes += name.capacity() + table.ApproxBytes();
+  }
+  return bytes;
+}
+
 const Schema& RelInfonSchema() {
   static const Schema schema({
       {"delimiter", ValueType::kString},

@@ -57,6 +57,9 @@ class Table {
   /// Drops all rows (the "purge" of Section 2.4).
   void Clear() { rows_.clear(); }
 
+  /// Rough in-memory footprint of rows + cells (for cache byte budgets).
+  size_t ApproxBytes() const;
+
  private:
   Schema schema_;
   std::vector<Tuple> rows_;
@@ -73,6 +76,10 @@ class Database {
   const Table* Find(std::string_view name) const;
 
   std::vector<std::string> RelationNames() const;
+
+  /// Rough in-memory footprint of all relations — the unit the query
+  /// server's LRU database cache budgets against.
+  size_t ApproxBytes() const;
 
  private:
   std::map<std::string, Table, std::less<>> tables_;

@@ -61,6 +61,15 @@ class Value {
   void EncodeTo(serialize::Encoder* enc) const;
   static Status DecodeFrom(serialize::Decoder* dec, Value* out);
 
+  /// Rough in-memory footprint, for cache byte budgets (not wire size).
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(Value);
+    if (const auto* s = std::get_if<std::string>(&data_)) {
+      bytes += s->capacity();
+    }
+    return bytes;
+  }
+
  private:
   std::variant<std::monostate, int64_t, std::string> data_;
 };

@@ -7,10 +7,11 @@ pre::LogDecision LogTable::Check(const std::string& node_url,
                                  const query::CloneState& state) {
   ++stats_.checks;
   const Key key{node_url, query_key, state.num_q};
-  std::vector<pre::Pre>& logged = entries_[key];
-  for (pre::Pre& existing : logged) {
+  std::vector<LoggedPre>& logged = entries_[key];
+  pre::LogPreForm incoming_form = pre::MakeLogPreForm(state.rem_pre);
+  for (LoggedPre& existing : logged) {
     const pre::LogDecision decision =
-        pre::ComparePreForLog(state.rem_pre, existing);
+        pre::ComparePreForLog(state.rem_pre, incoming_form, existing.form);
     switch (decision.comparison) {
       case pre::LogComparison::kDuplicate:
         ++stats_.duplicates;
@@ -18,14 +19,15 @@ pre::LogDecision LogTable::Check(const std::string& node_url,
       case pre::LogComparison::kSupersetRewrite:
         // Replace the covered entry with the wider incoming PRE
         // (Section 3.1.1 step 1), then continue with the rewrite.
-        existing = state.rem_pre;
+        existing.pre = state.rem_pre;
+        existing.form = std::move(incoming_form);
         ++stats_.superset_rewrites;
         return decision;
       case pre::LogComparison::kUnrelated:
         break;
     }
   }
-  logged.push_back(state.rem_pre);
+  logged.push_back(LoggedPre{state.rem_pre, std::move(incoming_form)});
   ++stats_.new_entries;
   return pre::LogDecision{};  // kUnrelated: process normally
 }

@@ -57,8 +57,16 @@ class LogTable {
     }
   };
 
-  // One (node, query, num_q) can hold several unrelated PREs.
-  std::map<Key, std::vector<pre::Pre>> entries_;
+  // One (node, query, num_q) can hold several unrelated PREs. Each entry
+  // carries its precomputed canonical form, so an arrival canonicalizes its
+  // own PRE once and every logged comparison is string compares — the old
+  // path re-canonicalized both sides per logged entry (asserted equivalent
+  // in pre_test).
+  struct LoggedPre {
+    pre::Pre pre;
+    pre::LogPreForm form;
+  };
+  std::map<Key, std::vector<LoggedPre>> entries_;
   Stats stats_;
 };
 

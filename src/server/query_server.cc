@@ -59,6 +59,7 @@ const QueryServerStats& QueryServer::stats() const {
   stats_.breaker_short_circuits = breakers_.stats().short_circuits;
   stats_.breaker_probes = breakers_.stats().probes;
   stats_.breaker_recoveries = breakers_.stats().recoveries;
+  stats_.db_cache_bytes = db_cache_bytes_;
   return stats_;
 }
 
@@ -70,7 +71,9 @@ void QueryServer::Crash() {
   log_table_.Purge();
   terminated_queries_.clear();
   pending_acks_.clear();
-  db_cache_.clear();
+  db_cache_lru_.clear();
+  db_cache_index_.clear();
+  db_cache_bytes_ = 0;
   // Queued clones are volatile: lost with the crash, recovered by the
   // sender's retries (unacked — acks are deferred to dequeue) or, failing
   // that, by the user site's CHT deadline sweep.
@@ -318,15 +321,36 @@ void QueryServer::ShedClone(QueuedClone shed) {
 const relational::Database& QueryServer::NodeDatabase(
     const web::WebGraph::Document& doc) {
   if (options_.cache_databases) {
-    auto it = db_cache_.find(doc.url.ResourceKey());
-    if (it != db_cache_.end()) {
+    const std::string key = doc.url.ResourceKey();
+    auto it = db_cache_index_.find(key);
+    if (it != db_cache_index_.end()) {
       ++stats_.db_cache_hits;
-      return it->second;
+      // Refresh recency: move the entry to the front of the LRU list.
+      db_cache_lru_.splice(db_cache_lru_.begin(), db_cache_lru_, it->second);
+      return it->second->db;
     }
     ++stats_.db_constructions;
-    auto [inserted, ok] =
-        db_cache_.emplace(doc.url.ResourceKey(), BuildNodeDatabase(doc.parsed));
-    return inserted->second;
+    CachedDatabase entry;
+    entry.key = key;
+    entry.db = BuildNodeDatabase(doc.parsed);
+    entry.bytes = entry.db.ApproxBytes();
+    db_cache_bytes_ += entry.bytes;
+    db_cache_lru_.push_front(std::move(entry));
+    db_cache_index_[key] = db_cache_lru_.begin();
+    // Evict from the cold end until the budget holds. The just-inserted
+    // entry is never evicted (a reference to it is being returned), even
+    // when it alone exceeds the budget.
+    if (options_.db_cache_max_bytes > 0) {
+      while (db_cache_bytes_ > options_.db_cache_max_bytes &&
+             db_cache_lru_.size() > 1) {
+        CachedDatabase& victim = db_cache_lru_.back();
+        db_cache_bytes_ -= victim.bytes;
+        ++stats_.db_cache_evictions;
+        db_cache_index_.erase(victim.key);
+        db_cache_lru_.pop_back();
+      }
+    }
+    return db_cache_lru_.front().db;
   }
   ++stats_.db_constructions;
   // Section 2.4: constructed per node-query and purged immediately after —

@@ -3,6 +3,7 @@
 
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <set>
 #include <string>
@@ -70,6 +71,11 @@ struct QueryServerOptions {
   /// Retain per-node databases instead of purging after each node-query
   /// (footnote 3 of Section 2.4).
   bool cache_databases = false;
+  /// Byte budget for the retained databases (0 = unbounded, the historical
+  /// behavior). When exceeded, least-recently-used entries are evicted —
+  /// a site hosting many documents no longer grows its cache without bound.
+  /// Sizes are Database::ApproxBytes() estimates.
+  uint64_t db_cache_max_bytes = 0;
   /// Purge the log table after this many clone arrivals (0 = never). The
   /// paper purges periodically; an early purge costs only recomputation.
   uint64_t log_purge_every = 0;
@@ -88,6 +94,8 @@ struct QueryServerStats {
   uint64_t answers_found = 0;
   uint64_t db_constructions = 0;
   uint64_t db_cache_hits = 0;
+  uint64_t db_cache_evictions = 0;  // LRU entries dropped for the byte budget
+  uint64_t db_cache_bytes = 0;      // current cache footprint (approximate)
   uint64_t duplicates_dropped = 0;
   uint64_t superset_rewrites = 0;
   uint64_t clones_forwarded = 0;
@@ -264,6 +272,14 @@ class QueryServer {
   void SendAck(const net::Endpoint& parent, uint64_t token);
   void OnAck(uint64_t token);
 
+  // Endpoint confinement (DESIGN.md "Parallel execution"): the parallel
+  // stepper may run this server's handlers concurrently with OTHER hosts'
+  // handlers, but never with each other — all deliveries to one host share
+  // a slice partition and run sequentially. Every field below is therefore
+  // either construction-time constant or touched only from this server's
+  // own OnMessage/timer callbacks, and needs no locking. The invariant is
+  // enforced by tools/webdis_lint.py (confinement rule): a new mutable
+  // field must be WEBDIS_GUARDED_BY a mutex or audited into its allowlist.
   std::string host_;
   const web::WebGraph* web_;
   net::Transport* transport_;
@@ -280,7 +296,16 @@ class QueryServer {
   std::set<std::string> terminated_queries_;  // by QueryId::Key()
   std::map<uint64_t, PendingAck> pending_acks_;  // by local token
   uint64_t next_ack_token_ = 1;
-  std::map<std::string, relational::Database> db_cache_;  // by resource key
+  /// LRU database cache (front = most recently used), bounded by
+  /// options_.db_cache_max_bytes. The index maps resource key -> list node.
+  struct CachedDatabase {
+    std::string key;
+    relational::Database db;
+    uint64_t bytes = 0;
+  };
+  std::list<CachedDatabase> db_cache_lru_;
+  std::map<std::string, std::list<CachedDatabase>::iterator> db_cache_index_;
+  uint64_t db_cache_bytes_ = 0;
   relational::Database scratch_db_;  // non-cached working database
   VisitObserver visit_observer_;
   bool started_ = false;

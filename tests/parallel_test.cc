@@ -1,0 +1,268 @@
+// Determinism proof for the parallel stepper (DESIGN.md "Parallel
+// execution"): a run under SimNetworkOptions::worker_threads = N must be
+// bit-identical — results, run stats, traffic meters, and the named
+// degradation sets — to the sequential stepper (N = 1) and to the legacy
+// event loop (N = 0), for every seed, including schedules composed with
+// fault injection and overload protection. The comparison is a full textual
+// signature of everything an outcome exposes, so any divergence in any
+// counter fails loudly with the two signatures side by side.
+//
+// This suite also runs under TSan in CI (with real worker threads), which is
+// what checks the confinement rule — that concurrent partitions of a slice
+// never touch shared state unsynchronized.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/engine.h"
+#include "disql/compiler.h"
+#include "net/fault.h"
+#include "net/sim.h"
+#include "web/synth.h"
+
+namespace webdis {
+namespace {
+
+struct Workload {
+  std::string name;
+  uint64_t seed = 1;
+  bool faults = false;    // drop/dup/delay schedule + at-least-once retry
+  bool overload = false;  // admission queue + budgets + a hot-host override
+  int queries = 1;        // concurrent submissions sharing the network
+  // With zero jitter, same-hop messages to different hosts arrive in one
+  // wavefront, producing wide multi-partition slices (the interesting case
+  // for the stepper); with jitter, arrivals scatter to distinct timestamps
+  // and most slices are singletons. Both must be bit-identical.
+  bool jitter = true;
+};
+
+std::string SummarizeTraffic(const core::TrafficSummary& t) {
+  return StringPrintf(
+      "msgs=%llu bytes=%llu inter=%llu/%llu q=%llu/%llu r=%llu/%llu "
+      "f=%llu/%llu term=%llu refused=%llu",
+      (unsigned long long)t.messages, (unsigned long long)t.bytes,
+      (unsigned long long)t.inter_host_messages,
+      (unsigned long long)t.inter_host_bytes,
+      (unsigned long long)t.query_messages, (unsigned long long)t.query_bytes,
+      (unsigned long long)t.report_messages,
+      (unsigned long long)t.report_bytes, (unsigned long long)t.fetch_messages,
+      (unsigned long long)t.fetch_bytes,
+      (unsigned long long)t.terminate_messages,
+      (unsigned long long)t.connection_refused);
+}
+
+/// Everything observable about an outcome except the stepper's own
+/// concurrency counters (workers / parallel occupancy legitimately differ
+/// between modes; nothing else may).
+std::string SummarizeOutcome(const core::RunOutcome& outcome) {
+  std::string out;
+  out += StringPrintf(
+      "completed=%d partial=%d budget_exhausted=%d rows=%zu "
+      "submit=%llu done=%llu last=%llu cht=%zu/%zu/%llu/%llu fallback=%zu\n",
+      outcome.completed ? 1 : 0, outcome.partial ? 1 : 0,
+      outcome.budget_exhausted ? 1 : 0, outcome.TotalRows(),
+      (unsigned long long)outcome.submit_time,
+      (unsigned long long)outcome.completion_time,
+      (unsigned long long)outcome.last_report_time,
+      outcome.cht_total_entries, outcome.cht_max_active,
+      (unsigned long long)outcome.cht_suppressed,
+      (unsigned long long)outcome.cht_unmatched_deletes,
+      outcome.fallback_node_count);
+  out += "unreachable:";
+  for (const std::string& host : outcome.unreachable_hosts) out += " " + host;
+  out += "\nbudget_nodes:";
+  for (const std::string& n : outcome.budget_exceeded_nodes) out += " " + n;
+  out += "\n";
+  out += core::FormatResults(outcome.results);
+  // FormatRunStats appends a "parallel:" line when workers > 0; every other
+  // line must match across modes.
+  for (const std::string& line :
+       Split(core::FormatRunStats(outcome), '\n')) {
+    if (line.rfind("parallel:", 0) == 0) continue;
+    out += line + "\n";
+  }
+  out += "traffic: " + SummarizeTraffic(outcome.traffic) + "\n";
+  return out;
+}
+
+std::string QueryFor(int index) {
+  // Vary start node and pattern a little per concurrent query so the batch
+  // is not N copies of one schedule.
+  const std::string start = web::SynthUrl(index % 3, index % 2);
+  const std::string pattern =
+      (index % 2 == 0) ? "(L|G)*2" : "G.(L|G)*1";
+  return "select d1.url, d1.title\n"
+         "from document d1 such that \"" +
+         start + "\" " + pattern +
+         " d1,\n"
+         "where d1.title contains \"alpha\"\n";
+}
+
+/// Runs the workload with the given stepper mode and returns (signature,
+/// parallel stats). The signature must not depend on `workers`.
+std::string RunWorkload(const Workload& w, size_t workers,
+                        net::ParallelStats* parallel_out = nullptr) {
+  web::SynthWebOptions web_options;
+  web_options.seed = w.seed;
+  web_options.num_sites = 5;
+  web_options.docs_per_site = 6;
+  web_options.filler_paragraphs = 1;
+  web_options.words_per_paragraph = 12;
+  const web::WebGraph web = web::GenerateSynthWeb(web_options);
+
+  core::EngineOptions options;
+  options.network.worker_threads = workers;
+  options.network.latency_jitter = w.jitter ? 2 * kMillisecond : 0;
+  options.network.jitter_seed = w.seed * 31 + 7;
+  if (w.faults) {
+    options.server.retry.enabled = true;
+    options.client.retry.enabled = true;
+  }
+  if (w.overload) {
+    options.client.budget_max_hops = 6;
+    options.client.budget_max_clones = 64;
+    options.client.budget_max_rows_per_visit = 8;
+    options.server.admission.max_pending = 4;
+    options.server.admission.service_time = 2 * kMillisecond;
+    // One deliberately hot host with a tiny queue exercises shedding and
+    // eviction under both steppers.
+    server::QueryServerOptions hot = options.server;
+    hot.admission.max_pending = 1;
+    options.server_overrides[web::SynthHost(1)] = hot;
+  }
+  core::Engine engine(&web, options);
+
+  net::FaultPlan plan(w.seed * 97 + 13);
+  if (w.faults) {
+    Rng rng(w.seed * 7919);
+    for (net::MessageType type :
+         {net::MessageType::kWebQuery, net::MessageType::kReport,
+          net::MessageType::kDeliveryAck}) {
+      net::FaultPlan::Rule rule;
+      rule.type = type;
+      rule.drop_prob = 0.02 + 0.10 * rng.NextDouble();
+      rule.duplicate_prob = 0.08 * rng.NextDouble();
+      plan.AddRule(rule);
+    }
+    net::FaultPlan::Rule delay_rule;
+    delay_rule.type = net::MessageType::kReport;
+    delay_rule.delay_prob = 0.25;
+    delay_rule.delay = rng.UniformRange(1, 8) * kMillisecond;
+    plan.AddRule(delay_rule);
+    engine.network().SetFaultPlan(&plan);
+  }
+
+  const core::TrafficSummary before = engine.TrafficSnapshot();
+  std::vector<query::QueryId> ids;
+  for (int i = 0; i < w.queries; ++i) {
+    auto compiled = disql::CompileDisql(QueryFor(i));
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    if (!compiled.ok()) return "compile error";
+    auto id = engine.Submit(compiled.value(), "user" + std::to_string(i));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    if (!id.ok()) return "submit error";
+    ids.push_back(id.value());
+  }
+  engine.network().RunUntilIdle();
+
+  std::string signature;
+  for (const query::QueryId& id : ids) {
+    signature += SummarizeOutcome(engine.CollectOutcome(id, before));
+    signature += "----\n";
+  }
+  if (parallel_out != nullptr) {
+    *parallel_out = engine.network().parallel_stats();
+  }
+  return signature;
+}
+
+void ExpectBitIdentical(const Workload& w) {
+  SCOPED_TRACE(w.name + " seed=" + std::to_string(w.seed));
+  const std::string legacy = RunWorkload(w, 0);
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(legacy, RunWorkload(w, workers));
+  }
+}
+
+TEST(ParallelDeterminismTest, PlainWorkloadAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    ExpectBitIdentical({.name = "plain", .seed = seed});
+  }
+}
+
+TEST(ParallelDeterminismTest, WavefrontWorkloadAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    ExpectBitIdentical(
+        {.name = "wavefront", .seed = seed, .queries = 4, .jitter = false});
+  }
+}
+
+TEST(ParallelDeterminismTest, MultiQueryAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    ExpectBitIdentical({.name = "multiquery", .seed = seed, .queries = 4});
+  }
+}
+
+TEST(ParallelDeterminismTest, ComposedWithFaultSchedules) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    ExpectBitIdentical(
+        {.name = "faults", .seed = seed, .faults = true, .queries = 2});
+    ExpectBitIdentical({.name = "faults-wavefront",
+                        .seed = seed,
+                        .faults = true,
+                        .queries = 2,
+                        .jitter = false});
+  }
+}
+
+TEST(ParallelDeterminismTest, ComposedWithOverloadSchedules) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    ExpectBitIdentical({.name = "overload",
+                        .seed = seed,
+                        .overload = true,
+                        .queries = 3,
+                        .jitter = false});
+  }
+}
+
+TEST(ParallelDeterminismTest, ComposedWithFaultsAndOverload) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ExpectBitIdentical({.name = "both",
+                        .seed = seed,
+                        .faults = true,
+                        .overload = true,
+                        .queries = 2});
+  }
+}
+
+// The determinism theorems above would be vacuous if the stepper never
+// actually ran anything in parallel: prove the workloads exercise
+// multi-partition slices.
+TEST(ParallelDeterminismTest, ParallelSlicesActuallyHappen) {
+  net::ParallelStats stats;
+  (void)RunWorkload(
+      {.name = "occupancy", .seed = 3, .queries = 4, .jitter = false}, 4,
+      &stats);
+  EXPECT_GT(stats.slices, 0u);
+  EXPECT_GT(stats.parallel_slices, 0u);
+  EXPECT_GT(stats.Occupancy(), 0.05);
+  EXPECT_GE(stats.max_slice_partitions, 2u);
+}
+
+// Legacy mode must not pay for the stepper: no pool, zero parallel stats.
+TEST(ParallelDeterminismTest, LegacyModeReportsNoParallelism) {
+  net::ParallelStats stats;
+  (void)RunWorkload({.name = "legacy", .seed = 3}, 0, &stats);
+  EXPECT_EQ(stats.slices, 0u);
+  EXPECT_EQ(stats.events, 0u);
+}
+
+}  // namespace
+}  // namespace webdis

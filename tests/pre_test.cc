@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "pre/log_equivalence.h"
@@ -485,6 +487,40 @@ TEST(RandomPreTest, SupersetRewritePreservesUnion) {
       EXPECT_TRUE(incoming.Matches(path)) << incoming.ToString();
     }
   }
+}
+
+TEST(RandomPreTest, CachedFormDecisionMatchesDirectComparison) {
+  // The log table compares precomputed LogPreForms (one canonicalization per
+  // entry) instead of re-canonicalizing both PREs per arrival. The two
+  // procedures must make the same decision on every pair — curated shapes
+  // plus a random corpus.
+  std::vector<std::pair<Pre, Pre>> pairs = {
+      {P("G.L*1"), P("G.L*1")},   {P("G | L"), P("L | G")},
+      {P("L*1.G"), P("L*2.G")},   {P("L*4.G"), P("L*2.G")},
+      {P("L*7.G"), P("L*.G")},    {P("L*.G"), P("L*3.G")},
+      {P("G*2.L"), P("L*2.L")},   {P("L*2.G"), P("L*3.I")},
+      {P("L"), P("G")},           {P("L*.G"), P("L*.G")},
+  };
+  Rng rng(20260806);
+  for (int round = 0; round < 400; ++round) {
+    pairs.emplace_back(RandomPre(&rng, 2), RandomPre(&rng, 2));
+  }
+  int rewrites = 0;
+  for (const auto& [incoming, logged] : pairs) {
+    const LogDecision direct = ComparePreForLog(incoming, logged);
+    const LogDecision cached = ComparePreForLog(
+        incoming, MakeLogPreForm(incoming), MakeLogPreForm(logged));
+    ASSERT_EQ(direct.comparison, cached.comparison)
+        << incoming.ToString() << " vs " << logged.ToString();
+    ASSERT_EQ(direct.rewritten.has_value(), cached.rewritten.has_value());
+    if (direct.rewritten.has_value()) {
+      ++rewrites;
+      EXPECT_TRUE(direct.rewritten->Equals(*cached.rewritten))
+          << incoming.ToString() << " vs " << logged.ToString();
+    }
+  }
+  // The corpus must exercise all three decisions for this to mean anything.
+  EXPECT_GT(rewrites, 0);
 }
 
 }  // namespace

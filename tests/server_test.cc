@@ -354,6 +354,57 @@ TEST_F(QueryServerTest, DatabaseCachingCountsHits) {
   EXPECT_EQ(server_->stats().db_cache_hits, 1u);
 }
 
+TEST_F(QueryServerTest, DbCacheEvictsLeastRecentlyUsed) {
+  // A third, deliberately tiny page so A+C fits where A+B+C does not.
+  web::PageSpec c;
+  c.title = "c alpha";
+  ASSERT_TRUE(web_.AddDocument("http://h/c", web::RenderHtml(c)).ok());
+
+  QueryServerOptions options;
+  options.cache_databases = true;
+  options.dedup_enabled = false;
+
+  // Measurement pass with an unbounded cache: learn each node DB's cost.
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));
+  const uint64_t bytes_a = server_->stats().db_cache_bytes;
+  Deliver(MakeClone("N", "alpha", {"http://h/b"}));
+  const uint64_t bytes_ab = server_->stats().db_cache_bytes;
+  Deliver(MakeClone("N", "alpha", {"http://h/c"}));
+  const uint64_t bytes_abc = server_->stats().db_cache_bytes;
+  ASSERT_GT(bytes_a, 0u);
+  ASSERT_GT(bytes_ab, bytes_a);
+  ASSERT_GT(bytes_abc, bytes_ab);
+  // C strictly smaller than B, so evicting B alone brings A+B+C under A+B.
+  ASSERT_LT(bytes_abc - bytes_ab, bytes_ab - bytes_a);
+  EXPECT_EQ(server_->stats().db_cache_evictions, 0u);  // unbounded: never
+
+  // Bounded pass: budget holds exactly {A, B}.
+  options.db_cache_max_bytes = bytes_ab;
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));
+  Deliver(MakeClone("N", "alpha", {"http://h/b"}));
+  EXPECT_EQ(server_->stats().db_cache_evictions, 0u);
+  // Re-touching A moves it to the front: B is now least recently used.
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));
+  EXPECT_EQ(server_->stats().db_cache_hits, 1u);
+  // Inserting C exceeds the budget and must evict B — not A (recently
+  // touched) and not C (just inserted).
+  Deliver(MakeClone("N", "alpha", {"http://h/c"}));
+  EXPECT_EQ(server_->stats().db_cache_evictions, 1u);
+  EXPECT_EQ(server_->stats().db_cache_bytes, bytes_a + (bytes_abc - bytes_ab));
+  EXPECT_EQ(server_->stats().db_constructions, 3u);
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));  // hit: A survived
+  EXPECT_EQ(server_->stats().db_cache_hits, 2u);
+  EXPECT_EQ(server_->stats().db_constructions, 3u);
+  Deliver(MakeClone("N", "alpha", {"http://h/b"}));  // miss: B was the victim
+  EXPECT_EQ(server_->stats().db_constructions, 4u);
+}
+
 TEST_F(QueryServerTest, LogPurgePeriodCausesRecomputationOnly) {
   QueryServerOptions options;
   options.log_purge_every = 1;  // purge after every clone

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""bench_compare: gate CI on wall-clock regressions in bench JSON output.
+
+The parallel/multiquery harnesses (bench/p1_parallel, bench/s2_multiquery)
+write one JSON object per line with the fixed schema
+
+    {"workload": str, "workers": int, "wall_ms": float,
+     "virtual_ms": float, "messages": int, "bytes": int}
+
+to BENCH_PARALLEL.json / BENCH_MULTIQUERY.json at the repo root. This tool
+compares a freshly produced file against a stored baseline and exits 1 when
+any (workload, workers) row's wall_ms regressed by more than the threshold
+(default 15%). A missing baseline is not an error — first runs pass and the
+produced file becomes the next baseline.
+
+virtual_ms / messages / bytes are *determinism* measures: they must match the
+baseline exactly for the same code, so a mismatch is printed as a warning
+(code changes legitimately move them; wall-clock is the only gate).
+
+Usage: bench_compare.py BASELINE CURRENT [--threshold 0.15]
+Exit: 0 ok (or no baseline), 1 regression, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path: str) -> dict[tuple[str, int], dict]:
+    rows: dict[tuple[str, int], dict] = {}
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{line_no}: bad JSON: {e}") from e
+            for field in ("workload", "workers", "wall_ms"):
+                if field not in row:
+                    raise ValueError(f"{path}:{line_no}: missing '{field}'")
+            rows[(row["workload"], int(row["workers"]))] = row
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="stored baseline JSON-lines file")
+    parser.add_argument("current", help="freshly produced JSON-lines file")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional wall_ms growth (default .15)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"bench_compare: no baseline at {args.baseline}; passing")
+        return 0
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        name = f"{key[0]} (workers={key[1]})"
+        if cur_row is None:
+            print(f"bench_compare: note: {name} missing from current run")
+            continue
+        base_wall, cur_wall = base_row["wall_ms"], cur_row["wall_ms"]
+        limit = base_wall * (1.0 + args.threshold)
+        verdict = "REGRESSION" if cur_wall > limit else "ok"
+        print(f"bench_compare: {name}: wall {base_wall:.3f} -> "
+              f"{cur_wall:.3f} ms (limit {limit:.3f}) {verdict}")
+        if cur_wall > limit:
+            regressions.append(name)
+        for field in ("virtual_ms", "messages", "bytes"):
+            if field in base_row and field in cur_row \
+                    and base_row[field] != cur_row[field]:
+                print(f"bench_compare: warning: {name}: {field} changed "
+                      f"{base_row[field]} -> {cur_row[field]}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"bench_compare: note: new row {key[0]} (workers={key[1]})")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} wall-clock regression(s) "
+              f"beyond {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("bench_compare: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

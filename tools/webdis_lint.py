@@ -28,6 +28,19 @@ the ones whose violation breaks distributed termination or reproducibility
                 (private constructor behind a factory) carries an allow
                 comment.
 
+  confinement   The parallel stepper (src/net/parallel_sim.cc) runs
+                different endpoints' handlers concurrently inside a time
+                slice, which is only sound while every mutable QueryServer /
+                UserSite field is either WEBDIS_GUARDED_BY a mutex or
+                confined to its own endpoint's handler. Confinement cannot
+                be checked mechanically, so it is recorded: each audited
+                field is listed in CONFINEMENT_ALLOWLIST below. A new field
+                that is neither annotated nor listed fails the lint — add
+                the annotation, or audit that only the owning endpoint's
+                handler ever touches it and extend the allowlist. Stale
+                allowlist entries (field renamed/removed) also fail, so the
+                audit record cannot rot. See DESIGN.md "Parallel execution".
+
 Suppressions: a comment containing `webdis-lint: allow(<rule>)` on the same
 line, or anywhere in the contiguous comment block immediately above the
 flagged line, silences that rule for that line.
@@ -63,6 +76,43 @@ CLOCK_PATTERNS = [
 ]
 
 NAKED_NEW = re.compile(r"(?<![:\w])new\s+[A-Za-z_][\w:]*(\s*[<({[]|\s*[;,)])")
+
+# Classes whose handlers the parallel stepper may run concurrently with
+# other endpoints', and the audited per-endpoint-confined fields of each.
+# Trailing-underscore names only: nested helper structs (Forward, QueuedClone,
+# PendingAck, CachedDatabase, QueryRun, ...) follow the plain-member naming
+# convention and are data, not endpoint state.
+CONFINEMENT_CLASSES = {
+    os.path.join("src", "server", "query_server.h"): "QueryServer",
+    os.path.join("src", "client", "user_site.h"): "UserSite",
+}
+CONFINEMENT_ALLOWLIST = {
+    "QueryServer": {
+        # Identity / wiring, set at construction and read-only afterwards.
+        "host_", "web_", "transport_", "options_", "clock_",
+        # Per-server protocol state: every mutation happens inside this
+        # server's own OnMessage/timer handlers (one endpoint = one
+        # partition, handlers within a partition run sequentially).
+        "stats_", "sender_", "receiver_", "breakers_", "pending_clones_",
+        "drain_timer_", "log_table_", "terminated_queries_", "pending_acks_",
+        "next_ack_token_", "db_cache_lru_", "db_cache_index_",
+        "db_cache_bytes_", "scratch_db_", "started_",
+        # Cross-host observer sink: the engine wraps it in a mutex when
+        # worker_threads > 0 (core::Engine::ObserveVisits); the field itself
+        # is only assigned before the run starts.
+        "visit_observer_",
+    },
+    "UserSite": {
+        # Identity / wiring, construction-time only.
+        "host_", "transport_", "options_", "clock_",
+        # All mutated only from this site's result-socket / timer handlers,
+        # which share the user site's single host partition.
+        "sender_", "receiver_", "next_port_", "next_query_number_", "runs_",
+        "seen_rows_",
+    },
+}
+FIELD_DECL = re.compile(r"\b(\w+_)\s*(?:=\s*[^;=]*)?;\s*$")
+GUARDED_FIELD = re.compile(r"\b(\w+_)\s+WEBDIS_GUARDED_BY\s*\(")
 
 ENUM_CONSTANT = re.compile(
     r"^\s*k(?P<name>\w+)\s*=\s*(?P<num>\d+)\s*,\s*(//\s*(?P<comment>.*))?$")
@@ -268,6 +318,55 @@ class Linter:
                                "a webdis-lint: allow(naked-new) comment "
                                "explaining the ownership transfer)")
 
+    # -- endpoint confinement --------------------------------------------------
+
+    def check_confinement(self) -> None:
+        for rel, cls in CONFINEMENT_CLASSES.items():
+            text = self.read(rel)
+            if text is None:
+                continue  # synthetic trees need not carry every class
+            m = re.search(
+                rf"class\s+{cls}\b.*?\{{(?P<body>.*?)^\}};",
+                text, re.DOTALL | re.MULTILINE)
+            if m is None:
+                self.error(rel, 1, "confinement",
+                           f"class {cls} not found — cannot audit fields")
+                continue
+            body_start_line = text[:m.start("body")].count("\n") + 1
+            allow = CONFINEMENT_ALLOWLIST.get(cls, set())
+            lines = text.splitlines()
+
+            declared: dict[str, int] = {}
+            guarded: set[str] = set()
+            for off, raw in enumerate(m.group("body").splitlines()):
+                code = self.strip_code(raw)
+                gm = GUARDED_FIELD.search(code)
+                if gm is not None:
+                    guarded.add(gm.group(1))
+                    declared.setdefault(gm.group(1), body_start_line + off)
+                    continue
+                fm = FIELD_DECL.search(code)
+                if fm is not None:
+                    declared.setdefault(fm.group(1), body_start_line + off)
+
+            for name, line in sorted(declared.items()):
+                if name in guarded or name in allow:
+                    continue
+                if self.suppressed(lines, line - 1, "confinement"):
+                    continue
+                self.error(
+                    rel, line, "confinement",
+                    f"{cls}::{name} is neither WEBDIS_GUARDED_BY a mutex "
+                    "nor in the per-endpoint-confined allowlist "
+                    "(tools/webdis_lint.py CONFINEMENT_ALLOWLIST) — the "
+                    "parallel stepper runs endpoints concurrently; audit "
+                    "who touches this field and record the decision")
+            for name in sorted(allow - set(declared)):
+                self.error(
+                    rel, 1, "confinement",
+                    f"allowlist entry {cls}::{name} matches no declared "
+                    "field — remove it so the audit record stays accurate")
+
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -276,7 +375,7 @@ def main(argv: list[str]) -> int:
         default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         help="repository root to lint (default: this script's repo)")
     parser.add_argument(
-        "--rules", default="wire-parity,clock,naked-new",
+        "--rules", default="wire-parity,clock,naked-new,confinement",
         help="comma-separated subset of rules to run")
     args = parser.parse_args(argv)
 
@@ -292,6 +391,8 @@ def main(argv: list[str]) -> int:
         linter.check_clock_hygiene()
     if "naked-new" in rules:
         linter.check_naked_new()
+    if "confinement" in rules:
+        linter.check_confinement()
 
     for err in linter.errors:
         print(err)
