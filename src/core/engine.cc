@@ -96,6 +96,15 @@ std::string FormatRunStats(const RunOutcome& outcome) {
   emit("breaker_recoveries", s.breaker_recoveries);
   emit("db_cache_evictions", s.db_cache_evictions);
   emit("db_cache_bytes", s.db_cache_bytes);
+  emit("snapshots_written", s.snapshots_written);
+  emit("wal_records_appended", s.wal_records_appended);
+  emit("wal_append_errors", s.wal_append_errors);
+  emit("recovered_from_snapshot", s.recovered_from_snapshot);
+  emit("replayed_wal_records", s.replayed_wal_records);
+  emit("cold_starts", s.cold_starts);
+  emit("wal_records_discarded", s.wal_records_discarded);
+  emit("snapshot_load_rejected", s.snapshot_load_rejected);
+  emit("recovered_clones", s.recovered_clones);
   if (outcome.workers > 0) {
     // Cumulative over the network's lifetime, not per query: occupancy is a
     // property of how the whole run's slices partitioned.
@@ -150,6 +159,20 @@ Engine::Engine(const web::WebGraph* web, EngineOptions options)
                                                        : override_it->second;
     auto qs = std::make_unique<server::QueryServer>(
         host, web_, network_.get(), server_options);
+    if (server_options.persist.enabled) {
+      // Per-host seed: FNV-1a of the host name folded into the base seed,
+      // so fault schedules are stable across platforms and host ordering.
+      uint64_t host_hash = 1469598103934665603ull;
+      for (const char c : host) {
+        host_hash ^= static_cast<uint8_t>(c);
+        host_hash *= 1099511628211ull;
+      }
+      server::PersistFaultRules rules = options_.persist_faults;
+      rules.seed = options_.persist_faults.seed ^ host_hash;
+      auto backend = std::make_unique<server::MemoryPersistBackend>(rules);
+      qs->SetPersistence(backend.get());
+      persist_backends_.emplace(host, std::move(backend));
+    }
     const Status status = qs->Start();
     WEBDIS_CHECK(status.ok()) << status.ToString();
     qs->SetClock([this] { return network_->now(); });
@@ -167,6 +190,12 @@ Engine::~Engine() = default;
 server::QueryServer* Engine::server_for(const std::string& host) {
   auto it = query_servers_.find(host);
   return it == query_servers_.end() ? nullptr : it->second.get();
+}
+
+server::MemoryPersistBackend* Engine::persist_backend_for(
+    const std::string& host) {
+  auto it = persist_backends_.find(host);
+  return it == persist_backends_.end() ? nullptr : it->second.get();
 }
 
 void Engine::ObserveVisits(server::QueryServer::VisitObserver observer) {
@@ -273,6 +302,15 @@ server::QueryServerStats Engine::AggregateServerStats() const {
     total.breaker_short_circuits += s.breaker_short_circuits;
     total.breaker_probes += s.breaker_probes;
     total.breaker_recoveries += s.breaker_recoveries;
+    total.snapshots_written += s.snapshots_written;
+    total.wal_records_appended += s.wal_records_appended;
+    total.wal_append_errors += s.wal_append_errors;
+    total.recovered_from_snapshot += s.recovered_from_snapshot;
+    total.replayed_wal_records += s.replayed_wal_records;
+    total.cold_starts += s.cold_starts;
+    total.wal_records_discarded += s.wal_records_discarded;
+    total.snapshot_load_rejected += s.snapshot_load_rejected;
+    total.recovered_clones += s.recovered_clones;
   }
   return total;
 }

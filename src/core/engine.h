@@ -37,6 +37,12 @@ struct EngineOptions {
   /// Centrally process clones that could not be delivered to
   /// non-participating sites, via the data-shipping fallback.
   bool fallback_processing = true;
+  /// Storage fault injection for the durability layer (PROTOCOL.md §8).
+  /// When a host's effective server options have `persist.enabled`, the
+  /// engine gives that server its own deterministic MemoryPersistBackend,
+  /// seeded per-host from `persist_faults.seed`, applying these torn-write /
+  /// short-read rules at crash and load time.
+  server::PersistFaultRules persist_faults;
   /// Timeout used when client.use_cht is false (the strawman completion
   /// rule of Section 2.7).
   SimDuration completion_timeout = 10 * kSecond;
@@ -131,6 +137,10 @@ class Engine {
   client::UserSite& user_site() { return *user_site_; }
   /// nullptr if the host does not participate.
   server::QueryServer* server_for(const std::string& host);
+  /// The host's storage backend; nullptr unless its effective server
+  /// options enabled persistence. Tests use this to inspect snapshots and
+  /// WAL bytes directly.
+  server::MemoryPersistBackend* persist_backend_for(const std::string& host);
   const std::vector<std::string>& participating_hosts() const {
     return participating_hosts_;
   }
@@ -158,6 +168,8 @@ class Engine {
   std::unique_ptr<net::SimNetwork> network_;
   std::vector<std::unique_ptr<server::HttpServer>> http_servers_;
   std::map<std::string, std::unique_ptr<server::QueryServer>> query_servers_;
+  std::map<std::string, std::unique_ptr<server::MemoryPersistBackend>>
+      persist_backends_;
   std::vector<std::string> participating_hosts_;
   std::unique_ptr<client::UserSite> user_site_;
 };

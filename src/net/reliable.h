@@ -213,6 +213,27 @@ class ReliableReceiver {
   /// are processed anew and the protocol layers above absorb them).
   void Reset() { seen_.clear(); }
 
+  /// --- Durability hooks (server/persist) ---
+  /// The receipt history is exactly the state that makes "never process an
+  /// acked transfer twice" survive a restart: a server that persists it can
+  /// re-ack post-crash retransmissions instead of reprocessing them.
+
+  /// Visits every (sender, transfer_seq) receipt in deterministic order.
+  void ForEachSeen(
+      const std::function<void(const Endpoint& from, uint64_t seq)>& fn)
+      const {
+    for (const auto& [from, seqs] : seen_) {
+      for (uint64_t seq : seqs) fn(from, seq);
+    }
+  }
+
+  /// Re-records one receipt during recovery (no ack, no counters: the ack
+  /// already happened in the pre-crash life; a retransmission arriving
+  /// later is re-acked through the normal TestSeen path).
+  void RestoreSeen(const Endpoint& from, uint64_t seq) {
+    seen_[from].insert(seq);
+  }
+
   bool enabled() const { return enabled_; }
   uint64_t suppressed_count() const { return suppressed_; }
 

@@ -1,10 +1,32 @@
 #include "serialize/framing.h"
 
+#include <array>
 #include <cstring>
 
 #include "serialize/encoder.h"
 
 namespace webdis::serialize {
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  // Table-driven CRC-32; the table is computed once from the reflected
+  // polynomial so the constant block stays small and auditable.
+  static const auto kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 std::vector<uint8_t> EncodeFrame(uint8_t type,
                                  const std::vector<uint8_t>& payload) {

@@ -30,6 +30,16 @@ constexpr uint32_t kMaxFrameLength = 64u * 1024u * 1024u;
 std::vector<uint8_t> EncodeFrame(uint8_t type,
                                  const std::vector<uint8_t>& payload);
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte span.
+/// Used by the durability layer (server/persist) to validate snapshot bodies
+/// and WAL records: storage, unlike the simulated wire, can hand back torn
+/// or bit-rotted bytes, and a checksum mismatch must read as "corrupt",
+/// never as a parseable record.
+uint32_t Crc32(const uint8_t* data, size_t len);
+inline uint32_t Crc32(const std::vector<uint8_t>& data) {
+  return Crc32(data.data(), data.size());
+}
+
 /// Parsed view of a decoded frame.
 struct Frame {
   uint8_t type = 0;

@@ -1,5 +1,7 @@
 #include "server/log_table.h"
 
+#include "serialize/encoder.h"
+
 namespace webdis::server {
 
 pre::LogDecision LogTable::Check(const std::string& node_url,
@@ -46,6 +48,43 @@ size_t LogTable::size() const {
   size_t total = 0;
   for (const auto& [key, pres] : entries_) total += pres.size();
   return total;
+}
+
+void LogTable::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutVarint(entries_.size());
+  for (const auto& [key, pres] : entries_) {
+    enc->PutString(key.node_url);
+    enc->PutString(key.query_key);
+    enc->PutU32(key.num_q);
+    enc->PutVarint(pres.size());
+    for (const LoggedPre& logged : pres) {
+      logged.pre.EncodeTo(enc);
+    }
+  }
+}
+
+Status LogTable::DecodeFrom(serialize::Decoder* dec, LogTable* out) {
+  out->entries_.clear();
+  uint64_t group_count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&group_count));
+  for (uint64_t g = 0; g < group_count; ++g) {
+    Key key;
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&key.node_url));
+    WEBDIS_RETURN_IF_ERROR(dec->GetString(&key.query_key));
+    WEBDIS_RETURN_IF_ERROR(dec->GetU32(&key.num_q));
+    uint64_t pre_count = 0;
+    WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&pre_count));
+    std::vector<LoggedPre> logged;
+    logged.reserve(pre_count);
+    for (uint64_t i = 0; i < pre_count; ++i) {
+      auto pre = pre::Pre::DecodeFrom(dec);
+      if (!pre.ok()) return pre.status();
+      pre::LogPreForm form = pre::MakeLogPreForm(*pre);
+      logged.push_back(LoggedPre{std::move(pre).value(), std::move(form)});
+    }
+    out->entries_[key] = std::move(logged);
+  }
+  return Status::OK();
 }
 
 }  // namespace webdis::server

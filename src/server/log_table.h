@@ -45,6 +45,14 @@ class LogTable {
   size_t size() const;
   const Stats& stats() const { return stats_; }
 
+  /// Snapshot codec (server/persist): entries only, not the arrival
+  /// counters — stats are measurement, not recoverable protocol state.
+  /// Each entry serializes its PRE; the canonical LogPreForm is recomputed
+  /// on load (it is a derived cache, and re-deriving it is cheaper than
+  /// freezing its internal representation into the on-disk format).
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, LogTable* out);
+
  private:
   struct Key {
     std::string node_url;

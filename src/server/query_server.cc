@@ -82,6 +82,16 @@ void QueryServer::Crash() {
     transport_->CancelTimer(drain_timer_);
     drain_timer_ = 0;
   }
+  // Storage survives the crash — that is its job — but the backend models
+  // power loss: unsynced WAL bytes vanish and seeded torn-write rules may
+  // fire (MemoryPersistBackend; see PROTOCOL.md §8).
+  if (persist_ != nullptr) persist_->OnCrash();
+}
+
+Status QueryServer::Restart() {
+  WEBDIS_RETURN_IF_ERROR(Start());
+  Recover();
+  return Status::OK();
 }
 
 Status QueryServer::Start() {
@@ -114,11 +124,25 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
       // Delivery dedup MUST precede all protocol processing: a redelivered
       // clone that reached the log table would emit a second duplicate-drop
       // report and unbalance the robust CHT's add/delete counts.
+      const net::Endpoint self{host_, kQueryServerPort};
       std::vector<uint8_t> inner;
       const std::vector<uint8_t>* body = &payload;
+      uint64_t seq = 0;
+      bool deferred = false;  // ack withheld until the WAL append (§8)
       if (receiver_.enabled()) {
-        if (!receiver_.Accept(net::Endpoint{host_, kQueryServerPort}, from,
-                              payload, &inner)) {
+        if (WalEnabled()) {
+          // Ack-after-append: Accept() would ack immediately, before the
+          // clone is durable — a crash in the gap would lose an acked
+          // clone. Peek the envelope instead and commit (ack) only after
+          // the kCloneAdmitted record is on storage.
+          if (!net::ReliableReceiver::PeekSeq(payload, &seq)) return;
+          if (receiver_.TestSeen(from, seq)) {
+            receiver_.SendAck(self, from, seq);  // the original ack was lost
+            return;
+          }
+          if (!net::ReliableReceiver::StripEnvelope(payload, &inner)) return;
+          deferred = true;
+        } else if (!receiver_.Accept(self, from, payload, &inner)) {
           return;  // replay of an already-processed transfer
         }
         body = &inner;
@@ -129,9 +153,24 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
       if (!status.ok()) {
         ++stats_.decode_errors;
         WEBDIS_LOG(kWarning) << host_ << ": bad clone: " << status.ToString();
+        if (deferred) {
+          // A malformed clone decodes no better on retransmission: commit
+          // (ack) so the sender stops — but log the dedup commit first, or
+          // a post-restart retransmission would be reprocessed.
+          serialize::Encoder rec;
+          WalTransferSeen{from, seq}.EncodeTo(&rec);
+          AppendWalRecord(WalRecordType::kTransferSeen, rec);
+          (void)receiver_.AcceptSeq(self, from, seq);
+        }
         return;
       }
-      ProcessClone(std::move(clone));
+      const uint64_t wal_id =
+          PersistAdmit(from, deferred, seq, clone);
+      if (deferred && !receiver_.AcceptSeq(self, from, seq)) {
+        FinishWalClone(wal_id);
+        return;  // raced with another copy of the same transfer
+      }
+      ProcessCloneDurable(std::move(clone), wal_id);
       return;
     }
     case net::MessageType::kDeliveryAck: {
@@ -166,6 +205,13 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
         return entry.second.query_key == id.Key();
       });
       ++stats_.active_terminations;
+      if (WalEnabled()) {
+        // A restarted server must not resurrect a terminated query from
+        // recovered clones.
+        serialize::Encoder rec;
+        WalQueryTerminated{id.Key()}.EncodeTo(&rec);
+        AppendWalRecord(WalRecordType::kQueryTerminated, rec);
+      }
       return;
     }
     default:
@@ -219,8 +265,16 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
     ++stats_.decode_errors;
     WEBDIS_LOG(kWarning) << host_ << ": bad clone: " << status.ToString();
     // A malformed clone decodes no better on retransmission: commit (ack)
-    // the transfer so the sender stops.
-    if (entry.tracked) (void)receiver_.AcceptSeq(self, from, entry.seq);
+    // the transfer so the sender stops. Log the dedup commit first (§8) so
+    // a post-restart retransmission is re-acked, not reprocessed.
+    if (entry.tracked) {
+      if (WalEnabled()) {
+        serialize::Encoder rec;
+        WalTransferSeen{from, entry.seq}.EncodeTo(&rec);
+        AppendWalRecord(WalRecordType::kTransferSeen, rec);
+      }
+      (void)receiver_.AcceptSeq(self, from, entry.seq);
+    }
     return;
   }
 
@@ -262,6 +316,19 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
       return;
     }
   }
+  entry.wal_id =
+      PersistAdmit(entry.from, entry.tracked, entry.seq, entry.clone);
+  if (entry.tracked && WalEnabled()) {
+    // Durable queue: ack at admission, after the append above (§8). The
+    // shed-after-ack hazard the deferred-acceptance API exists for is gone —
+    // eviction shed is terminal-with-reports, and queue loss on crash is
+    // recovered from the WAL instead of from the sender's retries.
+    if (!receiver_.AcceptSeq(self, entry.from, entry.seq)) {
+      FinishWalClone(entry.wal_id);
+      return;  // raced with another copy of the same transfer
+    }
+    entry.acked = true;
+  }
   pending_clones_.push_back(std::move(entry));
   stats_.queue_peak =
       std::max<uint64_t>(stats_.queue_peak, pending_clones_.size());
@@ -288,26 +355,36 @@ void QueryServer::DrainOne() {
   if (pending_clones_.empty()) return;
   QueuedClone next = std::move(pending_clones_.front());
   pending_clones_.pop_front();
-  if (next.tracked &&
+  if (next.tracked && !next.acked &&
       !receiver_.AcceptSeq(net::Endpoint{host_, kQueryServerPort}, next.from,
                            next.seq)) {
+    FinishWalClone(next.wal_id);
     return;  // a retransmitted copy of this transfer was queued twice
   }
-  ProcessClone(std::move(next.clone));
+  ProcessCloneDurable(std::move(next.clone), next.wal_id);
 }
 
 void QueryServer::ShedClone(QueuedClone shed) {
+  // Every path below is terminal for the clone, so its kCloneCompleted
+  // record (when persisted) is due regardless of which branch runs.
+  const uint64_t wal_id = shed.wal_id;
   const net::Endpoint self{host_, kQueryServerPort};
-  if (shed.tracked && !receiver_.AcceptSeq(self, shed.from, shed.seq)) {
+  if (shed.tracked && !shed.acked &&
+      !receiver_.AcceptSeq(self, shed.from, shed.seq)) {
+    FinishWalClone(wal_id);
     return;  // replay of a committed transfer: already handled once
   }
-  if (terminated_queries_.contains(shed.clone.id.Key())) return;
+  if (terminated_queries_.contains(shed.clone.id.Key())) {
+    FinishWalClone(wal_id);
+    return;
+  }
   if (shed.clone.ack_mode) {
     // Ack-tree baseline: a shed clone is a leaf — ack the parent so the
     // tree still completes.
     SendAck(net::Endpoint{shed.clone.ack_parent_host,
                           shed.clone.ack_parent_port},
             shed.clone.ack_token);
+    FinishWalClone(wal_id);
     return;
   }
   std::vector<query::NodeReport> reports;
@@ -316,6 +393,7 @@ void QueryServer::ShedClone(QueuedClone shed) {
     reports.push_back(MakeBudgetReport(url, shed.clone.State()));
   }
   (void)DispatchReports(shed.clone, std::move(reports));
+  FinishWalClone(wal_id);
 }
 
 const relational::Database& QueryServer::NodeDatabase(
@@ -809,6 +887,239 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
       pending_acks_[ack_token] =
           PendingAck{parent, clone.ack_token, ack_children, clone.id.Key()};
     }
+  }
+}
+
+// -- Durability (PROTOCOL.md §8) ---------------------------------------------
+
+void QueryServer::AppendWalRecord(WalRecordType type,
+                                  const serialize::Encoder& payload) {
+  if (!WalEnabled()) return;
+  Status status = persist_->AppendWal(EncodeWalRecord(type, payload.data()));
+  if (status.ok() &&
+      options_.persist.fsync == WalFsyncPolicy::kEveryAppend) {
+    status = persist_->SyncWal();
+  }
+  if (!status.ok()) {
+    ++stats_.wal_append_errors;
+    WEBDIS_LOG(kWarning) << host_ << ": WAL append failed: "
+                         << status.ToString();
+    return;
+  }
+  ++stats_.wal_records_appended;
+}
+
+uint64_t QueryServer::PersistAdmit(const net::Endpoint& from, bool tracked,
+                                   uint64_t seq,
+                                   const query::WebQuery& clone) {
+  if (!PersistEnabled()) return 0;
+  const uint64_t id = next_wal_id_++;
+  if (WalEnabled()) {
+    serialize::Encoder payload;
+    WalCloneAdmitted::EncodeFields(id, from, tracked, seq, clone, &payload);
+    AppendWalRecord(WalRecordType::kCloneAdmitted, payload);
+  }
+  return id;
+}
+
+void QueryServer::FinishWalClone(uint64_t wal_id) {
+  if (wal_id == 0) return;
+  if (WalEnabled()) {
+    serialize::Encoder payload;
+    WalCloneCompleted{wal_id}.EncodeTo(&payload);
+    AppendWalRecord(WalRecordType::kCloneCompleted, payload);
+  }
+  ++clones_since_snapshot_;
+  MaybeSnapshot();
+}
+
+void QueryServer::ProcessCloneDurable(query::WebQuery clone,
+                                      uint64_t wal_id) {
+  ProcessClone(std::move(clone));
+  // Every exit from ProcessClone is terminal for this clone (evaluated,
+  // expired, invalid, or dropped as terminated), so the completion record
+  // is due unconditionally.
+  FinishWalClone(wal_id);
+}
+
+void QueryServer::MaybeSnapshot() {
+  if (!PersistEnabled()) return;
+  const PersistOptions& persist = options_.persist;
+  const bool by_cadence =
+      persist.snapshot_every_clones != 0 &&
+      clones_since_snapshot_ >= persist.snapshot_every_clones;
+  const bool by_size = persist.wal_enabled &&
+                       persist.wal_compact_bytes != 0 &&
+                       persist_->WalBytes() >= persist.wal_compact_bytes;
+  if (by_cadence || by_size) WriteSnapshotNow();
+}
+
+void QueryServer::WriteSnapshotNow() {
+  DurableServerState state;
+  state.last_wal_id = next_wal_id_ - 1;
+  state.log_table = log_table_;
+  state.terminated_queries.assign(terminated_queries_.begin(),
+                                  terminated_queries_.end());
+  receiver_.ForEachSeen([&state](const net::Endpoint& from, uint64_t seq) {
+    state.seen_transfers.emplace_back(from, seq);
+  });
+  for (const QueuedClone& queued : pending_clones_) {
+    DurablePendingClone pending;
+    pending.record_id = queued.wal_id;
+    pending.from = queued.from;
+    pending.tracked = queued.tracked;
+    pending.seq = queued.seq;
+    pending.clone = queued.clone.Clone();
+    state.pending_clones.push_back(std::move(pending));
+  }
+  const Status status = persist_->WriteSnapshot(EncodeSnapshot(state));
+  if (!status.ok()) {
+    ++stats_.wal_append_errors;
+    WEBDIS_LOG(kWarning) << host_ << ": snapshot write failed: "
+                         << status.ToString();
+    return;  // keep the WAL — it still covers everything since the last one
+  }
+  // A crash between the write above and this truncation is benign: replay
+  // skips records at or below the snapshot's last_wal_id.
+  (void)persist_->TruncateWal();
+  ++stats_.snapshots_written;
+  clones_since_snapshot_ = 0;
+}
+
+void QueryServer::Recover() {
+  if (!PersistEnabled()) {
+    ++stats_.cold_starts;
+    return;
+  }
+  DurableServerState state;
+  bool have_snapshot = false;
+  auto snapshot_bytes = persist_->ReadSnapshot();
+  if (snapshot_bytes.ok()) {
+    const Status status = DecodeSnapshot(*snapshot_bytes, &state);
+    if (status.ok()) {
+      have_snapshot = true;
+    } else {
+      // Explicit rejection (unknown version, failed checksum, torn write):
+      // fall back to cold start + WAL replay, never a silent misread.
+      ++stats_.snapshot_load_rejected;
+      WEBDIS_LOG(kWarning) << host_ << ": snapshot rejected: "
+                           << status.ToString();
+      state = DurableServerState();
+    }
+  }
+  if (have_snapshot) {
+    ++stats_.recovered_from_snapshot;
+    log_table_ = std::move(state.log_table);
+    for (std::string& key : state.terminated_queries) {
+      terminated_queries_.insert(std::move(key));
+    }
+    for (const auto& [from, seq] : state.seen_transfers) {
+      receiver_.RestoreSeen(from, seq);
+    }
+  }
+
+  // Admitted-but-unprocessed clones: snapshot pendings, then the WAL
+  // replayed idempotently on top. Records the snapshot already folded in
+  // are skipped by id; completions erase their admitted record whether it
+  // came from the WAL or the snapshot.
+  std::map<uint64_t, DurablePendingClone> pending;
+  for (DurablePendingClone& p : state.pending_clones) {
+    const uint64_t id = p.record_id;
+    pending.emplace(id, std::move(p));
+  }
+  uint64_t max_wal_id = state.last_wal_id;
+  const uint64_t replayed_before = stats_.replayed_wal_records;
+  if (WalEnabled()) {
+    auto wal_bytes = persist_->ReadWal();
+    if (wal_bytes.ok()) {
+      WalReadResult wal = DecodeWal(*wal_bytes);
+      stats_.wal_records_discarded += wal.discarded_records;
+      for (const WalRecord& record : wal.records) {
+        serialize::Decoder dec(record.payload);
+        switch (record.type) {
+          case WalRecordType::kCloneAdmitted: {
+            WalCloneAdmitted admitted;
+            if (!WalCloneAdmitted::DecodeFrom(&dec, &admitted).ok()) break;
+            max_wal_id = std::max(max_wal_id, admitted.record_id);
+            if (admitted.tracked) {
+              // The pre-crash life acked this transfer right after the
+              // append; restoring the receipt keeps post-restart
+              // retransmissions re-acked instead of reprocessed.
+              receiver_.RestoreSeen(admitted.from, admitted.seq);
+            }
+            if (admitted.record_id > state.last_wal_id) {
+              DurablePendingClone p;
+              p.record_id = admitted.record_id;
+              p.from = admitted.from;
+              p.tracked = admitted.tracked;
+              p.seq = admitted.seq;
+              p.clone = std::move(admitted.clone);
+              pending.emplace(p.record_id, std::move(p));
+            }
+            ++stats_.replayed_wal_records;
+            break;
+          }
+          case WalRecordType::kCloneCompleted: {
+            WalCloneCompleted completed;
+            if (!WalCloneCompleted::DecodeFrom(&dec, &completed).ok()) break;
+            max_wal_id = std::max(max_wal_id, completed.record_id);
+            pending.erase(completed.record_id);
+            ++stats_.replayed_wal_records;
+            break;
+          }
+          case WalRecordType::kTransferSeen: {
+            WalTransferSeen seen;
+            if (!WalTransferSeen::DecodeFrom(&dec, &seen).ok()) break;
+            receiver_.RestoreSeen(seen.from, seen.seq);
+            ++stats_.replayed_wal_records;
+            break;
+          }
+          case WalRecordType::kQueryTerminated: {
+            WalQueryTerminated terminated;
+            if (!WalQueryTerminated::DecodeFrom(&dec, &terminated).ok()) {
+              break;
+            }
+            terminated_queries_.insert(terminated.query_key);
+            log_table_.PurgeQuery(terminated.query_key);
+            ++stats_.replayed_wal_records;
+            break;
+          }
+        }
+      }
+    }
+  }
+  next_wal_id_ = max_wal_id + 1;
+  // The three restart paths are mutually exclusive in stats: snapshot
+  // recovery and WAL replay each announce themselves above; a restart that
+  // found neither (empty storage, or everything rejected as corrupt) is a
+  // cold start.
+  if (!have_snapshot && stats_.replayed_wal_records == replayed_before) {
+    ++stats_.cold_starts;
+  }
+
+  // Re-enqueue survivors in admission order (the map is id-sorted).
+  // Tracked clones were acked in the pre-crash life under the WAL's
+  // ack-after-append rule; in snapshot-only mode the ack was still deferred
+  // at crash time, so the drain path must commit the seq as usual.
+  for (auto& [id, p] : pending) {
+    ++stats_.recovered_clones;
+    QueuedClone entry;
+    entry.from = p.from;
+    entry.tracked = p.tracked;
+    entry.seq = p.seq;
+    entry.clone = std::move(p.clone);
+    entry.wal_id = id;
+    entry.acked = p.tracked && WalEnabled();
+    if (options_.admission.max_pending != 0) {
+      pending_clones_.push_back(std::move(entry));
+    } else {
+      ProcessCloneDurable(std::move(entry.clone), entry.wal_id);
+    }
+  }
+  if (!pending_clones_.empty()) {
+    stats_.queue_peak =
+        std::max<uint64_t>(stats_.queue_peak, pending_clones_.size());
+    ScheduleDrain();
   }
 }
 

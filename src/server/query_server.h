@@ -18,6 +18,7 @@
 #include "relational/table.h"
 #include "server/http_server.h"
 #include "server/log_table.h"
+#include "server/persist.h"
 #include "web/graph.h"
 
 namespace webdis::server {
@@ -84,6 +85,9 @@ struct QueryServerOptions {
   /// path. Both off by default.
   AdmissionOptions admission;
   net::BreakerOptions breaker;
+  /// Durable server state (PROTOCOL.md §8): snapshots + write-ahead log.
+  /// Off by default; also requires a storage backend via SetPersistence.
+  PersistOptions persist;
 };
 
 /// Counters exposed for tests and benchmarks.
@@ -131,6 +135,19 @@ struct QueryServerStats {
   uint64_t breaker_short_circuits = 0;  // forwards vetoed while open
   uint64_t breaker_probes = 0;          // half-open probe sends admitted
   uint64_t breaker_recoveries = 0;      // half-open -> closed
+  // Durability (PROTOCOL.md §8). Like every other counter these survive
+  // Crash()/Restart(): they are measurement, not recoverable state — and
+  // the recovery triple below is precisely what distinguishes the three
+  // Restart() outcomes (snapshot load / WAL replay / nothing durable).
+  uint64_t snapshots_written = 0;
+  uint64_t wal_records_appended = 0;
+  uint64_t wal_append_errors = 0;       // storage refused an append/sync
+  uint64_t recovered_from_snapshot = 0;  // Restart() loaded a valid snapshot
+  uint64_t replayed_wal_records = 0;     // WAL records applied at recovery
+  uint64_t cold_starts = 0;  // Restart() found no usable durable state
+  uint64_t wal_records_discarded = 0;   // torn/corrupt WAL tail dropped
+  uint64_t snapshot_load_rejected = 0;  // bad magic/version/checksum
+  uint64_t recovered_clones = 0;  // pending clones re-enqueued at recovery
 };
 
 /// One per-node visit, emitted to the observer hook (used by the figure
@@ -179,17 +196,30 @@ class QueryServer {
   /// them must provide one.
   void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
 
+  /// Installs the durability backend (PROTOCOL.md §8). `backend` must
+  /// outlive the server; it is inert unless options.persist.enabled. Like
+  /// the server's other state the backend is only touched from this
+  /// server's own handlers, so per-server backends need no locking.
+  void SetPersistence(PersistBackend* backend) { persist_ = backend; }
+
   /// Simulates a site crash: stops listening on the query port and loses
   /// all volatile protocol state — log table, delivery-dedup history,
   /// pending retransmissions, terminated-query set, ack bookkeeping and the
   /// database cache. Counters survive (they are measurement, not state).
-  /// The site's HTTP document server is untouched: a crashed query daemon
-  /// does not take the website down.
+  /// With persistence enabled the backend is notified (unsynced WAL bytes
+  /// vanish; seeded torn-write rules may fire). The site's HTTP document
+  /// server is untouched: a crashed query daemon does not take the website
+  /// down.
   void Crash();
-  /// Brings a crashed server back with empty tables (log-table loss means
-  /// re-arriving clones are reprocessed; the protocol layers above absorb
-  /// the resulting duplicates).
-  Status Restart() { return Start(); }
+  /// Brings a crashed server back. Without persistence: empty tables
+  /// (log-table loss means re-arriving clones are reprocessed; the protocol
+  /// layers above absorb the duplicates). With persistence: loads the
+  /// latest valid snapshot, replays the WAL idempotently on top, restores
+  /// the delivery-dedup history, and re-enqueues every admitted clone whose
+  /// completion record is missing (at-least-once). The recovery outcome is
+  /// counted in stats (recovered_from_snapshot / replayed_wal_records /
+  /// cold_starts) — a restart is never silent.
+  Status Restart();
 
   const std::string& host() const { return host_; }
   const QueryServerStats& stats() const;
@@ -227,6 +257,13 @@ class QueryServer {
     bool tracked = false;
     uint64_t seq = 0;
     query::WebQuery clone;
+    /// Durability (PROTOCOL.md §8): id of the kCloneAdmitted WAL record
+    /// covering this clone (0 = not persisted). With the clone durable the
+    /// ack is safe to send at admission — `acked` records that, so dequeue
+    /// and shed must not re-commit the transfer seq (AcceptSeq on a
+    /// committed seq reads as a replay and would drop the clone).
+    uint64_t wal_id = 0;
+    bool acked = false;
   };
 
   void OnMessage(const net::Endpoint& from, net::MessageType type,
@@ -240,6 +277,32 @@ class QueryServer {
   /// reports every destination node budget-exceeded so the CHT settles.
   void ShedClone(QueuedClone shed);
   SimTime Now() const { return clock_ ? clock_() : 0; }
+
+  // -- Durability (PROTOCOL.md §8) ----------------------------------------
+  bool PersistEnabled() const {
+    return persist_ != nullptr && options_.persist.enabled;
+  }
+  bool WalEnabled() const {
+    return PersistEnabled() && options_.persist.wal_enabled;
+  }
+  /// Appends one framed record and applies the fsync policy.
+  void AppendWalRecord(WalRecordType type, const serialize::Encoder& payload);
+  /// Assigns a record id to an admitted clone and (when the WAL is on)
+  /// logs it durably — the append that must precede the delivery ack.
+  /// Returns the record id, 0 when persistence is off.
+  uint64_t PersistAdmit(const net::Endpoint& from, bool tracked, uint64_t seq,
+                        const query::WebQuery& clone);
+  /// Marks an admitted clone terminally processed (kCloneCompleted) and
+  /// counts it toward the snapshot cadence. No-op for wal_id == 0.
+  void FinishWalClone(uint64_t wal_id);
+  void MaybeSnapshot();
+  void WriteSnapshotNow();
+  /// Restores durable state after Restart(): snapshot load, WAL replay,
+  /// re-enqueue of unfinished clones. Counts the recovery outcome.
+  void Recover();
+
+  /// ProcessClone plus the terminal kCloneCompleted record.
+  void ProcessCloneDurable(query::WebQuery clone, uint64_t wal_id);
 
   void ProcessClone(query::WebQuery clone);
   void ProcessNode(const query::WebQuery& clone, const std::string& url,
@@ -309,6 +372,13 @@ class QueryServer {
   relational::Database scratch_db_;  // non-cached working database
   VisitObserver visit_observer_;
   bool started_ = false;
+  /// Durability (PROTOCOL.md §8): storage backend (not owned), the next
+  /// WAL record id (monotonic across restarts — recovered from the maximum
+  /// of the snapshot's last_wal_id and the replayed records), and the
+  /// terminally-processed-clone count since the last snapshot.
+  PersistBackend* persist_ = nullptr;
+  uint64_t next_wal_id_ = 1;
+  uint64_t clones_since_snapshot_ = 0;
 };
 
 }  // namespace webdis::server

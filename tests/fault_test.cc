@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "core/engine.h"
 #include "disql/compiler.h"
+#include "html/url.h"
 #include "net/fault.h"
 #include "net/tcp.h"
 #include "server/query_server.h"
@@ -168,6 +169,411 @@ TEST(FaultScheduleTest, RandomizedSchedulesPreserveProtocolInvariants) {
   EXPECT_GT(total_dropped, 0u);
   EXPECT_GT(exact_runs, 0);
   EXPECT_GT(degraded_runs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point recovery oracle (PROTOCOL.md §8.4). Each seed fixes ONE crash
+// schedule — mild message faults plus a crash whose downtime outlasts the
+// whole retransmission window — and runs it twice: once volatile, once with
+// snapshots + WAL (including seeded torn-write/short-read storage faults).
+// Invariants per schedule: both runs terminate with deduplicated rows, and
+// the durable run's degraded-node set is a subset of the volatile run's.
+// Aggregate: persistence strictly reduces degraded verdicts across the sweep.
+// ---------------------------------------------------------------------------
+
+struct CrashSchedule {
+  double clone_drop = 0;
+  double report_drop = 0;
+  double ack_drop = 0;
+  double clone_dup = 0;
+  double report_dup = 0;
+  SimDuration report_delay = 0;
+  std::string victim;
+  SimDuration down = 0;
+  SimDuration up = 0;
+};
+
+struct CrashRunResult {
+  bool completed = false;
+  bool degraded = false;
+  std::set<std::string> rows;
+  size_t total_rows = 0;
+  /// Hosts/nodes named as lost by the verdict: unreachable hosts from the
+  /// deadline sweep plus budget-exceeded node URLs from admission shedding.
+  std::set<std::string> degraded_nodes;
+  server::QueryServerStats stats;
+  uint64_t dropped = 0;
+};
+
+/// Engine options for crash-point runs. Admission control is on so accepted
+/// clones sit in the pending queue with their acks deferred (volatile) or
+/// committed at admission after the WAL append (durable) — the exact state
+/// the §8 ack-after-append rule protects. The crash downtimes used below
+/// (>= 800 ms) strictly exceed the retry window (100+200+400 ms), so any
+/// transfer in flight to a crashed volatile server is unrecoverable by
+/// retries alone.
+core::EngineOptions CrashPointOptions(bool durable, uint64_t seed,
+                                      bool storage_faults,
+                                      uint64_t snapshot_every) {
+  core::EngineOptions options = RecoveryOptions();
+  options.server.admission.max_pending = 16;
+  options.server.admission.service_time = 25 * kMillisecond;
+  if (durable) {
+    options.server.persist.enabled = true;
+    options.server.persist.wal_enabled = true;
+    // The university servers process only a handful of clones each, so the
+    // snapshot cadence must be small for snapshots to happen at all.
+    options.server.persist.snapshot_every_clones = snapshot_every;
+    options.server.persist.wal_compact_bytes = 1024;
+    if (storage_faults) {
+      options.persist_faults.seed = seed;
+      options.persist_faults.torn_wal_tail_prob = 0.25;
+      options.persist_faults.torn_snapshot_prob = 0.25;
+      options.persist_faults.short_read_prob = 0.25;
+    }
+  }
+  return options;
+}
+
+CrashRunResult RunCrashSchedule(const web::UniversityWeb& uni,
+                                const disql::CompiledQuery& compiled,
+                                const CrashSchedule& sched, bool durable,
+                                uint64_t seed, bool storage_faults,
+                                uint64_t snapshot_every) {
+  CrashRunResult result;
+  core::Engine engine(
+      &uni.web, CrashPointOptions(durable, seed, storage_faults,
+                                  snapshot_every));
+  net::FaultPlan plan(seed);
+  const auto add_rule = [&plan](net::MessageType type, double drop,
+                                double dup) {
+    net::FaultPlan::Rule rule;
+    rule.type = type;
+    rule.drop_prob = drop;
+    rule.duplicate_prob = dup;
+    plan.AddRule(rule);
+  };
+  add_rule(net::MessageType::kWebQuery, sched.clone_drop, sched.clone_dup);
+  add_rule(net::MessageType::kReport, sched.report_drop, sched.report_dup);
+  add_rule(net::MessageType::kDeliveryAck, sched.ack_drop, 0.0);
+  if (sched.report_delay > 0) {
+    net::FaultPlan::Rule delay_rule;
+    delay_rule.type = net::MessageType::kReport;
+    delay_rule.delay_prob = 0.25;
+    delay_rule.delay = sched.report_delay;
+    plan.AddRule(delay_rule);
+  }
+  engine.network().SetFaultPlan(&plan);
+
+  server::QueryServer* qs = engine.server_for(sched.victim);
+  EXPECT_NE(qs, nullptr);
+  if (qs == nullptr) return result;
+  engine.network().ScheduleAfter(sched.down, [qs] { qs->Crash(); });
+  engine.network().ScheduleAfter(sched.up,
+                                 [qs] { EXPECT_TRUE(qs->Restart().ok()); });
+
+  auto outcome = engine.RunCompiled(compiled);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  if (!outcome.ok()) return result;
+  result.completed = outcome->completed;
+  result.rows = AllRowKeys(outcome->results);
+  result.total_rows = outcome->TotalRows();
+  result.degraded = outcome->partial || outcome->budget_exhausted ||
+                    outcome->fallback_node_count > 0;
+  for (const std::string& host : outcome->unreachable_hosts) {
+    result.degraded_nodes.insert(host);
+  }
+  for (const std::string& url : outcome->budget_exceeded_nodes) {
+    result.degraded_nodes.insert(url);
+  }
+  result.stats = engine.AggregateServerStats();
+  result.dropped = plan.stats().dropped;
+  return result;
+}
+
+TEST(CrashPointScheduleTest, DurableRecoveryNeverWidensDegradation) {
+  web::UniversityOptions uni_options;
+  uni_options.seed = 11;
+  uni_options.departments = 2;
+  uni_options.labs_per_department = 2;
+  const web::UniversityWeb uni = web::GenerateUniversityWeb(uni_options);
+  auto compiled = disql::CompileDisql(uni.convener_disql);
+  ASSERT_TRUE(compiled.ok());
+
+  // Fault-free reference answer.
+  std::set<std::string> reference;
+  {
+    core::Engine engine(&uni.web);
+    auto outcome = engine.RunCompiled(compiled.value());
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->completed);
+    reference = AllRowKeys(outcome->results);
+    ASSERT_FALSE(reference.empty());
+  }
+
+  // Crash victims are downstream servers: crashing the root host tests the
+  // origin of the clone tree, which is a liveness question for the client
+  // retry layer, not for server durability.
+  const std::string root = [&uni] {
+    auto parsed = html::ParseUrl(uni.root_url);
+    EXPECT_TRUE(parsed.ok());
+    return parsed->host;
+  }();
+  std::vector<std::string> victims;
+  for (const std::string& host : uni.web.Hosts()) {
+    if (host != root) victims.push_back(host);
+  }
+  ASSERT_FALSE(victims.empty());
+
+  int volatile_degraded = 0;
+  int durable_degraded = 0;
+  int durable_exact = 0;
+  uint64_t total_dropped = 0;
+  server::QueryServerStats durable_sweep;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("crash schedule seed " + std::to_string(seed));
+    // The schedule is drawn once and applied VERBATIM to both runs; only
+    // the durability mode differs.
+    Rng rng(seed * 104729);
+    CrashSchedule sched;
+    sched.clone_drop = 0.05 * rng.NextDouble();
+    sched.report_drop = 0.05 * rng.NextDouble();
+    sched.ack_drop = 0.05 * rng.NextDouble();
+    sched.clone_dup = 0.05 * rng.NextDouble();
+    sched.report_dup = 0.05 * rng.NextDouble();
+    if (rng.Bernoulli(0.5)) {
+      sched.report_delay = rng.UniformRange(1, 8) * kMillisecond;
+    }
+    sched.victim = rng.Pick(victims);
+    // Aim the crash at the victim's admission window (clones reach the
+    // department level at ~70 ms of virtual time and the lab level at
+    // ~140 ms; the admission queue holds each clone for service_time
+    // = 25 ms), so most schedules destroy genuinely queued state. The
+    // jitter still lets some schedules miss the window — those become the
+    // exact runs that keep the sweep honest.
+    const bool lab_victim = sched.victim.rfind("lab", 0) == 0;
+    sched.down =
+        rng.UniformRange(lab_victim ? 130 : 60, lab_victim ? 170 : 100) *
+        kMillisecond;
+    sched.up = sched.down + rng.UniformRange(800, 1500) * kMillisecond;
+    const uint64_t snapshot_every = 1 + seed % 3;
+
+    const CrashRunResult vol =
+        RunCrashSchedule(uni, compiled.value(), sched, /*durable=*/false, seed,
+                         /*storage_faults=*/true, snapshot_every);
+    const CrashRunResult dur =
+        RunCrashSchedule(uni, compiled.value(), sched, /*durable=*/true, seed,
+                         /*storage_faults=*/true, snapshot_every);
+
+    // Invariant 1: every crash schedule terminates, in both modes.
+    EXPECT_TRUE(vol.completed);
+    EXPECT_TRUE(dur.completed);
+
+    // Invariant 2: never a duplicated answer row — recovery replays clones
+    // at-least-once, and the log table / CHT absorb the duplicates.
+    EXPECT_EQ(vol.rows.size(), vol.total_rows);
+    EXPECT_EQ(dur.rows.size(), dur.total_rows);
+
+    // Invariant 3: answers are exact unless explicitly degraded, and never
+    // invent rows.
+    for (const CrashRunResult* r : {&vol, &dur}) {
+      if (r->degraded) {
+        for (const std::string& key : r->rows) {
+          EXPECT_TRUE(reference.contains(key)) << key;
+        }
+      } else {
+        EXPECT_EQ(r->rows, reference);
+      }
+    }
+
+    // Invariant 4 (the §8.4 oracle): recovery never loses MORE than the
+    // volatile crash did. Every node the durable run names as degraded was
+    // also lost by the volatile run of the same schedule.
+    for (const std::string& node : dur.degraded_nodes) {
+      EXPECT_TRUE(vol.degraded_nodes.contains(node))
+          << "durable run degraded " << node
+          << " but the volatile run of the same schedule did not";
+    }
+
+    volatile_degraded += vol.degraded ? 1 : 0;
+    durable_degraded += dur.degraded ? 1 : 0;
+    durable_exact += (!dur.degraded && dur.rows == reference) ? 1 : 0;
+    total_dropped += vol.dropped + dur.dropped;
+    durable_sweep.snapshots_written += dur.stats.snapshots_written;
+    durable_sweep.wal_records_appended += dur.stats.wal_records_appended;
+    durable_sweep.replayed_wal_records += dur.stats.replayed_wal_records;
+    durable_sweep.recovered_from_snapshot += dur.stats.recovered_from_snapshot;
+    durable_sweep.recovered_clones += dur.stats.recovered_clones;
+    durable_sweep.wal_records_discarded += dur.stats.wal_records_discarded;
+  }
+
+  // The sweep exercised what it claims to: messages were really dropped,
+  // durable runs really wrote and replayed WAL records and snapshots, and
+  // storage faults really tore some of them.
+  EXPECT_GT(total_dropped, 0u);
+  EXPECT_GT(durable_sweep.snapshots_written, 0u);
+  EXPECT_GT(durable_sweep.wal_records_appended, 0u);
+  EXPECT_GT(durable_sweep.replayed_wal_records, 0u);
+  EXPECT_GT(durable_sweep.recovered_from_snapshot, 0u);
+  EXPECT_GT(durable_sweep.recovered_clones, 0u);
+
+  // The §8 headline: persistence strictly reduces degraded verdicts across
+  // the sweep, and some durable runs come back bit-exact.
+  EXPECT_LT(durable_degraded, volatile_degraded);
+  EXPECT_GT(durable_exact, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Targeted §8.4 invariant: an acked clone is never lost. The schedule is
+// self-tuned — scan victims and crash points until one makes the VOLATILE
+// run partial (proving queued state was really destroyed), then replay the
+// identical schedule durably and demand a bit-exact answer.
+// ---------------------------------------------------------------------------
+
+TEST(CrashPointScheduleTest, AckedCloneSurvivesCrashAndRestart) {
+  web::UniversityOptions uni_options;
+  uni_options.seed = 11;
+  uni_options.departments = 2;
+  uni_options.labs_per_department = 2;
+  const web::UniversityWeb uni = web::GenerateUniversityWeb(uni_options);
+  auto compiled = disql::CompileDisql(uni.convener_disql);
+  ASSERT_TRUE(compiled.ok());
+
+  std::set<std::string> reference;
+  {
+    core::Engine engine(&uni.web);
+    auto outcome = engine.RunCompiled(compiled.value());
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome->completed);
+    reference = AllRowKeys(outcome->results);
+  }
+
+  const std::string root = [&uni] {
+    auto parsed = html::ParseUrl(uni.root_url);
+    EXPECT_TRUE(parsed.ok());
+    return parsed->host;
+  }();
+
+  // No message faults at all: the crash is the only injected failure, so a
+  // partial volatile verdict can only mean clones died in the victim's
+  // admission queue (or unacked in flight to it).
+  bool found = false;
+  for (const std::string& victim : uni.web.Hosts()) {
+    if (victim == root) continue;
+    for (const int down_ms : {66, 72, 78, 84, 90, 140, 146, 152, 158}) {
+      CrashSchedule sched;
+      sched.victim = victim;
+      sched.down = down_ms * kMillisecond;
+      sched.up = sched.down + 1200 * kMillisecond;
+      const uint64_t seed = 1;
+
+      const CrashRunResult vol = RunCrashSchedule(
+          uni, compiled.value(), sched, /*durable=*/false, seed,
+          /*storage_faults=*/false, /*snapshot_every=*/1);
+      ASSERT_TRUE(vol.completed);
+      if (!vol.degraded) continue;  // crash point missed the queue: try later
+      found = true;
+      SCOPED_TRACE("victim " + victim + " down at " +
+                   std::to_string(down_ms) + "ms");
+
+      const CrashRunResult dur = RunCrashSchedule(
+          uni, compiled.value(), sched, /*durable=*/true, seed,
+          /*storage_faults=*/false, /*snapshot_every=*/1);
+      ASSERT_TRUE(dur.completed);
+      // The volatile run lost rows; the durable run of the SAME schedule
+      // recovers every acked clone from storage and answers exactly.
+      EXPECT_FALSE(dur.degraded);
+      EXPECT_EQ(dur.rows, reference);
+      EXPECT_GT(dur.stats.recovered_clones, 0u);
+      EXPECT_GT(dur.stats.replayed_wal_records, 0u);
+      break;
+    }
+    if (found) break;
+  }
+  // The scan must find at least one destructive crash point, or the test
+  // proved nothing.
+  ASSERT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Targeted §8.4 invariant: a recovered server never double-reports. Delivery
+// acks from the victim are dropped, so the senders retransmit transfers the
+// victim already admitted (and logged). The victim crashes and restarts
+// before the retransmissions land: only the WAL-restored dedup state stands
+// between a retransmitted clone and a second round of reports, which would
+// unbalance the CHT (a hang) or duplicate answer rows.
+// ---------------------------------------------------------------------------
+
+TEST(CrashPointScheduleTest, RecoveredDedupStateAbsorbsRetransmissions) {
+  web::UniversityOptions uni_options;
+  uni_options.seed = 11;
+  uni_options.departments = 2;
+  uni_options.labs_per_department = 2;
+  const web::UniversityWeb uni = web::GenerateUniversityWeb(uni_options);
+  auto compiled = disql::CompileDisql(uni.convener_disql);
+  ASSERT_TRUE(compiled.ok());
+
+  std::set<std::string> reference;
+  {
+    core::Engine engine(&uni.web);
+    auto outcome = engine.RunCompiled(compiled.value());
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome->completed);
+    reference = AllRowKeys(outcome->results);
+  }
+
+  const std::string root = [&uni] {
+    auto parsed = html::ParseUrl(uni.root_url);
+    EXPECT_TRUE(parsed.ok());
+    return parsed->host;
+  }();
+  std::string victim;
+  for (const std::string& host : uni.web.Hosts()) {
+    if (host != root) victim = host;
+  }
+  ASSERT_FALSE(victim.empty());
+
+  core::Engine engine(
+      &uni.web, CrashPointOptions(/*durable=*/true, /*seed=*/1,
+                                  /*storage_faults=*/false,
+                                  /*snapshot_every=*/1));
+  // Drop every delivery ack the victim sends: all of its admitted transfers
+  // look undelivered to their senders, which therefore retransmit on the
+  // 100 ms retry timer.
+  net::FaultPlan plan(1);
+  net::FaultPlan::Rule drop_victim_acks;
+  drop_victim_acks.type = net::MessageType::kDeliveryAck;
+  drop_victim_acks.from_host = victim;
+  drop_victim_acks.max_faults = 4;
+  drop_victim_acks.drop_prob = 1.0;
+  plan.AddRule(drop_victim_acks);
+  engine.network().SetFaultPlan(&plan);
+
+  // Crash after admission (lab-level clones are admitted at ~140 ms of
+  // virtual time), restart BEFORE the 100 ms retransmission timer fires:
+  // the retransmitted transfers must hit the restarted server's recovered
+  // seen-set.
+  server::QueryServer* qs = engine.server_for(victim);
+  ASSERT_NE(qs, nullptr);
+  engine.network().ScheduleAfter(145 * kMillisecond, [qs] { qs->Crash(); });
+  engine.network().ScheduleAfter(175 * kMillisecond,
+                                 [qs] { EXPECT_TRUE(qs->Restart().ok()); });
+
+  auto outcome = engine.RunCompiled(compiled.value());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(plan.stats().dropped, 0u);
+
+  const server::QueryServerStats stats = engine.AggregateServerStats();
+  // Retransmissions really happened and recovery really replayed the log.
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.replayed_wal_records, 0u);
+  // No double report: the query settles exactly, with no duplicated rows —
+  // a reprocessed clone would have added a second copy of its reports.
+  EXPECT_TRUE(outcome->completed);
+  EXPECT_FALSE(outcome->partial);
+  const std::set<std::string> keys = AllRowKeys(outcome->results);
+  EXPECT_EQ(keys.size(), outcome->TotalRows());
+  EXPECT_EQ(keys, reference);
 }
 
 // ---------------------------------------------------------------------------

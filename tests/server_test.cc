@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/engine.h"
 #include "disql/compiler.h"
 #include "net/sim.h"
 #include "query/report.h"
@@ -7,6 +8,7 @@
 #include "server/db_constructor.h"
 #include "server/http_server.h"
 #include "server/log_table.h"
+#include "server/persist.h"
 #include "server/query_server.h"
 #include "web/pagegen.h"
 
@@ -419,6 +421,73 @@ TEST_F(QueryServerTest, LogPurgePeriodCausesRecomputationOnly) {
   ASSERT_EQ(reports_.size(), 2u);
   ASSERT_FALSE(reports_[0].node_reports[0].result_sets.empty());
   ASSERT_FALSE(reports_[1].node_reports[0].result_sets.empty());
+}
+
+// -- Durability: recovery stats (PROTOCOL.md §8) -----------------------------
+
+TEST_F(QueryServerTest, RecoveryStatsDistinguishThreeRestartPaths) {
+  server_->Stop();
+  MemoryPersistBackend backend{PersistFaultRules{}};
+  QueryServerOptions options;
+  options.persist.enabled = true;
+  options.persist.snapshot_every_clones = 0;  // no cadence snapshots yet
+  options.persist.wal_compact_bytes = 0;      // no size-triggered snapshots
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  server_->SetPersistence(&backend);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // Path 1: cold start — storage is empty, the restart recovers nothing.
+  server_->Crash();
+  ASSERT_TRUE(server_->Restart().ok());
+  EXPECT_EQ(server_->stats().cold_starts, 1u);
+  EXPECT_EQ(server_->stats().recovered_from_snapshot, 0u);
+  EXPECT_EQ(server_->stats().replayed_wal_records, 0u);
+
+  // Path 2: WAL replay — one processed clone leaves an admitted/completed
+  // record pair in the log, and no snapshot exists. Replaying a log is NOT
+  // a cold start: the cold_starts counter must not move.
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));
+  EXPECT_EQ(server_->stats().wal_records_appended, 2u);
+  server_->Crash();
+  ASSERT_TRUE(server_->Restart().ok());
+  EXPECT_EQ(server_->stats().cold_starts, 1u);  // unchanged
+  EXPECT_EQ(server_->stats().recovered_from_snapshot, 0u);
+  EXPECT_EQ(server_->stats().replayed_wal_records, 2u);
+  EXPECT_EQ(server_->stats().recovered_clones, 0u);  // it had completed
+
+  // Path 3: snapshot recovery — a cadence-1 server over the same storage
+  // boots by replaying the old log (counted), snapshots after its first
+  // clone (truncating the log), and its next restart loads the snapshot
+  // with nothing left to replay.
+  server_->Stop();
+  QueryServerOptions snap_options;
+  snap_options.persist.enabled = true;
+  snap_options.persist.snapshot_every_clones = 1;
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, snap_options);
+  server_->SetPersistence(&backend);
+  ASSERT_TRUE(server_->Restart().ok());
+  EXPECT_EQ(server_->stats().replayed_wal_records, 2u);
+  Deliver(MakeClone("N", "beta", {"http://h/b"}));
+  EXPECT_EQ(server_->stats().snapshots_written, 1u);
+  EXPECT_EQ(backend.WalBytes(), 0u);  // compaction truncated the log
+  server_->Crash();
+  ASSERT_TRUE(server_->Restart().ok());
+  EXPECT_EQ(server_->stats().recovered_from_snapshot, 1u);
+  EXPECT_EQ(server_->stats().replayed_wal_records, 2u);  // unchanged
+  EXPECT_EQ(server_->stats().cold_starts, 0u);
+}
+
+TEST(RecoveryStatsFormatTest, FormatRunStatsEmitsRecoveryCounters) {
+  core::RunOutcome outcome;
+  outcome.server_stats.recovered_from_snapshot = 1;
+  outcome.server_stats.replayed_wal_records = 2;
+  outcome.server_stats.cold_starts = 3;
+  outcome.server_stats.snapshots_written = 4;
+  const std::string text = core::FormatRunStats(outcome);
+  EXPECT_NE(text.find("recovered_from_snapshot: 1"), std::string::npos);
+  EXPECT_NE(text.find("replayed_wal_records: 2"), std::string::npos);
+  EXPECT_NE(text.find("cold_starts: 3"), std::string::npos);
+  EXPECT_NE(text.find("snapshots_written: 4"), std::string::npos);
 }
 
 }  // namespace

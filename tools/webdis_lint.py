@@ -16,6 +16,18 @@ the ones whose violation breaks distributed termination or reproducibility
                 message nobody can decode — or whose bytes can drift
                 unnoticed — is how one lost report stalls completion forever.
 
+  wal-parity    Every `WalRecordType::k<Name> = <N>` constant in
+                src/server/persist.h must have (a) a `payload:` annotation
+                naming its codec, (b) the named EncodeTo/DecodeFrom pair
+                declared somewhere under src/, (c) a
+                `case WalRecordType::k<Name>` in WalRecordTypeToString
+                (src/server/persist.cc), (d) a golden image referencing
+                `WalRecordType::k<Name>` in tests/persist_golden_test.cc, and
+                (e) a "<Name> (wal record <N>)" entry in PROTOCOL.md. A WAL
+                record that cannot be replayed — or whose bytes drift
+                unnoticed — silently breaks crash recovery. Skipped when
+                src/server/persist.h is absent.
+
   clock         No direct std::chrono::{system,steady,high_resolution}_clock,
                 rand()/srand(), std::random_device, or std::mt19937 outside
                 src/net/tcp.cc and src/common/clock.h. Everything else goes
@@ -97,6 +109,10 @@ CONFINEMENT_ALLOWLIST = {
         "drain_timer_", "log_table_", "terminated_queries_", "pending_acks_",
         "next_ack_token_", "db_cache_lru_", "db_cache_index_",
         "db_cache_bytes_", "scratch_db_", "started_",
+        # Durability (server/persist): the backend pointer is set before the
+        # run starts; the WAL id counter and snapshot cadence counter are
+        # mutated only inside this server's own message/timer handlers.
+        "persist_", "next_wal_id_", "clones_since_snapshot_",
         # Cross-host observer sink: the engine wraps it in a mutex when
         # worker_threads > 0 (core::Engine::ObserveVisits); the field itself
         # is only assigned before the run starts.
@@ -277,6 +293,91 @@ class Linter:
                                f"references MessageType::k{rm.group(1)}, "
                                "which is not declared in transport.h")
 
+    # -- wal-parity ----------------------------------------------------------
+
+    def check_wal_parity(self) -> None:
+        rel = os.path.join("src", "server", "persist.h")
+        persist_h = self.read(rel)
+        if persist_h is None:
+            return  # tree has no durability layer — nothing to check
+        rel = "src/server/persist.h"
+        m = re.search(
+            r"enum\s+class\s+WalRecordType[^{]*\{(?P<body>.*?)\};",
+            persist_h, re.DOTALL)
+        if m is None:
+            self.error(rel, 1, "wal-parity",
+                       "enum class WalRecordType not found")
+            return
+        body_start_line = persist_h[:m.start("body")].count("\n") + 1
+
+        persist_cc = self.read(os.path.join("src", "server", "persist.cc")) or ""
+        golden = self.read(
+            os.path.join("tests", "persist_golden_test.cc")) or ""
+        protocol = self.read("PROTOCOL.md") or ""
+        src_headers = ""
+        for hdr in self.source_files():
+            if hdr.startswith("src" + os.sep) and hdr.endswith(".h"):
+                src_headers += self.read(hdr) or ""
+
+        constants: list[tuple[str, int]] = []
+        for off, raw in enumerate(m.group("body").splitlines()):
+            em = ENUM_CONSTANT.match(raw)
+            if em is None:
+                continue
+            name, num = em.group("name"), int(em.group("num"))
+            line = body_start_line + off
+            constants.append((name, num))
+
+            comment = em.group("comment") or ""
+            pm = PAYLOAD_ANNOTATION.search(comment)
+            if pm is None:
+                self.error(rel, line, "wal-parity",
+                           f"k{name} has no `// payload: ...` annotation")
+            elif pm.group("kind") == "struct":
+                detail = pm.group("detail")
+                if detail is None:
+                    self.error(rel, line, "wal-parity",
+                               f"k{name}: `payload: struct` needs a type")
+                else:
+                    tail = detail.split("::")[-1]
+                    if not re.search(
+                            rf"DecodeFrom\(serialize::Decoder\*\s*\w*,?\s*"
+                            rf"{tail}\*", src_headers):
+                        self.error(
+                            rel, line, "wal-parity",
+                            f"k{name}: no DecodeFrom(Decoder*, {tail}*) "
+                            "declared under src/")
+                    if not re.search(
+                            rf"struct\s+{tail}|class\s+{tail}",
+                            src_headers) or "EncodeTo" not in src_headers:
+                        self.error(
+                            rel, line, "wal-parity",
+                            f"k{name}: no EncodeTo for {tail} under src/")
+
+            if f"case WalRecordType::k{name}" not in persist_cc:
+                self.error(rel, line, "wal-parity",
+                           f"k{name} missing from WalRecordTypeToString "
+                           "(src/server/persist.cc)")
+            if f"WalRecordType::k{name}" not in golden:
+                self.error(rel, line, "wal-parity",
+                           f"k{name} has no golden image in "
+                           "tests/persist_golden_test.cc")
+            if not re.search(rf"\b{name}\s*\(wal\s+record\s+{num}\)",
+                             protocol):
+                self.error(rel, line, "wal-parity",
+                           f"k{name}: PROTOCOL.md lacks a "
+                           f"\"{name} (wal record {num})\" entry")
+
+        # Reverse direction: stale golden images pass vacuously.
+        declared = {name for name, _ in constants}
+        for src_rel, text in (("tests/persist_golden_test.cc", golden),):
+            for rm in re.finditer(r"WalRecordType::k(\w+)", text):
+                if rm.group(1) not in declared:
+                    line = text[:rm.start()].count("\n") + 1
+                    self.error(src_rel, line, "wal-parity",
+                               f"references WalRecordType::k{rm.group(1)}, "
+                               "which is not declared in persist.h")
+
     # -- clock / rng hygiene -------------------------------------------------
 
     def check_clock_hygiene(self) -> None:
@@ -375,7 +476,8 @@ def main(argv: list[str]) -> int:
         default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         help="repository root to lint (default: this script's repo)")
     parser.add_argument(
-        "--rules", default="wire-parity,clock,naked-new,confinement",
+        "--rules",
+        default="wire-parity,wal-parity,clock,naked-new,confinement",
         help="comma-separated subset of rules to run")
     args = parser.parse_args(argv)
 
@@ -387,6 +489,8 @@ def main(argv: list[str]) -> int:
     rules = set(args.rules.split(","))
     if "wire-parity" in rules:
         linter.check_wire_parity()
+    if "wal-parity" in rules:
+        linter.check_wal_parity()
     if "clock" in rules:
         linter.check_clock_hygiene()
     if "naked-new" in rules:

@@ -51,6 +51,36 @@ PROTOCOL_MD = """\
 ## Busy (type 3)
 """
 
+PERSIST_H = """\
+enum class WalRecordType : uint8_t {
+  kCloneAdmitted = 1,  // payload: struct server::WalCloneAdmitted
+  kCloneCompleted = 2,  // payload: struct server::WalCloneCompleted
+};
+struct WalCloneAdmitted {
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, WalCloneAdmitted* out);
+};
+struct WalCloneCompleted {
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, WalCloneCompleted* out);
+};
+"""
+
+PERSIST_CC = """\
+case WalRecordType::kCloneAdmitted:
+case WalRecordType::kCloneCompleted:
+"""
+
+PERSIST_GOLDEN_CC = """\
+TEST(PersistGoldenTest, A) { Use(server::WalRecordType::kCloneAdmitted); }
+TEST(PersistGoldenTest, C) { Use(server::WalRecordType::kCloneCompleted); }
+"""
+
+PERSIST_PROTOCOL_MD = PROTOCOL_MD + """\
+## CloneAdmitted (wal record 1)
+## CloneCompleted (wal record 2)
+"""
+
 
 class LintTreeTest(unittest.TestCase):
     def setUp(self):
@@ -74,6 +104,8 @@ class LintTreeTest(unittest.TestCase):
         linter = webdis_lint.Linter(self.root)
         if "wire-parity" in rules:
             linter.check_wire_parity()
+        if "wal-parity" in rules:
+            linter.check_wal_parity()
         if "clock" in rules:
             linter.check_clock_hygiene()
         if "naked-new" in rules:
@@ -161,6 +193,84 @@ class LintTreeTest(unittest.TestCase):
                    "TEST(WireGoldenTest, Gone) "
                    "{ Use(net::MessageType::kRetired); }\n")
         errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("kRetired" in e and "not declared" in e
+                            for e in errors), errors)
+
+    # -- wal-parity ----------------------------------------------------------
+
+    def write_persist_tree(self):
+        self.write("src/server/persist.h", PERSIST_H)
+        self.write("src/server/persist.cc", PERSIST_CC)
+        self.write("tests/persist_golden_test.cc", PERSIST_GOLDEN_CC)
+        self.write("PROTOCOL.md", PERSIST_PROTOCOL_MD)
+
+    def test_wal_parity_consistent_tree_is_clean(self):
+        self.write_consistent_tree()
+        self.write_persist_tree()
+        self.assertEqual(self.run_lint({"wire-parity", "wal-parity"}), [])
+
+    def test_wal_parity_absent_persist_header_is_skipped(self):
+        self.write_consistent_tree()  # no src/server/persist.h at all
+        self.assertEqual(self.run_lint({"wal-parity"}), [])
+
+    def test_wal_parity_missing_golden_image_fails(self):
+        self.write_consistent_tree()
+        self.write_persist_tree()
+        self.write("tests/persist_golden_test.cc",
+                   "TEST(PersistGoldenTest, A) "
+                   "{ Use(server::WalRecordType::kCloneAdmitted); }\n")
+        errors = self.run_lint({"wal-parity"})
+        self.assertTrue(any("[wal-parity]" in e and "kCloneCompleted" in e
+                            and "golden" in e for e in errors), errors)
+
+    def test_wal_parity_missing_tostring_case_fails(self):
+        self.write_consistent_tree()
+        self.write_persist_tree()
+        self.write("src/server/persist.cc",
+                   "case WalRecordType::kCloneAdmitted:\n")
+        errors = self.run_lint({"wal-parity"})
+        self.assertTrue(any("WalRecordTypeToString" in e
+                            and "kCloneCompleted" in e for e in errors),
+                        errors)
+
+    def test_wal_parity_missing_decoder_fails(self):
+        self.write_consistent_tree()
+        self.write_persist_tree()
+        self.write("src/server/persist.h", PERSIST_H.replace(
+            "  static Status DecodeFrom(serialize::Decoder* dec, "
+            "WalCloneCompleted* out);\n", ""))
+        errors = self.run_lint({"wal-parity"})
+        self.assertTrue(any("DecodeFrom" in e and "kCloneCompleted" in e
+                            for e in errors), errors)
+
+    def test_wal_parity_missing_payload_annotation_fails(self):
+        self.write_consistent_tree()
+        self.write_persist_tree()
+        self.write("src/server/persist.h", PERSIST_H.replace(
+            "kCloneCompleted = 2,  // payload: struct server::WalCloneCompleted",
+            "kCloneCompleted = 2,"))
+        errors = self.run_lint({"wal-parity"})
+        self.assertTrue(any("[wal-parity]" in e and "payload" in e
+                            and "kCloneCompleted" in e for e in errors),
+                        errors)
+
+    def test_wal_parity_missing_protocol_entry_fails(self):
+        self.write_consistent_tree()
+        self.write_persist_tree()
+        self.write("PROTOCOL.md",
+                   PROTOCOL_MD + "## CloneAdmitted (wal record 1)\n")
+        errors = self.run_lint({"wal-parity"})
+        self.assertTrue(any("PROTOCOL.md" in e and "kCloneCompleted" in e
+                            for e in errors), errors)
+
+    def test_wal_parity_stale_golden_reference_fails(self):
+        self.write_consistent_tree()
+        self.write_persist_tree()
+        self.write("tests/persist_golden_test.cc",
+                   PERSIST_GOLDEN_CC +
+                   "TEST(PersistGoldenTest, Gone) "
+                   "{ Use(server::WalRecordType::kRetired); }\n")
+        errors = self.run_lint({"wal-parity"})
         self.assertTrue(any("kRetired" in e and "not declared" in e
                             for e in errors), errors)
 
