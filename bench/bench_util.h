@@ -97,16 +97,19 @@ class JsonBenchWriter {
   JsonBenchWriter(const JsonBenchWriter&) = delete;
   JsonBenchWriter& operator=(const JsonBenchWriter&) = delete;
 
+  /// `extra` is raw JSON appended to the row after the fixed fields, e.g.
+  /// ", \"cache_hit_rate\": 0.42" — empty for the plain schema.
   void Record(const std::string& workload, size_t workers, double wall_ms,
-              double virtual_ms, uint64_t messages, uint64_t bytes) {
+              double virtual_ms, uint64_t messages, uint64_t bytes,
+              const std::string& extra = "") {
     if (file_ == nullptr) return;
     std::fprintf(
         file_,
         "{\"workload\": \"%s\", \"workers\": %zu, \"wall_ms\": %.3f, "
-        "\"virtual_ms\": %.3f, \"messages\": %llu, \"bytes\": %llu}\n",
+        "\"virtual_ms\": %.3f, \"messages\": %llu, \"bytes\": %llu%s}\n",
         workload.c_str(), workers, wall_ms, virtual_ms,
         static_cast<unsigned long long>(messages),
-        static_cast<unsigned long long>(bytes));
+        static_cast<unsigned long long>(bytes), extra.c_str());
     std::fflush(file_);
   }
 

@@ -25,6 +25,9 @@ std::string QueryRunStats::ToText() const {
   line("duplicate_rows_filtered", duplicate_rows_filtered);
   line("termination_messages_sent", termination_messages_sent);
   line("root_acks_received", root_acks_received);
+  line("report_batches_received", report_batches_received);
+  line("report_batch_members_received", report_batch_members_received);
+  line("batch_members_dropped_closed", batch_members_dropped_closed);
   line("entries_gc", entries_gc);
   line("redeliveries_suppressed", redeliveries_suppressed);
   line("dispatch_send_errors", dispatch_send_errors);
@@ -298,6 +301,7 @@ size_t UserSite::AbandonStalled(const query::QueryId& id) {
 }
 
 void UserSite::CloseResultSocket(QueryRun* run) {
+  run->socket_closed = true;
   transport_->CloseListener(net::Endpoint{host_, run->id.reply_port});
 }
 
@@ -323,13 +327,15 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
     sender_.OnOverloaded(payload);
     return;
   }
-  if (type != net::MessageType::kReport) {
+  if (type != net::MessageType::kReport &&
+      type != net::MessageType::kReportBatch) {
     WEBDIS_LOG(kWarning) << "user site ignoring message of type "
                          << net::MessageTypeToString(type);
     return;
   }
   // Report-sequence dedup: a retransmitted report whose original got
-  // through must not double-count CHT deletions or rows.
+  // through must not double-count CHT deletions or rows. A batch rides one
+  // transfer seq, accepted (or suppressed) whole at the carrier endpoint.
   std::vector<uint8_t> inner;
   const std::vector<uint8_t>* body = &payload;
   if (receiver_.enabled()) {
@@ -341,6 +347,38 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
     body = &inner;
   }
   serialize::Decoder dec(*body);
+  if (type == net::MessageType::kReportBatch) {
+    // Cross-query sharing (PROTOCOL.md §9.3): reports for *different*
+    // queries of this user site, delivered on the carrier member's socket.
+    // Demultiplex by each member's QueryId.
+    query::ReportBatch batch;
+    if (const Status status = query::ReportBatch::DecodeFrom(&dec, &batch);
+        !status.ok()) {
+      WEBDIS_LOG(kWarning) << "bad report batch: " << status.ToString();
+      return;
+    }
+    ++run->stats.report_batches_received;
+    run->stats.report_batch_members_received += batch.reports.size();
+    for (const query::QueryReport& report : batch.reports) {
+      auto it = runs_.find(report.id.Key());
+      if (it == runs_.end()) {
+        WEBDIS_LOG(kWarning) << "batched report for unknown query "
+                             << report.id.Key();
+        continue;
+      }
+      QueryRun* member_run = it->second.get();
+      if (member_run->socket_closed) {
+        // An individual send would have been refused (§2.8): the drop here
+        // is that refusal, applied at demux time — the server already
+        // learns of the closure from its next individual send or carrier
+        // refusal on this port.
+        ++member_run->stats.batch_members_dropped_closed;
+        continue;
+      }
+      HandleReport(member_run, report);
+    }
+    return;
+  }
   query::QueryReport report;
   if (const Status status = query::QueryReport::DecodeFrom(&dec, &report);
       !status.ok()) {

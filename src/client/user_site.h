@@ -96,6 +96,14 @@ struct QueryRunStats {
                                            // termination still covers it
   // Overload & degradation (PROTOCOL.md §7):
   uint64_t budget_exceeded_reports = 0;  // visits shed/expired/truncated
+  // Cross-query sharing (PROTOCOL.md §9): batched report envelopes arriving
+  // on this query's socket as the batch carrier, and members addressed to a
+  // query whose result socket already closed (the batch rode the carrier's
+  // open socket past the refusal an individual send would have hit; the
+  // drop below IS the passive termination of §2.8 for that member).
+  uint64_t report_batches_received = 0;
+  uint64_t report_batch_members_received = 0;
+  uint64_t batch_members_dropped_closed = 0;
 
   /// Human-readable dump of the non-zero counters, one `name: value` per
   /// line — degradation should be observable, not just counted.
@@ -141,6 +149,11 @@ class UserSite {
     std::vector<std::string> budget_exceeded_nodes;
     /// Pending deadline-sweep timer id (0 = none armed).
     uint64_t sweep_timer = 0;
+    /// Result socket closed (completion/cancel/timeout). Individual sends
+    /// to this query are refused by the transport; a batch member riding a
+    /// peer's carrier socket bypasses that refusal, so the demux consults
+    /// this flag to apply the same passive-termination drop (§9.3).
+    bool socket_closed = false;
     SimTime submit_time = 0;
     SimTime completion_time = 0;
     SimTime last_report_time = 0;

@@ -105,6 +105,17 @@ std::string FormatRunStats(const RunOutcome& outcome) {
   emit("wal_records_discarded", s.wal_records_discarded);
   emit("snapshot_load_rejected", s.snapshot_load_rejected);
   emit("recovered_clones", s.recovered_clones);
+  emit("result_cache_hits", s.result_cache_hits);
+  emit("result_cache_misses", s.result_cache_misses);
+  emit("result_cache_evictions", s.result_cache_evictions);
+  emit("result_cache_bytes", s.result_cache_bytes);
+  emit("clone_batches_sent", s.clone_batches_sent);
+  emit("clone_batch_members_sent", s.clone_batch_members_sent);
+  emit("clone_batches_received", s.clone_batches_received);
+  emit("clone_batch_members_received", s.clone_batch_members_received);
+  emit("report_batches_sent", s.report_batches_sent);
+  emit("report_batch_members_sent", s.report_batch_members_sent);
+  emit("batches_shed", s.batches_shed);
   if (outcome.workers > 0) {
     // Cumulative over the network's lifetime, not per query: occupancy is a
     // property of how the whole run's slices partitioned.
@@ -224,12 +235,17 @@ TrafficSummary Engine::TrafficSnapshot() const {
   t.bytes = network_->total_traffic().bytes;
   t.inter_host_messages = network_->inter_host_traffic().messages;
   t.inter_host_bytes = network_->inter_host_traffic().bytes;
+  // Batched envelopes fold into their member categories: a CloneBatch is
+  // query traffic, a ReportBatch is report traffic (PROTOCOL.md §9) — the
+  // shared-vs-unshared message comparison in bench/s2 stays apples-to-apples.
   const auto& q = network_->traffic_for(net::MessageType::kWebQuery);
-  t.query_messages = q.messages;
-  t.query_bytes = q.bytes;
+  const auto& qb = network_->traffic_for(net::MessageType::kCloneBatch);
+  t.query_messages = q.messages + qb.messages;
+  t.query_bytes = q.bytes + qb.bytes;
   const auto& r = network_->traffic_for(net::MessageType::kReport);
-  t.report_messages = r.messages;
-  t.report_bytes = r.bytes;
+  const auto& rb = network_->traffic_for(net::MessageType::kReportBatch);
+  t.report_messages = r.messages + rb.messages;
+  t.report_bytes = r.bytes + rb.bytes;
   const auto& freq = network_->traffic_for(net::MessageType::kFetchRequest);
   const auto& fresp = network_->traffic_for(net::MessageType::kFetchResponse);
   t.fetch_messages = freq.messages + fresp.messages;
@@ -311,6 +327,17 @@ server::QueryServerStats Engine::AggregateServerStats() const {
     total.wal_records_discarded += s.wal_records_discarded;
     total.snapshot_load_rejected += s.snapshot_load_rejected;
     total.recovered_clones += s.recovered_clones;
+    total.result_cache_hits += s.result_cache_hits;
+    total.result_cache_misses += s.result_cache_misses;
+    total.result_cache_evictions += s.result_cache_evictions;
+    total.result_cache_bytes += s.result_cache_bytes;
+    total.clone_batches_sent += s.clone_batches_sent;
+    total.clone_batch_members_sent += s.clone_batch_members_sent;
+    total.clone_batches_received += s.clone_batches_received;
+    total.clone_batch_members_received += s.clone_batch_members_received;
+    total.report_batches_sent += s.report_batches_sent;
+    total.report_batch_members_sent += s.report_batch_members_sent;
+    total.batches_shed += s.batches_shed;
   }
   return total;
 }

@@ -22,6 +22,10 @@ std::string_view MessageTypeToString(MessageType type) {
       return "DeliveryAck";
     case MessageType::kOverloaded:
       return "Overloaded";
+    case MessageType::kCloneBatch:
+      return "CloneBatch";
+    case MessageType::kReportBatch:
+      return "ReportBatch";
   }
   return "Unknown";
 }

@@ -38,6 +38,13 @@ enum class MessageType : uint8_t {
   // transfer instead of processing it; the sender re-arms it under the
   // overload backoff class instead of retrying hot.
   kOverloaded = 8,  // payload: u64 transfer_seq
+  // Cross-query sharing (PROTOCOL.md §9): clones of *different* queries
+  // bound for the same destination host, carried in one framed message and
+  // admitted atomically (all members or none).
+  kCloneBatch = 9,  // payload: struct query::CloneBatch
+  // Cross-query sharing (PROTOCOL.md §9): reports for different queries
+  // bound for the same user-site host, batched per flush window.
+  kReportBatch = 10,  // payload: struct query::ReportBatch
 };
 
 std::string_view MessageTypeToString(MessageType type);

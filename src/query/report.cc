@@ -134,4 +134,25 @@ Status QueryReport::DecodeFrom(serialize::Decoder* dec, QueryReport* out) {
   return Status::OK();
 }
 
+void ReportBatch::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutVarint(reports.size());
+  for (const QueryReport& r : reports) {
+    r.EncodeTo(enc);
+  }
+}
+
+Status ReportBatch::DecodeFrom(serialize::Decoder* dec, ReportBatch* out) {
+  uint64_t count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&count));
+  if (count == 0) return Status::Corruption("empty report batch");
+  if (count > 1024) return Status::Corruption("too many batch members");
+  out->reports.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    QueryReport r;
+    WEBDIS_RETURN_IF_ERROR(QueryReport::DecodeFrom(dec, &r));
+    out->reports.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
 }  // namespace webdis::query

@@ -71,6 +71,21 @@ struct QueryReport {
   static Status DecodeFrom(serialize::Decoder* dec, QueryReport* out);
 };
 
+/// A batched report envelope (PROTOCOL.md §9.2): QueryReports for
+/// *different* queries whose user-site result sockets live on the same
+/// host, carried in one framed kReportBatch message during a flush window.
+struct ReportBatch {
+  /// Each member's QueryId carries its own reply port — the receiving user
+  /// site demultiplexes members to per-query runs by id, so the batch is
+  /// addressed to whichever member socket acts as carrier (PROTOCOL.md §9.3).
+  std::vector<QueryReport> reports;
+
+  /// Wire: varint member count (must be >= 1, capped at 1024) followed by
+  /// each member's QueryReport encoding. Empty batches are rejected.
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, ReportBatch* out);
+};
+
 }  // namespace webdis::query
 
 #endif  // WEBDIS_QUERY_REPORT_H_

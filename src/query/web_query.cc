@@ -180,4 +180,25 @@ size_t WebQuery::WireSize() const {
   return enc.size();
 }
 
+void CloneBatch::EncodeTo(serialize::Encoder* enc) const {
+  enc->PutVarint(clones.size());
+  for (const WebQuery& clone : clones) {
+    clone.EncodeTo(enc);
+  }
+}
+
+Status CloneBatch::DecodeFrom(serialize::Decoder* dec, CloneBatch* out) {
+  uint64_t count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&count));
+  if (count == 0) return Status::Corruption("empty clone batch");
+  if (count > 1024) return Status::Corruption("too many batch members");
+  out->clones.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    WebQuery clone;
+    WEBDIS_RETURN_IF_ERROR(WebQuery::DecodeFrom(dec, &clone));
+    out->clones.push_back(std::move(clone));
+  }
+  return Status::OK();
+}
+
 }  // namespace webdis::query

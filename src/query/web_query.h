@@ -128,6 +128,21 @@ class WebQuery {
   size_t WireSize() const;
 };
 
+/// A batched clone envelope (PROTOCOL.md §9.2): clones of *different*
+/// queries bound for the same destination host, carried in one framed
+/// kCloneBatch message. The batch is the unit of reliable delivery (one
+/// transfer seq / ack for all members) and of admission (a shed batch NACKs
+/// every member — never a silent partial accept).
+struct CloneBatch {
+  std::vector<WebQuery> clones;
+
+  /// Wire: varint member count (must be >= 1, capped at 1024) followed by
+  /// each member's WebQuery encoding. An empty batch is a protocol error
+  /// and is rejected at decode time.
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, CloneBatch* out);
+};
+
 }  // namespace webdis::query
 
 #endif  // WEBDIS_QUERY_WEB_QUERY_H_

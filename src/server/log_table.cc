@@ -4,13 +4,29 @@
 
 namespace webdis::server {
 
+pre::LogPreForm LogTable::CanonicalFormFor(const pre::Pre& pre) {
+  serialize::Encoder enc;
+  pre.EncodeTo(&enc);
+  std::string memo_key(reinterpret_cast<const char*>(enc.data().data()),
+                       enc.size());
+  auto it = form_memo_.find(memo_key);
+  if (it != form_memo_.end()) {
+    ++stats_.form_memo_hits;
+    return it->second;
+  }
+  if (form_memo_.size() >= kFormMemoMax) form_memo_.clear();
+  pre::LogPreForm form = pre::MakeLogPreForm(pre);
+  form_memo_.emplace(std::move(memo_key), form);
+  return form;
+}
+
 pre::LogDecision LogTable::Check(const std::string& node_url,
                                  const std::string& query_key,
                                  const query::CloneState& state) {
   ++stats_.checks;
   const Key key{node_url, query_key, state.num_q};
   std::vector<LoggedPre>& logged = entries_[key];
-  pre::LogPreForm incoming_form = pre::MakeLogPreForm(state.rem_pre);
+  pre::LogPreForm incoming_form = CanonicalFormFor(state.rem_pre);
   for (LoggedPre& existing : logged) {
     const pre::LogDecision decision =
         pre::ComparePreForLog(state.rem_pre, incoming_form, existing.form);

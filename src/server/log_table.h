@@ -26,6 +26,10 @@ class LogTable {
     uint64_t duplicates = 0;
     uint64_t superset_rewrites = 0;
     uint64_t new_entries = 0;
+    /// Cross-query sharing (PROTOCOL.md §9): arrivals whose PRE
+    /// canonicalization was served from the form memo instead of recomputed
+    /// — batched clones of different queries often carry identical PREs.
+    uint64_t form_memo_hits = 0;
   };
 
   /// Applies the paper's rules for a clone arriving at `node_url` in
@@ -36,8 +40,12 @@ class LogTable {
 
   /// Drops every entry (the periodic purge of Section 3.1.1). An
   /// early purge can only cause duplicate recomputation, never wrong
-  /// results — tested as a property.
-  void Purge() { entries_.clear(); }
+  /// results — tested as a property. The form memo goes too: it is a
+  /// derived cache with the same lifetime rules.
+  void Purge() {
+    entries_.clear();
+    form_memo_.clear();
+  }
 
   /// Drops entries of one query (e.g. after its termination).
   void PurgeQuery(const std::string& query_key);
@@ -74,7 +82,17 @@ class LogTable {
     pre::Pre pre;
     pre::LogPreForm form;
   };
+  /// Canonicalizes `pre` through the memo: the wire encoding is the memo
+  /// key (deterministic and cheaper to produce than CanonicalKey +
+  /// DecomposeStarPrefix), so clones of *different* queries sharing a PRE
+  /// canonicalize it once per purge cycle.
+  pre::LogPreForm CanonicalFormFor(const pre::Pre& pre);
+
   std::map<Key, std::vector<LoggedPre>> entries_;
+  /// Bounded memo of PRE wire encoding -> canonical form; cleared wholesale
+  /// past kFormMemoMax (PREs are tiny — the bound only guards pathology).
+  static constexpr size_t kFormMemoMax = 4096;
+  std::map<std::string, pre::LogPreForm> form_memo_;
   Stats stats_;
 };
 

@@ -22,6 +22,8 @@ const char* WalRecordTypeToString(WalRecordType type) {
       return "TransferSeen";
     case WalRecordType::kQueryTerminated:
       return "QueryTerminated";
+    case WalRecordType::kBatchAdmitted:
+      return "BatchAdmitted";
   }
   return "Unknown";
 }
@@ -49,6 +51,42 @@ Status WalCloneAdmitted::DecodeFrom(serialize::Decoder* dec,
   WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->tracked));
   WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->seq));
   return query::WebQuery::DecodeFrom(dec, &out->clone);
+}
+
+void WalBatchAdmitted::EncodeFields(uint64_t first_record_id,
+                                    const net::Endpoint& from, bool tracked,
+                                    uint64_t seq,
+                                    const std::vector<query::WebQuery>& clones,
+                                    serialize::Encoder* enc) {
+  enc->PutU64(first_record_id);
+  enc->PutString(from.host);
+  enc->PutU16(from.port);
+  enc->PutBool(tracked);
+  enc->PutU64(seq);
+  enc->PutVarint(clones.size());
+  for (const query::WebQuery& clone : clones) {
+    clone.EncodeTo(enc);
+  }
+}
+
+Status WalBatchAdmitted::DecodeFrom(serialize::Decoder* dec,
+                                    WalBatchAdmitted* out) {
+  WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->first_record_id));
+  WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->from.host));
+  WEBDIS_RETURN_IF_ERROR(dec->GetU16(&out->from.port));
+  WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->tracked));
+  WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->seq));
+  uint64_t count = 0;
+  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&count));
+  if (count == 0) return Status::Corruption("empty admitted batch");
+  if (count > 1024) return Status::Corruption("too many batch members");
+  out->clones.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    query::WebQuery clone;
+    WEBDIS_RETURN_IF_ERROR(query::WebQuery::DecodeFrom(dec, &clone));
+    out->clones.push_back(std::move(clone));
+  }
+  return Status::OK();
 }
 
 void WalCloneCompleted::EncodeTo(serialize::Encoder* enc) const {
@@ -108,7 +146,7 @@ WalReadResult DecodeWal(const std::vector<uint8_t>& bytes) {
     (void)dec.GetU32(&length);
     (void)dec.GetU32(&crc);
     if (type < static_cast<uint8_t>(WalRecordType::kCloneAdmitted) ||
-        type > static_cast<uint8_t>(WalRecordType::kQueryTerminated)) {
+        type > static_cast<uint8_t>(WalRecordType::kBatchAdmitted)) {
       break;  // corrupt: unknown record type
     }
     if (bytes.size() - pos - kRecordHeader < length) break;  // torn payload

@@ -75,6 +75,11 @@ enum class WalRecordType : uint8_t {
   /// The query was terminated (kTerminate received); a restarted server
   /// must not resurrect it from recovered clones.
   kQueryTerminated = 4,  // payload: struct server::WalQueryTerminated
+  /// A batched clone envelope (PROTOCOL.md §9.2) was admitted atomically:
+  /// one record covering every member, appended before the single batch
+  /// ack. Members take record ids first_record_id .. first_record_id+n-1,
+  /// so per-member kCloneCompleted records match individually on replay.
+  kBatchAdmitted = 5,  // payload: struct server::WalBatchAdmitted
 };
 
 const char* WalRecordTypeToString(WalRecordType type);
@@ -99,6 +104,28 @@ struct WalCloneAdmitted {
                            const query::WebQuery& clone,
                            serialize::Encoder* enc);
   static Status DecodeFrom(serialize::Decoder* dec, WalCloneAdmitted* out);
+};
+
+/// Payload of WalRecordType::kBatchAdmitted. One atomic admission covering
+/// every member of a kCloneBatch transfer: member i owns record id
+/// `first_record_id + i`. The batch shares one delivery envelope, so one
+/// (from, seq) pair covers the whole unit.
+struct WalBatchAdmitted {
+  uint64_t first_record_id = 0;
+  net::Endpoint from;
+  bool tracked = false;
+  uint64_t seq = 0;
+  std::vector<query::WebQuery> clones;
+
+  void EncodeTo(serialize::Encoder* enc) const {
+    EncodeFields(first_record_id, from, tracked, seq, clones, enc);
+  }
+  /// Field-wise encoder so the hot path can log members it does not own.
+  static void EncodeFields(uint64_t first_record_id, const net::Endpoint& from,
+                           bool tracked, uint64_t seq,
+                           const std::vector<query::WebQuery>& clones,
+                           serialize::Encoder* enc);
+  static Status DecodeFrom(serialize::Decoder* dec, WalBatchAdmitted* out);
 };
 
 /// Payload of WalRecordType::kCloneCompleted.

@@ -48,6 +48,7 @@ QueryServer::QueryServer(std::string host, const web::WebGraph* web,
 
 QueryServer::~QueryServer() {
   if (drain_timer_ != 0) transport_->CancelTimer(drain_timer_);
+  if (flush_timer_ != 0) transport_->CancelTimer(flush_timer_);
 }
 
 const QueryServerStats& QueryServer::stats() const {
@@ -60,6 +61,7 @@ const QueryServerStats& QueryServer::stats() const {
   stats_.breaker_probes = breakers_.stats().probes;
   stats_.breaker_recoveries = breakers_.stats().recoveries;
   stats_.db_cache_bytes = db_cache_bytes_;
+  stats_.result_cache_bytes = result_cache_bytes_;
   return stats_;
 }
 
@@ -74,6 +76,21 @@ void QueryServer::Crash() {
   db_cache_lru_.clear();
   db_cache_index_.clear();
   db_cache_bytes_ = 0;
+  // The result cache is volatile by design (PROTOCOL.md §9.1): it is
+  // recomputable, not protocol state, so it is rebuilt cold — never
+  // snapshotted.
+  result_cache_lru_.clear();
+  result_cache_index_.clear();
+  result_cache_bytes_ = 0;
+  // Staged envelopes die with the crash; their WAL completion records were
+  // deferred past the flush, so replay regenerates the lost sends.
+  staged_clones_.clear();
+  staged_reports_.clear();
+  wal_pending_flush_.clear();
+  if (flush_timer_ != 0) {
+    transport_->CancelTimer(flush_timer_);
+    flush_timer_ = 0;
+  }
   // Queued clones are volatile: lost with the crash, recovered by the
   // sender's retries (unacked — acks are deferred to dequeue) or, failing
   // that, by the user site's CHT deadline sweep.
@@ -173,6 +190,65 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
       ProcessCloneDurable(std::move(clone), wal_id);
       return;
     }
+    case net::MessageType::kCloneBatch: {
+      if (options_.admission.max_pending != 0) {
+        AdmitBatch(from, payload);
+        return;
+      }
+      // Mirrors the kWebQuery path: one delivery envelope covers the whole
+      // batch, so dedup and the ack-after-append rule apply to the unit —
+      // one kBatchAdmitted record precedes the one batch ack, and every
+      // member is then processed (all-or-none admission, §9.2).
+      const net::Endpoint self{host_, kQueryServerPort};
+      std::vector<uint8_t> inner;
+      const std::vector<uint8_t>* body = &payload;
+      uint64_t seq = 0;
+      bool deferred = false;
+      if (receiver_.enabled()) {
+        if (WalEnabled()) {
+          if (!net::ReliableReceiver::PeekSeq(payload, &seq)) return;
+          if (receiver_.TestSeen(from, seq)) {
+            receiver_.SendAck(self, from, seq);
+            return;
+          }
+          if (!net::ReliableReceiver::StripEnvelope(payload, &inner)) return;
+          deferred = true;
+        } else if (!receiver_.Accept(self, from, payload, &inner)) {
+          return;
+        }
+        body = &inner;
+      }
+      serialize::Decoder dec(*body);
+      query::CloneBatch batch;
+      const Status status = query::CloneBatch::DecodeFrom(&dec, &batch);
+      if (!status.ok()) {
+        ++stats_.decode_errors;
+        WEBDIS_LOG(kWarning) << host_ << ": bad clone batch: "
+                             << status.ToString();
+        if (deferred) {
+          serialize::Encoder rec;
+          WalTransferSeen{from, seq}.EncodeTo(&rec);
+          AppendWalRecord(WalRecordType::kTransferSeen, rec);
+          (void)receiver_.AcceptSeq(self, from, seq);
+        }
+        return;
+      }
+      const uint64_t wal_id =
+          PersistAdmitBatch(from, deferred, seq, batch.clones);
+      if (deferred && !receiver_.AcceptSeq(self, from, seq)) {
+        for (size_t i = 0; i < batch.clones.size(); ++i) {
+          FinishWalClone(wal_id == 0 ? 0 : wal_id + i);
+        }
+        return;  // raced with another copy of the same transfer
+      }
+      ++stats_.clone_batches_received;
+      stats_.clone_batch_members_received += batch.clones.size();
+      for (size_t i = 0; i < batch.clones.size(); ++i) {
+        ProcessCloneDurable(std::move(batch.clones[i]),
+                            wal_id == 0 ? 0 : wal_id + i);
+      }
+      return;
+    }
     case net::MessageType::kDeliveryAck: {
       sender_.OnAck(payload);
       return;
@@ -238,6 +314,14 @@ query::NodeReport MakeBudgetReport(std::string url, query::CloneState state) {
 
 }  // namespace
 
+size_t QueryServer::PendingMembers() const {
+  size_t members = 0;
+  for (const QueuedClone& unit : pending_clones_) {
+    members += unit.clones.size();
+  }
+  return members;
+}
+
 void QueryServer::AdmitClone(const net::Endpoint& from,
                              const std::vector<uint8_t>& payload) {
   const net::Endpoint self{host_, kQueryServerPort};
@@ -260,7 +344,8 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
     body = &inner;
   }
   serialize::Decoder dec(*body);
-  if (const Status status = query::WebQuery::DecodeFrom(&dec, &entry.clone);
+  query::WebQuery decoded;
+  if (const Status status = query::WebQuery::DecodeFrom(&dec, &decoded);
       !status.ok()) {
     ++stats_.decode_errors;
     WEBDIS_LOG(kWarning) << host_ << ": bad clone: " << status.ToString();
@@ -277,16 +362,21 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
     }
     return;
   }
+  entry.clones.push_back(std::move(decoded));
 
-  if (pending_clones_.size() >= options_.admission.max_pending) {
-    // Overflow. Refinement first: evict the queued clone with the earliest
+  if (PendingMembers() >= options_.admission.max_pending) {
+    // Overflow. Refinement first: evict the queued unit with the earliest
     // deadline when it is strictly closer to death than the newcomer (it
     // would likely expire in the queue anyway); otherwise reject-newest.
+    // A unit's deadline is its most-urgent member's.
     size_t victim = pending_clones_.size();
     if (options_.admission.evict_earliest_deadline) {
-      SimTime earliest = EffectiveDeadline(entry.clone);
+      SimTime earliest = EffectiveDeadline(entry.clones.front());
       for (size_t i = 0; i < pending_clones_.size(); ++i) {
-        const SimTime d = EffectiveDeadline(pending_clones_[i].clone);
+        SimTime d = std::numeric_limits<SimTime>::max();
+        for (const query::WebQuery& member : pending_clones_[i].clones) {
+          d = std::min(d, EffectiveDeadline(member));
+        }
         if (d < earliest) {
           earliest = d;
           victim = i;
@@ -297,7 +387,7 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
       QueuedClone evicted = std::move(pending_clones_[victim]);
       pending_clones_.erase(pending_clones_.begin() +
                             static_cast<ptrdiff_t>(victim));
-      ++stats_.clones_evicted;
+      stats_.clones_evicted += evicted.clones.size();
       ShedClone(std::move(evicted));
       // The newcomer takes the freed slot below.
     } else {
@@ -316,8 +406,8 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
       return;
     }
   }
-  entry.wal_id =
-      PersistAdmit(entry.from, entry.tracked, entry.seq, entry.clone);
+  entry.wal_id = PersistAdmit(entry.from, entry.tracked, entry.seq,
+                              entry.clones.front());
   if (entry.tracked && WalEnabled()) {
     // Durable queue: ack at admission, after the append above (§8). The
     // shed-after-ack hazard the deferred-acceptance API exists for is gone —
@@ -331,7 +421,80 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
   }
   pending_clones_.push_back(std::move(entry));
   stats_.queue_peak =
-      std::max<uint64_t>(stats_.queue_peak, pending_clones_.size());
+      std::max<uint64_t>(stats_.queue_peak, PendingMembers());
+  ScheduleDrain();
+}
+
+void QueryServer::AdmitBatch(const net::Endpoint& from,
+                             const std::vector<uint8_t>& payload) {
+  const net::Endpoint self{host_, kQueryServerPort};
+  QueuedClone entry;
+  entry.from = from;
+  entry.tracked = receiver_.enabled();
+  std::vector<uint8_t> inner;
+  const std::vector<uint8_t>* body = &payload;
+  if (entry.tracked) {
+    if (!net::ReliableReceiver::PeekSeq(payload, &entry.seq)) return;
+    if (receiver_.TestSeen(from, entry.seq)) {
+      receiver_.SendAck(self, from, entry.seq);
+      return;
+    }
+    if (!net::ReliableReceiver::StripEnvelope(payload, &inner)) return;
+    body = &inner;
+  }
+  serialize::Decoder dec(*body);
+  query::CloneBatch batch;
+  if (const Status status = query::CloneBatch::DecodeFrom(&dec, &batch);
+      !status.ok()) {
+    ++stats_.decode_errors;
+    WEBDIS_LOG(kWarning) << host_ << ": bad clone batch: "
+                         << status.ToString();
+    if (entry.tracked) {
+      if (WalEnabled()) {
+        serialize::Encoder rec;
+        WalTransferSeen{from, entry.seq}.EncodeTo(&rec);
+        AppendWalRecord(WalRecordType::kTransferSeen, rec);
+      }
+      (void)receiver_.AcceptSeq(self, from, entry.seq);
+    }
+    return;
+  }
+  entry.clones = std::move(batch.clones);
+
+  // Capacity is counted in members, and the batch is all-or-none: either
+  // every member fits or the whole unit is NACKed (tracked) / shed with
+  // explicit reports (untracked) — a partial accept under the batch's
+  // single ack would silently lose the rest. An empty queue always admits,
+  // whatever the batch size: without this exception a batch larger than
+  // max_pending could never be admitted and a tracked sender would NACK-
+  // retry it forever.
+  const size_t members = PendingMembers();
+  if (!pending_clones_.empty() &&
+      members + entry.clones.size() > options_.admission.max_pending) {
+    ++stats_.batches_shed;
+    stats_.clones_shed += entry.clones.size();
+    if (entry.tracked) {
+      receiver_.SendOverloaded(self, from, entry.seq);
+      ++stats_.overload_nacks_sent;
+    } else {
+      ShedClone(std::move(entry));
+    }
+    return;
+  }
+  entry.wal_id = PersistAdmitBatch(entry.from, entry.tracked, entry.seq,
+                                   entry.clones);
+  if (entry.tracked && WalEnabled()) {
+    if (!receiver_.AcceptSeq(self, entry.from, entry.seq)) {
+      FinishWalUnit(entry);
+      return;  // raced with another copy of the same transfer
+    }
+    entry.acked = true;
+  }
+  ++stats_.clone_batches_received;
+  stats_.clone_batch_members_received += entry.clones.size();
+  pending_clones_.push_back(std::move(entry));
+  stats_.queue_peak =
+      std::max<uint64_t>(stats_.queue_peak, PendingMembers());
   ScheduleDrain();
 }
 
@@ -358,48 +521,58 @@ void QueryServer::DrainOne() {
   if (next.tracked && !next.acked &&
       !receiver_.AcceptSeq(net::Endpoint{host_, kQueryServerPort}, next.from,
                            next.seq)) {
-    FinishWalClone(next.wal_id);
+    FinishWalUnit(next);
     return;  // a retransmitted copy of this transfer was queued twice
   }
-  ProcessCloneDurable(std::move(next.clone), next.wal_id);
+  // A batch unit is one service slot: its members were one wire message and
+  // share one ack, so they drain together.
+  for (size_t i = 0; i < next.clones.size(); ++i) {
+    ProcessCloneDurable(std::move(next.clones[i]),
+                        next.wal_id == 0 ? 0 : next.wal_id + i);
+  }
 }
 
 void QueryServer::ShedClone(QueuedClone shed) {
-  // Every path below is terminal for the clone, so its kCloneCompleted
-  // record (when persisted) is due regardless of which branch runs.
-  const uint64_t wal_id = shed.wal_id;
+  // Every path below is terminal for every member, so each member's
+  // kCloneCompleted record (when persisted) is due regardless of branch.
   const net::Endpoint self{host_, kQueryServerPort};
   if (shed.tracked && !shed.acked &&
       !receiver_.AcceptSeq(self, shed.from, shed.seq)) {
-    FinishWalClone(wal_id);
+    FinishWalUnit(shed);
     return;  // replay of a committed transfer: already handled once
   }
-  if (terminated_queries_.contains(shed.clone.id.Key())) {
+  for (size_t i = 0; i < shed.clones.size(); ++i) {
+    query::WebQuery& clone = shed.clones[i];
+    const uint64_t wal_id = shed.wal_id == 0 ? 0 : shed.wal_id + i;
+    if (terminated_queries_.contains(clone.id.Key())) {
+      FinishWalClone(wal_id);
+      continue;
+    }
+    if (clone.ack_mode) {
+      // Ack-tree baseline: a shed clone is a leaf — ack the parent so the
+      // tree still completes.
+      SendAck(net::Endpoint{clone.ack_parent_host, clone.ack_parent_port},
+              clone.ack_token);
+      FinishWalClone(wal_id);
+      continue;
+    }
+    std::vector<query::NodeReport> reports;
+    reports.reserve(clone.dest_urls.size());
+    for (const std::string& url : clone.dest_urls) {
+      reports.push_back(MakeBudgetReport(url, clone.State()));
+    }
+    (void)DispatchReports(clone, std::move(reports));
     FinishWalClone(wal_id);
-    return;
   }
-  if (shed.clone.ack_mode) {
-    // Ack-tree baseline: a shed clone is a leaf — ack the parent so the
-    // tree still completes.
-    SendAck(net::Endpoint{shed.clone.ack_parent_host,
-                          shed.clone.ack_parent_port},
-            shed.clone.ack_token);
-    FinishWalClone(wal_id);
-    return;
-  }
-  std::vector<query::NodeReport> reports;
-  reports.reserve(shed.clone.dest_urls.size());
-  for (const std::string& url : shed.clone.dest_urls) {
-    reports.push_back(MakeBudgetReport(url, shed.clone.State()));
-  }
-  (void)DispatchReports(shed.clone, std::move(reports));
-  FinishWalClone(wal_id);
 }
 
 const relational::Database& QueryServer::NodeDatabase(
     const web::WebGraph::Document& doc) {
   if (options_.cache_databases) {
-    const std::string key = doc.url.ResourceKey();
+    // The version stamp keeps the cache honest against UpdateDocument: an
+    // edited page gets a fresh key, and the stale entry ages out via LRU.
+    const std::string key =
+        doc.url.ResourceKey() + "@" + std::to_string(doc.version);
     auto it = db_cache_index_.find(key);
     if (it != db_cache_index_.end()) {
       ++stats_.db_cache_hits;
@@ -437,6 +610,89 @@ const relational::Database& QueryServer::NodeDatabase(
   return scratch_db_;
 }
 
+std::string QueryServer::ResultCacheKey(const web::WebGraph::Document& doc,
+                                        const query::NodeQuery& nq) {
+  // The node-query's wire encoding IS its canonical form: two clones of
+  // different queries carrying the same select hit the same entry. The
+  // version stamp is the staleness rule (§9.1): an edited document changes
+  // the key, so a stale result can never be served.
+  serialize::Encoder enc;
+  nq.EncodeTo(&enc);
+  std::string key = doc.url.ResourceKey();
+  key += '@';
+  key += std::to_string(doc.version);
+  key += '|';
+  key.append(reinterpret_cast<const char*>(enc.data().data()), enc.size());
+  return key;
+}
+
+const relational::ResultSet* QueryServer::ResultCacheLookup(
+    const std::string& key) {
+  auto it = result_cache_index_.find(key);
+  if (it == result_cache_index_.end()) return nullptr;
+  result_cache_lru_.splice(result_cache_lru_.begin(), result_cache_lru_,
+                           it->second);
+  return &it->second->rows;
+}
+
+void QueryServer::ResultCacheInsert(std::string key,
+                                    const relational::ResultSet& rows) {
+  CachedResult entry;
+  entry.bytes = key.size() + sizeof(CachedResult);
+  for (const std::string& label : rows.column_labels) {
+    entry.bytes += label.size();
+  }
+  for (const relational::Tuple& row : rows.rows) {
+    for (const relational::Value& v : row) entry.bytes += v.ApproxBytes();
+  }
+  entry.key = std::move(key);
+  entry.rows = rows;  // empty results are cached too — misses are work
+  result_cache_bytes_ += entry.bytes;
+  result_cache_lru_.push_front(std::move(entry));
+  result_cache_index_[result_cache_lru_.front().key] =
+      result_cache_lru_.begin();
+  if (options_.result_cache_max_bytes > 0) {
+    // Evict cold entries until the budget holds; the just-inserted entry
+    // survives even when it alone exceeds the budget (mirrors the DB
+    // cache's rule — the caller holds no reference here, but evicting the
+    // newest entry would make a one-entry cache thrash forever).
+    while (result_cache_bytes_ > options_.result_cache_max_bytes &&
+           result_cache_lru_.size() > 1) {
+      CachedResult& victim = result_cache_lru_.back();
+      result_cache_bytes_ -= victim.bytes;
+      ++stats_.result_cache_evictions;
+      result_cache_index_.erase(victim.key);
+      result_cache_lru_.pop_back();
+    }
+  }
+}
+
+bool QueryServer::EvaluateNodeQuery(const query::NodeQuery& nq,
+                                    const web::WebGraph::Document& doc,
+                                    const relational::Database& db,
+                                    relational::ResultSet* out) {
+  std::string key;
+  if (options_.share_results) {
+    key = ResultCacheKey(doc, nq);
+    if (const relational::ResultSet* hit = ResultCacheLookup(key)) {
+      ++stats_.result_cache_hits;
+      *out = *hit;
+      return true;
+    }
+    ++stats_.result_cache_misses;
+  }
+  auto result = relational::Execute(nq.select, db);
+  if (!result.ok()) {
+    WEBDIS_LOG(kWarning) << host_ << ": node-query failed on "
+                         << doc.url.ResourceKey() << ": "
+                         << result.status().ToString();
+    return false;
+  }
+  if (options_.share_results) ResultCacheInsert(std::move(key), *result);
+  *out = std::move(result).value();
+  return true;
+}
+
 void QueryServer::ProcessStage(const query::WebQuery& clone,
                                const web::WebGraph::Document& doc,
                                const relational::Database& db, size_t stage,
@@ -444,18 +700,17 @@ void QueryServer::ProcessStage(const query::WebQuery& clone,
                                query::NodeReport* report,
                                std::vector<Forward>* forwards) {
   // ServerRouter half: the PRE admits the zero-length path here, so the
-  // stage's node-query is evaluated against this node's virtual relations.
+  // stage's node-query is evaluated against this node's virtual relations
+  // (through the cross-query result cache when share_results is on).
   if (rem.ContainsNull()) {
     ++stats_.node_queries_evaluated;
     const query::NodeQuery& nq = clone.remaining_queries[stage];
-    auto result = relational::Execute(nq.select, db);
-    if (!result.ok()) {
-      WEBDIS_LOG(kWarning) << host_ << ": node-query failed on "
-                           << doc.url.ResourceKey() << ": "
-                           << result.status().ToString();
-    } else if (!result->rows.empty()) {
+    relational::ResultSet rows;
+    if (!EvaluateNodeQuery(nq, doc, db, &rows)) {
+      // Evaluation error: logged inside, nothing to report or advance.
+    } else if (!rows.rows.empty()) {
       ++stats_.answers_found;
-      report->result_sets.push_back(std::move(result).value());
+      report->result_sets.push_back(std::move(rows));
       // Advance to the next (PRE, node-query) stage from this node — only
       // from nodes that answered (Figure 1's node 7 rule).
       if (stage + 1 < clone.remaining_queries.size()) {
@@ -586,6 +841,19 @@ bool QueryServer::DispatchReports(const query::WebQuery& clone,
       qr.node_reports.push_back(std::move(nr));
       messages.push_back(std::move(qr));
     }
+  }
+  if (BatchingEnabled() && !clone.ack_mode) {
+    // Cross-query batching (§9.2): stage for the next flush window, where
+    // reports of *different* queries to the same user-site host share one
+    // kReportBatch envelope. Passive-termination detection moves to flush
+    // time — the flush vetoes staged forwards of terminated queries, so
+    // the no-forwarding-after-termination contract still holds (§9.3).
+    auto& staged = staged_reports_[clone.id.reply_host];
+    for (query::QueryReport& qr : messages) {
+      staged.push_back(std::move(qr));
+    }
+    ScheduleFlush();
+    return true;
   }
   for (const query::QueryReport& qr : messages) {
     serialize::Encoder enc;
@@ -835,6 +1103,15 @@ void QueryServer::ProcessClone(query::WebQuery clone) {
       }
       continue;
     }
+    if (BatchingEnabled() && !clone.ack_mode) {
+      // Cross-query batching (§9.2): stage for the next flush window, where
+      // clones of *different* queries to the same destination host share
+      // one kCloneBatch envelope. The breaker was consulted above; refusal
+      // handling (undeliverable follow-ups) moves to flush time.
+      staged_clones_[out.dest_host].push_back(std::move(next));
+      ScheduleFlush();
+      continue;
+    }
     serialize::Encoder enc;
     next.EncodeTo(&enc);
     const Status status =
@@ -922,6 +1199,30 @@ uint64_t QueryServer::PersistAdmit(const net::Endpoint& from, bool tracked,
   return id;
 }
 
+uint64_t QueryServer::PersistAdmitBatch(
+    const net::Endpoint& from, bool tracked, uint64_t seq,
+    const std::vector<query::WebQuery>& clones) {
+  if (!PersistEnabled()) return 0;
+  const uint64_t first = next_wal_id_;
+  next_wal_id_ += clones.size();
+  if (WalEnabled()) {
+    // One record covering every member, appended before the single batch
+    // ack (§9.2): all-or-none durability matches all-or-none admission.
+    serialize::Encoder payload;
+    WalBatchAdmitted::EncodeFields(first, from, tracked, seq, clones,
+                                   &payload);
+    AppendWalRecord(WalRecordType::kBatchAdmitted, payload);
+  }
+  return first;
+}
+
+void QueryServer::FinishWalUnit(const QueuedClone& unit) {
+  if (unit.wal_id == 0) return;
+  for (size_t i = 0; i < unit.clones.size(); ++i) {
+    FinishWalClone(unit.wal_id + i);
+  }
+}
+
 void QueryServer::FinishWalClone(uint64_t wal_id) {
   if (wal_id == 0) return;
   if (WalEnabled()) {
@@ -938,8 +1239,199 @@ void QueryServer::ProcessCloneDurable(query::WebQuery clone,
   ProcessClone(std::move(clone));
   // Every exit from ProcessClone is terminal for this clone (evaluated,
   // expired, invalid, or dropped as terminated), so the completion record
-  // is due unconditionally.
+  // is due unconditionally — but with batching on, the clone's output may
+  // still sit in the staging maps. Writing kCloneCompleted now would make
+  // a crash-in-the-gap lose the staged reports with no replay to
+  // regenerate them (a CHT hang); defer the record past the next flush.
+  if (wal_id != 0 && BatchingEnabled()) {
+    wal_pending_flush_.push_back(wal_id);
+    ScheduleFlush();
+    return;
+  }
   FinishWalClone(wal_id);
+}
+
+void QueryServer::ScheduleFlush() {
+  if (flush_timer_ != 0) return;
+  if (staged_clones_.empty() && staged_reports_.empty() &&
+      wal_pending_flush_.empty()) {
+    return;
+  }
+  flush_timer_ = transport_->ScheduleAfter(options_.batch_window, [this] {
+    flush_timer_ = 0;
+    FlushBatches();
+  });
+}
+
+void QueryServer::FlushBatches() {
+  const net::Endpoint self{host_, kQueryServerPort};
+  // Take the staged state up front: refusal handling below routes through
+  // DispatchReports, which may stage fresh follow-ups (flushed next
+  // window) — iterating the live maps while that happens would be UB.
+  std::map<std::string, std::vector<query::QueryReport>> reports;
+  std::map<std::string, std::vector<query::WebQuery>> clones;
+  std::vector<uint64_t> finished;
+  reports.swap(staged_reports_);
+  clones.swap(staged_clones_);
+  finished.swap(wal_pending_flush_);
+
+  // -- Reports first (the §2.7.1 ordering holds across the flush too) -------
+  for (auto& [reply_host, members] : reports) {
+    size_t begin = 0;
+    while (begin < members.size()) {
+      const size_t end =
+          std::min(members.size(), begin + options_.batch_max_members);
+      const size_t count = end - begin;
+      if (count == 1) {
+        // A lone member gains nothing from an envelope: send it as a plain
+        // kReport with the standard refusal semantics.
+        query::QueryReport& qr = members[begin];
+        const net::Endpoint user_site{qr.id.reply_host, qr.id.reply_port};
+        serialize::Encoder enc;
+        qr.EncodeTo(&enc);
+        const Status status = sender_.Send(
+            self, user_site, net::MessageType::kReport, enc.Release());
+        if (status.code() == StatusCode::kConnectionRefused) {
+          ++stats_.passive_terminations;
+          terminated_queries_.insert(qr.id.Key());
+          log_table_.PurgeQuery(qr.id.Key());
+        } else if (!status.ok()) {
+          ++stats_.report_send_errors;
+        }
+        ++begin;
+        continue;
+      }
+      // The carrier socket is the lowest member port: deterministic, and
+      // any member socket works — the user site demultiplexes by QueryId.
+      query::ReportBatch batch;
+      uint16_t carrier_port = std::numeric_limits<uint16_t>::max();
+      for (size_t i = begin; i < end; ++i) {
+        carrier_port = std::min(carrier_port, members[i].id.reply_port);
+        batch.reports.push_back(std::move(members[i]));
+      }
+      serialize::Encoder enc;
+      batch.EncodeTo(&enc);
+      const Status status =
+          sender_.Send(self, net::Endpoint{reply_host, carrier_port},
+                       net::MessageType::kReportBatch, enc.Release());
+      if (status.code() == StatusCode::kConnectionRefused) {
+        // Only the CARRIER socket is provably closed — terminate the
+        // queries bound to that port passively (§2.8) and resend the other
+        // members individually so one completed query cannot take its
+        // batch peers down with it.
+        for (query::QueryReport& qr : batch.reports) {
+          if (qr.id.reply_port == carrier_port) {
+            ++stats_.passive_terminations;
+            terminated_queries_.insert(qr.id.Key());
+            log_table_.PurgeQuery(qr.id.Key());
+            continue;
+          }
+          const net::Endpoint user_site{qr.id.reply_host, qr.id.reply_port};
+          serialize::Encoder single;
+          qr.EncodeTo(&single);
+          const Status resend =
+              sender_.Send(self, user_site, net::MessageType::kReport,
+                           single.Release());
+          if (resend.code() == StatusCode::kConnectionRefused) {
+            ++stats_.passive_terminations;
+            terminated_queries_.insert(qr.id.Key());
+            log_table_.PurgeQuery(qr.id.Key());
+          } else if (!resend.ok()) {
+            ++stats_.report_send_errors;
+          }
+        }
+      } else if (!status.ok()) {
+        ++stats_.report_send_errors;
+      } else {
+        ++stats_.report_batches_sent;
+        stats_.report_batch_members_sent += count;
+      }
+      begin = end;
+    }
+  }
+
+  // -- Then clones (§2.7.1: every member's reports went out above) ----------
+  for (auto& [dest_host, members] : clones) {
+    // Members of queries passively terminated since staging (including by
+    // the report flush just above) must not be forwarded — resurrecting a
+    // query the user abandoned is exactly what §2.8 forbids.
+    std::erase_if(members, [this](const query::WebQuery& m) {
+      return terminated_queries_.contains(m.id.Key());
+    });
+    size_t begin = 0;
+    while (begin < members.size()) {
+      const size_t end =
+          std::min(members.size(), begin + options_.batch_max_members);
+      const size_t count = end - begin;
+      Status status = Status::OK();
+      if (count == 1) {
+        serialize::Encoder enc;
+        members[begin].EncodeTo(&enc);
+        status = sender_.Send(self,
+                              net::Endpoint{dest_host, kQueryServerPort},
+                              net::MessageType::kWebQuery, enc.Release());
+      } else {
+        query::CloneBatch batch;
+        for (size_t i = begin; i < end; ++i) {
+          batch.clones.push_back(std::move(members[i]));
+        }
+        serialize::Encoder enc;
+        batch.EncodeTo(&enc);
+        status = sender_.Send(self,
+                              net::Endpoint{dest_host, kQueryServerPort},
+                              net::MessageType::kCloneBatch, enc.Release());
+        // Move the members back so the refusal path below can still name
+        // every destination node in its follow-up reports.
+        for (size_t i = begin; i < end; ++i) {
+          members[i] = std::move(batch.clones[i - begin]);
+        }
+      }
+      if (status.code() == StatusCode::kConnectionRefused) {
+        // No query server at the destination: announce-then-delete every
+        // member's CHT entries, exactly like the unbatched refusal path.
+        stats_.undeliverable_forwards += count;
+        breakers_.RecordFailure(dest_host, Now());
+        for (size_t i = begin; i < end; ++i) {
+          const query::WebQuery& member = members[i];
+          std::vector<query::NodeReport> followups;
+          followups.reserve(member.dest_urls.size());
+          for (const std::string& url : member.dest_urls) {
+            query::NodeReport nr;
+            nr.node_url = url;
+            nr.received_state = member.State();
+            nr.undeliverable = true;
+            followups.push_back(std::move(nr));
+          }
+          (void)DispatchReports(member, std::move(followups));
+        }
+      } else if (!status.ok()) {
+        stats_.forward_send_errors += count;
+      } else {
+        if (!sender_.enabled()) breakers_.RecordSuccess(dest_host, Now());
+        stats_.clones_forwarded += count;
+        if (count > 1) {
+          ++stats_.clone_batches_sent;
+          stats_.clone_batch_members_sent += count;
+        }
+      }
+      begin = end;
+    }
+  }
+
+  // -- Deferred WAL completions: the staged output above is on the wire (or
+  // explicitly reported undeliverable), so the clones are now terminal. If
+  // a refusal staged fresh follow-ups, those still belong to these clones'
+  // outputs — keep their completions deferred one more round, or a crash
+  // before the next flush would lose the follow-ups unreplayably.
+  if (staged_reports_.empty() && staged_clones_.empty()) {
+    for (const uint64_t wal_id : finished) {
+      FinishWalClone(wal_id);
+    }
+  } else {
+    wal_pending_flush_.insert(wal_pending_flush_.end(), finished.begin(),
+                              finished.end());
+  }
+  ScheduleFlush();
 }
 
 void QueryServer::MaybeSnapshot() {
@@ -964,13 +1456,19 @@ void QueryServer::WriteSnapshotNow() {
     state.seen_transfers.emplace_back(from, seq);
   });
   for (const QueuedClone& queued : pending_clones_) {
-    DurablePendingClone pending;
-    pending.record_id = queued.wal_id;
-    pending.from = queued.from;
-    pending.tracked = queued.tracked;
-    pending.seq = queued.seq;
-    pending.clone = queued.clone.Clone();
-    state.pending_clones.push_back(std::move(pending));
+    // Batch units flatten to one per-member entry (the snapshot codec is
+    // member-granular). Carrier rule: the unit's single transfer seq rides
+    // on member 0 only — a second entry re-committing it at drain time
+    // would read as a replay and silently drop that member.
+    for (size_t i = 0; i < queued.clones.size(); ++i) {
+      DurablePendingClone pending;
+      pending.record_id = queued.wal_id == 0 ? 0 : queued.wal_id + i;
+      pending.from = queued.from;
+      pending.tracked = queued.tracked && i == 0;
+      pending.seq = i == 0 ? queued.seq : 0;
+      pending.clone = queued.clones[i].Clone();
+      state.pending_clones.push_back(std::move(pending));
+    }
   }
   const Status status = persist_->WriteSnapshot(EncodeSnapshot(state));
   if (!status.ok()) {
@@ -1084,6 +1582,31 @@ void QueryServer::Recover() {
             ++stats_.replayed_wal_records;
             break;
           }
+          case WalRecordType::kBatchAdmitted: {
+            WalBatchAdmitted admitted;
+            if (!WalBatchAdmitted::DecodeFrom(&dec, &admitted).ok()) break;
+            max_wal_id = std::max(
+                max_wal_id,
+                admitted.first_record_id + admitted.clones.size() - 1);
+            if (admitted.tracked) {
+              receiver_.RestoreSeen(admitted.from, admitted.seq);
+            }
+            for (size_t i = 0; i < admitted.clones.size(); ++i) {
+              const uint64_t id = admitted.first_record_id + i;
+              if (id <= state.last_wal_id) continue;  // in the snapshot
+              DurablePendingClone p;
+              p.record_id = id;
+              p.from = admitted.from;
+              // Carrier rule (see WriteSnapshotNow): the unit's single seq
+              // rides on member 0 only.
+              p.tracked = admitted.tracked && i == 0;
+              p.seq = i == 0 ? admitted.seq : 0;
+              p.clone = std::move(admitted.clones[i]);
+              pending.emplace(id, std::move(p));
+            }
+            ++stats_.replayed_wal_records;
+            break;
+          }
         }
       }
     }
@@ -1107,13 +1630,13 @@ void QueryServer::Recover() {
     entry.from = p.from;
     entry.tracked = p.tracked;
     entry.seq = p.seq;
-    entry.clone = std::move(p.clone);
+    entry.clones.push_back(std::move(p.clone));
     entry.wal_id = id;
     entry.acked = p.tracked && WalEnabled();
     if (options_.admission.max_pending != 0) {
       pending_clones_.push_back(std::move(entry));
     } else {
-      ProcessCloneDurable(std::move(entry.clone), entry.wal_id);
+      ProcessCloneDurable(std::move(entry.clones.front()), entry.wal_id);
     }
   }
   if (!pending_clones_.empty()) {

@@ -77,6 +77,23 @@ struct QueryServerOptions {
   /// a site hosting many documents no longer grows its cache without bound.
   /// Sizes are Database::ApproxBytes() estimates.
   uint64_t db_cache_max_bytes = 0;
+  /// Cross-query result sharing (PROTOCOL.md §9.1): cache node-query
+  /// results keyed on (document, document version, canonical node-query
+  /// form) so each distinct node query is evaluated against a document once
+  /// per version — across *all* concurrent queries. Off by default (the
+  /// paper's servers share nothing between queries). Purely a wall-clock
+  /// optimization: hit or miss produce byte-identical reports.
+  bool share_results = false;
+  /// Byte budget for the result cache (0 = unbounded); LRU-evicted.
+  uint64_t result_cache_max_bytes = 0;
+  /// Cross-query batched envelopes (PROTOCOL.md §9.2): outbound clones and
+  /// reports are staged per destination host and flushed after this window
+  /// as kCloneBatch / kReportBatch messages (0 = off: every send goes out
+  /// immediately, the seed behavior). Requires transport timer support;
+  /// without timers the option is inert.
+  SimDuration batch_window = 0;
+  /// Maximum members per flushed envelope; larger groups are split.
+  size_t batch_max_members = 64;
   /// Purge the log table after this many clone arrivals (0 = never). The
   /// paper purges periodically; an early purge costs only recomputation.
   uint64_t log_purge_every = 0;
@@ -148,6 +165,18 @@ struct QueryServerStats {
   uint64_t wal_records_discarded = 0;   // torn/corrupt WAL tail dropped
   uint64_t snapshot_load_rejected = 0;  // bad magic/version/checksum
   uint64_t recovered_clones = 0;  // pending clones re-enqueued at recovery
+  // Cross-query sharing (PROTOCOL.md §9):
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_evictions = 0;  // LRU entries dropped for the budget
+  uint64_t result_cache_bytes = 0;      // current footprint (approximate)
+  uint64_t clone_batches_sent = 0;      // kCloneBatch envelopes dispatched
+  uint64_t clone_batch_members_sent = 0;
+  uint64_t clone_batches_received = 0;
+  uint64_t clone_batch_members_received = 0;
+  uint64_t report_batches_sent = 0;     // kReportBatch envelopes dispatched
+  uint64_t report_batch_members_sent = 0;
+  uint64_t batches_shed = 0;  // whole batch units NACKed/shed at admission
 };
 
 /// One per-node visit, emitted to the observer hook (used by the figure
@@ -248,20 +277,27 @@ class QueryServer {
     size_t origin_report = 0;
   };
 
-  /// One admitted clone awaiting its service slot. `tracked` transfers
-  /// carry the delivery seq; their ack is deferred until the dequeue
-  /// commits (acking a clone that may still be shed would turn the shed
-  /// into silent loss — see ReliableReceiver's deferred-acceptance API).
+  /// One admitted transfer unit awaiting its service slot. `tracked`
+  /// transfers carry the delivery seq; their ack is deferred until the
+  /// dequeue commits (acking a unit that may still be shed would turn the
+  /// shed into silent loss — see ReliableReceiver's deferred-acceptance
+  /// API). A kWebQuery transfer holds exactly one member; a kCloneBatch
+  /// transfer holds all its members in ONE unit (PROTOCOL.md §9.2) — the
+  /// batch shares one seq/ack, so admission, eviction and shed are always
+  /// all-or-none across the members (a partial accept under one ack would
+  /// silently lose the rest).
   struct QueuedClone {
     net::Endpoint from;
     bool tracked = false;
     uint64_t seq = 0;
-    query::WebQuery clone;
+    std::vector<query::WebQuery> clones;
     /// Durability (PROTOCOL.md §8): id of the kCloneAdmitted WAL record
-    /// covering this clone (0 = not persisted). With the clone durable the
-    /// ack is safe to send at admission — `acked` records that, so dequeue
-    /// and shed must not re-commit the transfer seq (AcceptSeq on a
-    /// committed seq reads as a replay and would drop the clone).
+    /// covering a single clone, or the FIRST id of the kBatchAdmitted
+    /// record covering a batch — member i owns wal_id + i (ids are
+    /// contiguous). 0 = not persisted. With the unit durable the ack is
+    /// safe to send at admission — `acked` records that, so dequeue and
+    /// shed must not re-commit the transfer seq (AcceptSeq on a committed
+    /// seq reads as a replay and would drop the unit).
     uint64_t wal_id = 0;
     bool acked = false;
   };
@@ -271,12 +307,46 @@ class QueryServer {
   /// Admission control front door for kWebQuery (PROTOCOL.md §7.2).
   void AdmitClone(const net::Endpoint& from,
                   const std::vector<uint8_t>& payload);
+  /// Admission front door for kCloneBatch (PROTOCOL.md §9.2): the batch is
+  /// admitted or rejected as ONE unit — a shed batch NACKs every member.
+  void AdmitBatch(const net::Endpoint& from,
+                  const std::vector<uint8_t>& payload);
   void ScheduleDrain();
   void DrainOne();
   /// Terminal shed: acks tracked transfers (so the sender stops), then
-  /// reports every destination node budget-exceeded so the CHT settles.
+  /// reports every destination node of every member budget-exceeded so the
+  /// CHT settles.
   void ShedClone(QueuedClone shed);
+  /// Queued members across units (admission capacity counts members, not
+  /// units — a 10-member batch occupies 10 slots).
+  size_t PendingMembers() const;
   SimTime Now() const { return clock_ ? clock_() : 0; }
+
+  // -- Cross-query sharing (PROTOCOL.md §9) --------------------------------
+  /// Batching is live only on transports with timers (a flush needs a
+  /// window to wait out).
+  bool BatchingEnabled() const {
+    return options_.batch_window > 0 && transport_->SupportsTimers();
+  }
+  /// Cache key: "<resource key>@<version>|<canonical node-query bytes>".
+  static std::string ResultCacheKey(const web::WebGraph::Document& doc,
+                                    const query::NodeQuery& nq);
+  /// Evaluates one node-query against the node database, through the
+  /// result cache when share_results is on. Returns false on evaluation
+  /// error. Hit or miss, *out is byte-identical — the cache is a pure
+  /// wall-clock optimization.
+  bool EvaluateNodeQuery(const query::NodeQuery& nq,
+                         const web::WebGraph::Document& doc,
+                         const relational::Database& db,
+                         relational::ResultSet* out);
+  const relational::ResultSet* ResultCacheLookup(const std::string& key);
+  void ResultCacheInsert(std::string key, const relational::ResultSet& rows);
+  /// Arms the flush timer when anything is staged.
+  void ScheduleFlush();
+  /// Flushes staged reports first (passive terminations are discovered
+  /// here and veto staged forwards of the terminated queries), then staged
+  /// clones, then the deferred WAL completion records.
+  void FlushBatches();
 
   // -- Durability (PROTOCOL.md §8) ----------------------------------------
   bool PersistEnabled() const {
@@ -292,6 +362,15 @@ class QueryServer {
   /// Returns the record id, 0 when persistence is off.
   uint64_t PersistAdmit(const net::Endpoint& from, bool tracked, uint64_t seq,
                         const query::WebQuery& clone);
+  /// Batch form (PROTOCOL.md §9.2): assigns n contiguous record ids and
+  /// logs ONE kBatchAdmitted record covering every member — the single
+  /// append that must precede the single batch ack. Returns the first id,
+  /// 0 when persistence is off.
+  uint64_t PersistAdmitBatch(const net::Endpoint& from, bool tracked,
+                             uint64_t seq,
+                             const std::vector<query::WebQuery>& clones);
+  /// FinishWalClone for every member id of one queued unit.
+  void FinishWalUnit(const QueuedClone& unit);
   /// Marks an admitted clone terminally processed (kCloneCompleted) and
   /// counts it toward the snapshot cadence. No-op for wal_id == 0.
   void FinishWalClone(uint64_t wal_id);
@@ -370,6 +449,33 @@ class QueryServer {
   std::map<std::string, std::list<CachedDatabase>::iterator> db_cache_index_;
   uint64_t db_cache_bytes_ = 0;
   relational::Database scratch_db_;  // non-cached working database
+  /// Cross-query result cache (PROTOCOL.md §9.1): LRU list (front = most
+  /// recently used) + index, bounded by options_.result_cache_max_bytes.
+  /// Keys embed the document version, so a stale entry is never *served*
+  /// (it simply ages out); the cache itself is volatile — cleared on
+  /// Crash(), never snapshotted (it is recomputable, not protocol state).
+  struct CachedResult {
+    std::string key;
+    relational::ResultSet rows;
+    uint64_t bytes = 0;
+  };
+  std::list<CachedResult> result_cache_lru_;
+  std::map<std::string, std::list<CachedResult>::iterator>
+      result_cache_index_;
+  uint64_t result_cache_bytes_ = 0;
+  /// Cross-query batching (PROTOCOL.md §9.2): outbound envelopes staged by
+  /// destination host / user-site host, flushed by flush_timer_ after
+  /// options_.batch_window. Volatile (a crash loses staged sends; the WAL
+  /// completion records below are deferred past the flush precisely so
+  /// replay regenerates them).
+  std::map<std::string, std::vector<query::WebQuery>> staged_clones_;
+  std::map<std::string, std::vector<query::QueryReport>> staged_reports_;
+  uint64_t flush_timer_ = 0;
+  /// WAL record ids whose clones were processed but whose staged output
+  /// has not been flushed yet: their kCloneCompleted records are written at
+  /// the end of the next flush (crash before that replays the clones, so
+  /// the staged-and-lost reports are regenerated — at-least-once).
+  std::vector<uint64_t> wal_pending_flush_;
   VisitObserver visit_observer_;
   bool started_ = false;
   /// Durability (PROTOCOL.md §8): storage backend (not owned), the next

@@ -22,6 +22,22 @@ Status WebGraph::AddDocument(std::string_view url, std::string html) {
   return Status::OK();
 }
 
+Status WebGraph::UpdateDocument(std::string_view url, std::string html) {
+  html::Url parsed_url;
+  WEBDIS_ASSIGN_OR_RETURN(parsed_url, html::ParseUrl(url));
+  const std::string key = parsed_url.ResourceKey();
+  auto it = docs_.find(key);
+  if (it == docs_.end()) {
+    return Status::InvalidArgument(
+        StringPrintf("no such document '%s'", key.c_str()));
+  }
+  Document& doc = it->second;
+  doc.parsed = html::ParseDocument(doc.url, html);
+  doc.raw_html = std::move(html);
+  ++doc.version;
+  return Status::OK();
+}
+
 const WebGraph::Document* WebGraph::Find(std::string_view url) const {
   auto parsed = html::ParseUrl(url);
   if (!parsed.ok()) return nullptr;

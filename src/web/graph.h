@@ -22,6 +22,10 @@ class WebGraph {
     html::Url url;
     std::string raw_html;
     html::ParsedDocument parsed;  // parse is cached at insertion
+    /// Monotonic edit counter, bumped by UpdateDocument. The cross-query
+    /// result cache (PROTOCOL.md §9.1) keys on it: a cached node-query
+    /// result is valid only for the exact version it was computed against.
+    uint64_t version = 1;
   };
 
   WebGraph() = default;
@@ -33,6 +37,10 @@ class WebGraph {
   /// Parses and stores a document. Fails on an unparsable URL or duplicate
   /// resource.
   Status AddDocument(std::string_view url, std::string html);
+
+  /// Replaces an existing document's contents, re-parses, and bumps its
+  /// version stamp. Fails if the URL names no stored resource.
+  Status UpdateDocument(std::string_view url, std::string html);
 
   /// Looks up by resource key (URL without fragment); nullptr if absent.
   const Document* Find(std::string_view url) const;

@@ -150,6 +150,58 @@ TEST(PersistGoldenTest, QueryTerminatedImageIsStable) {
   EXPECT_EQ(out.query_key, "k");
 }
 
+TEST(PersistGoldenTest, BatchAdmittedImageIsStable) {
+  // Cross-query sharing (PROTOCOL.md §9.2): one append covers every member
+  // of an admitted clone batch. Members own the contiguous record ids
+  // first_record_id .. first_record_id + n - 1.
+  serialize::Encoder payload;
+  std::vector<query::WebQuery> members;
+  members.push_back(MinimalClone());
+  server::WalBatchAdmitted::EncodeFields(
+      /*first_record_id=*/1, net::Endpoint{"s", 2}, /*tracked=*/true,
+      /*seq=*/9, members, &payload);
+  const std::vector<uint8_t> record =
+      EncodeWalRecord(WalRecordType::kBatchAdmitted, payload.data());
+  EXPECT_EQ(Hex(record),
+            std::string("05"               /* type kBatchAdmitted */
+                        "48000000"         /* payload length 72 */
+                        "90d04ccc")        /* payload crc */
+                + "0100000000000000"       /* first_record_id 1 */
+                  "0173"                   /* from.host "s" */
+                  "0200"                   /* from.port 2 */
+                  "01"                     /* tracked */
+                  "0900000000000000"       /* seq 9 */
+                  "01"                     /* 1 member: */
+                + kMinimalCloneHex);
+
+  // Round-trip through the decoder.
+  serialize::Decoder dec(payload.data());
+  server::WalBatchAdmitted out;
+  ASSERT_TRUE(server::WalBatchAdmitted::DecodeFrom(&dec, &out).ok());
+  EXPECT_EQ(out.first_record_id, 1u);
+  EXPECT_EQ(out.from, (net::Endpoint{"s", 2}));
+  EXPECT_TRUE(out.tracked);
+  EXPECT_EQ(out.seq, 9u);
+  ASSERT_EQ(out.clones.size(), 1u);
+  EXPECT_EQ(out.clones[0].id.Key(), MinimalClone().id.Key());
+}
+
+TEST(PersistGoldenTest, BatchAdmittedEmptyRejected) {
+  // A zero-member batch record can never be replayed meaningfully; the
+  // decoder rejects it as corruption rather than admitting nothing.
+  serialize::Encoder payload;
+  payload.PutU64(1);
+  payload.PutString("s");
+  payload.PutU16(2);
+  payload.PutBool(true);
+  payload.PutU64(9);
+  payload.PutVarint(0);
+  serialize::Decoder dec(payload.data());
+  server::WalBatchAdmitted out;
+  EXPECT_EQ(server::WalBatchAdmitted::DecodeFrom(&dec, &out).code(),
+            StatusCode::kCorruption);
+}
+
 // -- WAL stream parsing ------------------------------------------------------
 
 TEST(PersistGoldenTest, DecodeWalParsesConcatenatedRecords) {

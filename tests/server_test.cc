@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/engine.h"
 #include "disql/compiler.h"
 #include "net/sim.h"
@@ -405,6 +407,168 @@ TEST_F(QueryServerTest, DbCacheEvictsLeastRecentlyUsed) {
   EXPECT_EQ(server_->stats().db_constructions, 3u);
   Deliver(MakeClone("N", "alpha", {"http://h/b"}));  // miss: B was the victim
   EXPECT_EQ(server_->stats().db_constructions, 4u);
+}
+
+// -- Cross-query result sharing (PROTOCOL.md §9.1) ---------------------------
+
+TEST_F(QueryServerTest, ResultCacheVersionBumpNeverServesStaleRows) {
+  QueryServerOptions options;
+  options.share_results = true;
+  options.dedup_enabled = false;  // force re-evaluation so the cache is hit
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  const query::WebQuery clone = MakeClone("N", "alpha", {"http://h/a"});
+  Deliver(clone);
+  EXPECT_EQ(server_->stats().result_cache_misses, 1u);
+  EXPECT_EQ(server_->stats().result_cache_hits, 0u);
+  ASSERT_EQ(reports_.size(), 1u);
+
+  // Same (document, version, node-query form) again: served from the cache,
+  // and the hit-path report is byte-identical to the miss-path one — the
+  // cache is a wall-clock optimization, never an observable behavior change.
+  Deliver(clone.Clone());
+  EXPECT_EQ(server_->stats().result_cache_hits, 1u);
+  EXPECT_EQ(server_->stats().result_cache_misses, 1u);
+  ASSERT_EQ(reports_.size(), 2u);
+  serialize::Encoder miss_enc;
+  serialize::Encoder hit_enc;
+  reports_[0].EncodeTo(&miss_enc);
+  reports_[1].EncodeTo(&hit_enc);
+  EXPECT_EQ(miss_enc.data(), hit_enc.data());
+  ASSERT_FALSE(reports_[1].node_reports[0].result_sets.empty());
+  EXPECT_FALSE(reports_[1].node_reports[0].result_sets[0].rows.empty());
+
+  // Editing /a bumps its version, so the cached entry's key no longer
+  // matches. The keyword is gone from the edited page: a stale hit would be
+  // visible as a phantom row.
+  web::PageSpec edited;
+  edited.title = "start gamma";
+  edited.links = {{"/b", "to b"}};
+  ASSERT_TRUE(
+      web_.UpdateDocument("http://h/a", web::RenderHtml(edited)).ok());
+  Deliver(clone.Clone());
+  EXPECT_EQ(server_->stats().result_cache_misses, 2u);
+  EXPECT_EQ(server_->stats().result_cache_hits, 1u);
+  ASSERT_EQ(reports_.size(), 3u);
+  for (const auto& rs : reports_[2].node_reports[0].result_sets) {
+    EXPECT_TRUE(rs.rows.empty());
+  }
+}
+
+TEST_F(QueryServerTest, ResultCacheEvictsLeastRecentlyUsed) {
+  // A third page so three distinct (document, node query) entries exist.
+  web::PageSpec c;
+  c.title = "c alpha";
+  ASSERT_TRUE(web_.AddDocument("http://h/c", web::RenderHtml(c)).ok());
+
+  QueryServerOptions options;
+  options.share_results = true;
+  options.dedup_enabled = false;
+
+  // Measurement pass with an unbounded cache: learn each entry's cost.
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));
+  const uint64_t bytes_a = server_->stats().result_cache_bytes;
+  Deliver(MakeClone("N", "alpha", {"http://h/b"}));
+  const uint64_t bytes_ab = server_->stats().result_cache_bytes;
+  Deliver(MakeClone("N", "alpha", {"http://h/c"}));
+  const uint64_t bytes_abc = server_->stats().result_cache_bytes;
+  ASSERT_GT(bytes_a, 0u);
+  ASSERT_GT(bytes_ab, bytes_a);
+  ASSERT_GT(bytes_abc, bytes_ab);
+  // Evicting B alone must bring A+B+C back under the A+B budget.
+  ASSERT_LE(bytes_abc - bytes_ab, bytes_ab - bytes_a);
+  EXPECT_EQ(server_->stats().result_cache_evictions, 0u);  // unbounded: never
+
+  // Bounded pass: budget holds exactly {A, B}.
+  options.result_cache_max_bytes = bytes_ab;
+  server_->Stop();
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  ASSERT_TRUE(server_->Start().ok());
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));
+  Deliver(MakeClone("N", "alpha", {"http://h/b"}));
+  EXPECT_EQ(server_->stats().result_cache_evictions, 0u);
+  // Re-touching A moves it to the front: B is now least recently used.
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));
+  EXPECT_EQ(server_->stats().result_cache_hits, 1u);
+  // Inserting C exceeds the budget and must evict B — not A (recently
+  // touched) and not C (just inserted).
+  Deliver(MakeClone("N", "alpha", {"http://h/c"}));
+  EXPECT_EQ(server_->stats().result_cache_evictions, 1u);
+  EXPECT_EQ(server_->stats().result_cache_bytes,
+            bytes_a + (bytes_abc - bytes_ab));
+  Deliver(MakeClone("N", "alpha", {"http://h/a"}));  // hit: A survived
+  EXPECT_EQ(server_->stats().result_cache_hits, 2u);
+  Deliver(MakeClone("N", "alpha", {"http://h/b"}));  // miss: B was the victim
+  EXPECT_EQ(server_->stats().result_cache_misses, 4u);
+  EXPECT_EQ(server_->stats().result_cache_hits, 2u);
+}
+
+TEST_F(QueryServerTest, ResultCacheColdAfterRestartWhileBatchMembersSurvive) {
+  server_->Stop();
+  MemoryPersistBackend backend{PersistFaultRules{}};
+  QueryServerOptions options;
+  options.share_results = true;
+  options.dedup_enabled = false;
+  options.persist.enabled = true;
+  options.persist.snapshot_every_clones = 0;
+  options.persist.wal_compact_bytes = 0;
+  options.admission.max_pending = 4;
+  // Queued clones drain one per second — slow enough that a crash at 500ms
+  // catches the batch members still in the admission queue, WAL-admitted
+  // but not yet evaluated.
+  options.admission.service_time = 1 * kSecond;
+  server_ = std::make_unique<QueryServer>("h", &web_, &net_, options);
+  server_->SetPersistence(&backend);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // Warm the cache: one miss, then one hit proves the entry is live.
+  const query::WebQuery warm = MakeClone("N", "alpha", {"http://h/a"});
+  Deliver(warm);
+  Deliver(warm.Clone());
+  EXPECT_EQ(server_->stats().result_cache_misses, 1u);
+  EXPECT_EQ(server_->stats().result_cache_hits, 1u);
+  ASSERT_EQ(reports_.size(), 2u);
+
+  // A two-member batch envelope: admitted as one kBatchAdmitted WAL record
+  // on arrival, then crashed out of the admission queue before the drain
+  // timer fires. Note the members re-use the warm clone's node query — if
+  // the cache survived the crash they would hit after recovery.
+  query::CloneBatch batch;
+  batch.clones.push_back(MakeClone("N", "alpha", {"http://h/a"}));
+  batch.clones.back().id.query_number = 2;
+  batch.clones.push_back(MakeClone("N", "alpha", {"http://h/b"}));
+  batch.clones.back().id.query_number = 3;
+  serialize::Encoder enc;
+  batch.EncodeTo(&enc);
+  net_.ScheduleAfter(500 * kMillisecond, [this] { server_->Crash(); });
+  ASSERT_TRUE(net_.Send({"user.site", 9000}, {"h", kQueryServerPort},
+                        net::MessageType::kCloneBatch, enc.Release())
+                  .ok());
+  net_.RunUntilIdle();
+  EXPECT_EQ(server_->stats().clone_batches_received, 1u);
+  EXPECT_EQ(server_->stats().clone_batch_members_received, 2u);
+  ASSERT_EQ(reports_.size(), 2u);  // nothing evaluated before the crash
+  EXPECT_EQ(server_->stats().result_cache_bytes, 0u);  // cache died with it
+
+  // Restart: both WAL-admitted members are recovered and reprocessed, but
+  // the result cache is rebuilt cold — the snapshot/WAL never carry it
+  // (DurableServerState has no cache fields), so the warm entry is gone and
+  // member 2's identical node query MISSES instead of hitting.
+  ASSERT_TRUE(server_->Restart().ok());
+  EXPECT_EQ(server_->stats().recovered_clones, 2u);
+  net_.RunUntilIdle();
+  ASSERT_EQ(reports_.size(), 4u);
+  std::multiset<uint32_t> recovered_queries = {reports_[2].id.query_number,
+                                               reports_[3].id.query_number};
+  EXPECT_EQ(recovered_queries, (std::multiset<uint32_t>{2, 3}));
+  EXPECT_EQ(server_->stats().result_cache_misses, 3u);  // both members cold
+  EXPECT_EQ(server_->stats().result_cache_hits, 1u);    // no post-crash hit
+  EXPECT_GT(server_->stats().result_cache_bytes, 0u);   // rebuilt, not lost
 }
 
 TEST_F(QueryServerTest, LogPurgePeriodCausesRecomputationOnly) {

@@ -257,6 +257,86 @@ TEST(WireGoldenTest, OverloadedFrame) {
                              "0900000000000000"));
 }
 
+TEST(WireGoldenTest, CloneBatchFrame) {
+  // kCloneBatch (PROTOCOL.md §9.2): varint member count, then each member's
+  // ordinary WebQuery image. The members belong to *different* queries —
+  // here query numbers 1 and 2 of the same user — bound for one host.
+  query::CloneBatch batch;
+  batch.clones.push_back(MinimalClone());
+  batch.clones.push_back(MinimalClone());
+  batch.clones[1].id.query_number = 2;
+  serialize::Encoder enc;
+  batch.EncodeTo(&enc);
+  // Second member: the minimal clone with query_number 2. The u32 query
+  // number sits after user "u" (4 hex chars) + host "h" (4) + port (4).
+  std::string second(kMinimalCloneHex);
+  second.replace(12, 8, "02000000");
+  EXPECT_EQ(Hex(Framed(net::MessageType::kCloneBatch, enc.data())),
+            ExpectedFrameHex(net::MessageType::kCloneBatch,
+                             "02" + std::string(kMinimalCloneHex) + second));
+}
+
+TEST(WireGoldenTest, CloneBatchSingleMemberFrame) {
+  // A 1-member batch is legal on the wire (the sender normally collapses it
+  // to a plain kWebQuery, but a receiver must accept it regardless).
+  query::CloneBatch batch;
+  batch.clones.push_back(MinimalClone());
+  serialize::Encoder enc;
+  batch.EncodeTo(&enc);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kCloneBatch, enc.data())),
+            ExpectedFrameHex(net::MessageType::kCloneBatch,
+                             "01" + std::string(kMinimalCloneHex)));
+}
+
+TEST(WireGoldenTest, CloneBatchEmptyRejected) {
+  // An empty batch is a protocol violation (§9.2): the decoder rejects it
+  // outright — admission must never see a zero-member unit.
+  serialize::Encoder enc;
+  enc.PutVarint(0);
+  serialize::Decoder dec(enc.data());
+  query::CloneBatch batch;
+  const Status status = query::CloneBatch::DecodeFrom(&dec, &batch);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(WireGoldenTest, ReportBatchFrame) {
+  // kReportBatch (PROTOCOL.md §9.3): varint count, then each member's
+  // ordinary QueryReport image. Members are reports for different queries
+  // of one user site; each member's QueryId carries its own reply port, so
+  // the envelope needs no routing fields of its own.
+  query::ReportBatch batch;
+  query::QueryReport first;
+  first.id.user = "u";
+  first.id.reply_host = "h";
+  first.id.reply_port = 1;
+  first.id.query_number = 1;
+  query::QueryReport second;
+  second.id.user = "u";
+  second.id.reply_host = "h";
+  second.id.reply_port = 2;
+  second.id.query_number = 2;
+  batch.reports.push_back(std::move(first));
+  batch.reports.push_back(std::move(second));
+  serialize::Encoder enc;
+  batch.EncodeTo(&enc);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kReportBatch, enc.data())),
+            ExpectedFrameHex(net::MessageType::kReportBatch,
+                             "02"
+                             "0175" "0168" "0100" "01000000" "00"
+                             "0175" "0168" "0200" "02000000" "00"));
+}
+
+TEST(WireGoldenTest, ReportBatchEmptyRejected) {
+  serialize::Encoder enc;
+  enc.PutVarint(0);
+  serialize::Decoder dec(enc.data());
+  query::ReportBatch batch;
+  const Status status = query::ReportBatch::DecodeFrom(&dec, &batch);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
 TEST(WireGoldenTest, DeliveryAckFrame) {
   // kDeliveryAck payload: u64 transfer_seq of the receipt (PROTOCOL.md
   // §6.1). The same u64 prefix forms the delivery envelope on tracked

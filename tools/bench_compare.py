@@ -17,6 +17,12 @@ virtual_ms / messages / bytes are *determinism* measures: they must match the
 baseline exactly for the same code, so a mismatch is printed as a warning
 (code changes legitimately move them; wall-clock is the only gate).
 
+A second gate runs within CURRENT alone: when the multiquery bench emits both
+s2_multiquery_q16 and s2_multiquery_shared_q16 rows, cross-query sharing must
+keep shared message traffic at or below half the unshared count (the
+sublinearity claim of the result cache + batch envelopes). A violation exits 1
+and prints the offending metric deltas, not a bare failure.
+
 Usage: bench_compare.py BASELINE CURRENT [--threshold 0.15]
 Exit: 0 ok (or no baseline), 1 regression, 2 usage/parse error.
 """
@@ -47,6 +53,44 @@ def load(path: str) -> dict[tuple[str, int], dict]:
     return rows
 
 
+SHARING_GATE_Q = 16
+SHARING_GATE_RATIO = 0.5
+
+
+def check_sharing(current: dict[tuple[str, int], dict]) -> list[str]:
+    """Sublinearity gate: shared q16 traffic must be <= half of unshared.
+
+    Returns a list of human-readable violations (empty when the gate passes
+    or the multiquery rows are absent). Each violation names the metric and
+    its delta so a failing CI log is actionable on its own.
+    """
+    plain = current.get((f"s2_multiquery_q{SHARING_GATE_Q}", 0))
+    shared = current.get((f"s2_multiquery_shared_q{SHARING_GATE_Q}", 0))
+    if plain is None or shared is None:
+        return []
+    violations: list[str] = []
+    for field in ("messages", "bytes"):
+        if field not in plain or field not in shared:
+            continue
+        base, cur = plain[field], shared[field]
+        limit = base * SHARING_GATE_RATIO
+        ratio = cur / base if base else float("inf")
+        verdict = "VIOLATION" if field == "messages" and cur > limit else "ok"
+        print(f"bench_compare: sharing q{SHARING_GATE_Q}: {field} "
+              f"unshared {base} -> shared {cur} "
+              f"({ratio:.2f}x, gate {SHARING_GATE_RATIO:.2f}x on messages) "
+              f"{verdict}")
+        if verdict == "VIOLATION":
+            violations.append(
+                f"shared {field} {cur} exceeds {limit:.0f} "
+                f"({SHARING_GATE_RATIO:.2f} x unshared {base}; "
+                f"delta +{cur - limit:.0f})")
+    if "cache_hit_rate" in shared:
+        print(f"bench_compare: sharing q{SHARING_GATE_Q}: cache_hit_rate "
+              f"{shared['cache_hit_rate']:.3f}")
+    return violations
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="stored baseline JSON-lines file")
@@ -55,12 +99,21 @@ def main() -> int:
                         help="allowed fractional wall_ms growth (default .15)")
     args = parser.parse_args()
 
+    try:
+        current = load(args.current)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+    sharing_violations = check_sharing(current)
+    for violation in sharing_violations:
+        print(f"bench_compare: sharing gate: {violation}", file=sys.stderr)
+
     if not os.path.exists(args.baseline):
-        print(f"bench_compare: no baseline at {args.baseline}; passing")
-        return 0
+        print(f"bench_compare: no baseline at {args.baseline}; passing"
+              f"{' (sharing gate still enforced)' if sharing_violations else ''}")
+        return 1 if sharing_violations else 0
     try:
         baseline = load(args.baseline)
-        current = load(args.current)
     except (OSError, ValueError) as e:
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
@@ -90,6 +143,10 @@ def main() -> int:
     if regressions:
         print(f"bench_compare: {len(regressions)} wall-clock regression(s) "
               f"beyond {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    if sharing_violations:
+        print(f"bench_compare: {len(sharing_violations)} sharing gate "
+              f"violation(s)", file=sys.stderr)
         return 1
     print("bench_compare: within threshold")
     return 0

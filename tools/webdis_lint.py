@@ -117,6 +117,15 @@ CONFINEMENT_ALLOWLIST = {
         # worker_threads > 0 (core::Engine::ObserveVisits); the field itself
         # is only assigned before the run starts.
         "visit_observer_",
+        # Cross-query sharing (PROTOCOL.md §9): the result cache and the
+        # batch staging buffers are per-server state, touched only from this
+        # server's own OnMessage and flush-timer handlers. The cache is
+        # *shared across queries* but not across endpoints — concurrent
+        # queries reach one server's cache strictly through that server's
+        # serialized partition.
+        "result_cache_lru_", "result_cache_index_", "result_cache_bytes_",
+        "staged_clones_", "staged_reports_", "flush_timer_",
+        "wal_pending_flush_",
     },
     "UserSite": {
         # Identity / wiring, construction-time only.

@@ -186,6 +186,51 @@ class LintTreeTest(unittest.TestCase):
         self.assertTrue(any("PROTOCOL.md" in e and "kBusy" in e
                             for e in errors), errors)
 
+    # A batch envelope type (like the real kCloneBatch/kReportBatch) is an
+    # ordinary struct-payload message: adding it without its golden frame,
+    # decoder, or PROTOCOL entry must fail exactly like any other type.
+
+    def write_batch_tree(self):
+        self.write("src/net/transport.h", TRANSPORT_H.replace(
+            "};", "  kEchoBatch = 9,  // payload: struct query::EchoBatch\n};"))
+        self.write("src/net/transport.cc",
+                   TRANSPORT_CC + "case MessageType::kEchoBatch:\n")
+        self.write("src/query/echo.h", QUERY_H + """\
+struct EchoBatch {
+  void EncodeTo(serialize::Encoder* enc) const;
+  static Status DecodeFrom(serialize::Decoder* dec, EchoBatch* out);
+};
+""")
+        self.write("tests/wire_golden_test.cc", GOLDEN_CC +
+                   "TEST(WireGoldenTest, EchoBatchFrame) "
+                   "{ Use(net::MessageType::kEchoBatch); }\n")
+        self.write("PROTOCOL.md", PROTOCOL_MD + "## EchoBatch (type 9)\n")
+
+    def test_batch_type_consistent_tree_is_clean(self):
+        self.write_batch_tree()
+        self.assertEqual(self.run_lint({"wire-parity"}), [])
+
+    def test_batch_type_missing_golden_frame_fails(self):
+        self.write_batch_tree()
+        self.write("tests/wire_golden_test.cc", GOLDEN_CC)
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("[wire-parity]" in e and "kEchoBatch" in e
+                            and "golden" in e for e in errors), errors)
+
+    def test_batch_type_missing_decoder_fails(self):
+        self.write_batch_tree()
+        self.write("src/query/echo.h", QUERY_H)  # EchoBatch codec gone
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("DecodeFrom" in e and "kEchoBatch" in e
+                            for e in errors), errors)
+
+    def test_batch_type_missing_protocol_entry_fails(self):
+        self.write_batch_tree()
+        self.write("PROTOCOL.md", PROTOCOL_MD)
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("PROTOCOL.md" in e and "kEchoBatch" in e
+                            for e in errors), errors)
+
     def test_stale_golden_reference_fails(self):
         self.write_consistent_tree()
         self.write("tests/wire_golden_test.cc",
@@ -379,6 +424,32 @@ class LintTreeTest(unittest.TestCase):
         self.write_query_server(
             "  // webdis-lint: allow(confinement) — audited separately\n"
             "  std::vector<int> special_case_;\n")
+        self.assertEqual(self.run_lint({"confinement"}), [])
+
+    # The cross-query result cache is shared across queries but confined to
+    # one endpoint's partition: its fields must still be audited like any
+    # other mutable server state.
+
+    CACHE_FIELDS = ("  std::list<CachedResult> result_cache_lru_;\n"
+                    "  std::map<std::string, It> result_cache_index_;\n"
+                    "  uint64_t result_cache_bytes_ = 0;\n")
+
+    def test_confinement_unlisted_cache_fields_fail(self):
+        self.write_consistent_tree()
+        self.patch_allowlist("QueryServer", {"host_", "stats_"})
+        self.write_query_server(self.CACHE_FIELDS)
+        errors = self.run_lint({"confinement"})
+        for field in ("result_cache_lru_", "result_cache_index_",
+                      "result_cache_bytes_"):
+            self.assertTrue(any("[confinement]" in e and field in e
+                                for e in errors), (field, errors))
+
+    def test_confinement_allowlisted_cache_fields_pass(self):
+        self.write_consistent_tree()
+        self.patch_allowlist("QueryServer",
+                             {"host_", "stats_", "result_cache_lru_",
+                              "result_cache_index_", "result_cache_bytes_"})
+        self.write_query_server(self.CACHE_FIELDS)
         self.assertEqual(self.run_lint({"confinement"}), [])
 
     def test_confinement_stale_allowlist_entry_fails(self):
