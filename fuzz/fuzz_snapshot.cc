@@ -1,0 +1,8 @@
+// libFuzzer harness for the snapshot-image decoder (header validation +
+// DurableServerState body). Build with -DWEBDIS_FUZZ=ON under clang; see
+// CONTRIBUTING.md "Fuzzing".
+#include "fuzz/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return webdis::fuzz::FuzzSnapshot(data, size);
+}

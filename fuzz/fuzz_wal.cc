@@ -1,0 +1,8 @@
+// libFuzzer harness for the WAL record-stream decoder (all WalRecordTypes,
+// torn tails, per-record CRC). Build with -DWEBDIS_FUZZ=ON under clang; see
+// CONTRIBUTING.md "Fuzzing".
+#include "fuzz/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return webdis::fuzz::FuzzWalStream(data, size);
+}

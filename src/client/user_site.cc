@@ -311,7 +311,7 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
   if (type == net::MessageType::kAck && options_.ack_tree_termination) {
     serialize::Decoder dec(payload);
     uint64_t token = 0;
-    if (!dec.GetU64(&token).ok()) return;
+    if (!dec.GetU64(&token).ok() || !dec.ExpectAtEnd("ack").ok()) return;
     ++run->stats.root_acks_received;
     run->outstanding_root_acks.erase(token);
     MaybeComplete(run);
@@ -352,8 +352,9 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
     // queries of this user site, delivered on the carrier member's socket.
     // Demultiplex by each member's QueryId.
     query::ReportBatch batch;
-    if (const Status status = query::ReportBatch::DecodeFrom(&dec, &batch);
-        !status.ok()) {
+    Status status = query::ReportBatch::DecodeFrom(&dec, &batch);
+    if (status.ok()) status = dec.ExpectAtEnd("report-batch payload");
+    if (!status.ok()) {
       WEBDIS_LOG(kWarning) << "bad report batch: " << status.ToString();
       return;
     }
@@ -380,8 +381,9 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
     return;
   }
   query::QueryReport report;
-  if (const Status status = query::QueryReport::DecodeFrom(&dec, &report);
-      !status.ok()) {
+  Status status = query::QueryReport::DecodeFrom(&dec, &report);
+  if (status.ok()) status = dec.ExpectAtEnd("report payload");
+  if (!status.ok()) {
     WEBDIS_LOG(kWarning) << "bad report: " << status.ToString();
     return;
   }

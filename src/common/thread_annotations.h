@@ -30,6 +30,14 @@
 /// Declares a pointer member whose pointee is protected by the capability.
 #define WEBDIS_PT_GUARDED_BY(x) WEBDIS_THREAD_ANNOTATION_(pt_guarded_by(x))
 
+/// Declares lock-acquisition order: this mutex is always acquired before the
+/// listed ones. Machine-read by tools/webdis_lint.py (lock-order): any two
+/// mutexes whose MutexLock scopes nest must carry an ordering annotation,
+/// and the resulting directed acquisition graph must stay acyclic — a cycle
+/// is a latent deadlock even if today's schedules never interleave it.
+#define WEBDIS_ACQUIRED_BEFORE(...) \
+  WEBDIS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
 /// Function requires the capability to be held by the caller.
 #define WEBDIS_REQUIRES(...) \
   WEBDIS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))

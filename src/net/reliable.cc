@@ -83,7 +83,9 @@ void ReliableSender::OnTimeout(uint64_t seq) {
 void ReliableSender::OnAck(const std::vector<uint8_t>& payload) {
   serialize::Decoder dec(payload);
   uint64_t seq = 0;
-  if (!dec.GetU64(&seq).ok()) return;  // malformed ack: ignore
+  if (!dec.GetU64(&seq).ok() || !dec.ExpectAtEnd("delivery ack").ok()) {
+    return;  // malformed ack: ignore
+  }
   auto it = pending_.find(seq);
   if (it == pending_.end()) {
     ++stats_.duplicate_acks;
@@ -99,7 +101,9 @@ void ReliableSender::OnAck(const std::vector<uint8_t>& payload) {
 void ReliableSender::OnOverloaded(const std::vector<uint8_t>& payload) {
   serialize::Decoder dec(payload);
   uint64_t seq = 0;
-  if (!dec.GetU64(&seq).ok()) return;  // malformed NACK: ignore
+  if (!dec.GetU64(&seq).ok() || !dec.ExpectAtEnd("overload nack").ok()) {
+    return;  // malformed NACK: ignore
+  }
   auto it = pending_.find(seq);
   if (it == pending_.end()) return;  // already acked, NACKed, or abandoned
   Pending& pending = it->second;

@@ -452,8 +452,9 @@ Result<Pre> DecodePre(serialize::Decoder* dec, int depth) {
     case PreKind::kConcat:
     case PreKind::kAlt: {
       uint64_t count = 0;
-      WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&count));
-      if (count > 1024) return Status::Corruption("PRE arity too large");
+      WEBDIS_RETURN_IF_ERROR(
+          dec->GetCount("PRE operand", 1024, /*min_bytes_per_item=*/1,
+                        &count));
       std::vector<Pre> parts;
       parts.reserve(count);
       for (uint64_t i = 0; i < count; ++i) {

@@ -54,8 +54,9 @@ void NodeQuery::EncodeTo(serialize::Encoder* enc) const {
 Status NodeQuery::DecodeFrom(serialize::Decoder* dec, NodeQuery* out) {
   WEBDIS_RETURN_IF_ERROR(dec->GetString(&out->doc_alias));
   uint64_t from_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&from_count));
-  if (from_count > 64) return Status::Corruption("from list too long");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("from-list entry", 64, /*min_bytes_per_item=*/2,
+                    &from_count));
   out->select.from.clear();
   for (uint64_t i = 0; i < from_count; ++i) {
     relational::TableRef ref;
@@ -72,8 +73,9 @@ Status NodeQuery::DecodeFrom(serialize::Decoder* dec, NodeQuery* out) {
     out->select.where = nullptr;
   }
   uint64_t select_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&select_count));
-  if (select_count > 256) return Status::Corruption("select list too long");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("select-list entry", 256, /*min_bytes_per_item=*/2,
+                    &select_count));
   out->select.select.clear();
   for (uint64_t i = 0; i < select_count; ++i) {
     relational::OutputColumn col;

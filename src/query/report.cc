@@ -23,8 +23,9 @@ void EncodeResultSet(const relational::ResultSet& rs,
 
 Status DecodeResultSet(serialize::Decoder* dec, relational::ResultSet* out) {
   uint64_t label_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&label_count));
-  if (label_count > 256) return Status::Corruption("too many result columns");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("result column", 256, /*min_bytes_per_item=*/1,
+                    &label_count));
   out->column_labels.clear();
   for (uint64_t i = 0; i < label_count; ++i) {
     std::string label;
@@ -32,13 +33,15 @@ Status DecodeResultSet(serialize::Decoder* dec, relational::ResultSet* out) {
     out->column_labels.push_back(std::move(label));
   }
   uint64_t row_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&row_count));
-  if (row_count > 10000000) return Status::Corruption("too many result rows");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("result row", 10000000, /*min_bytes_per_item=*/1,
+                    &row_count));
   out->rows.clear();
   for (uint64_t i = 0; i < row_count; ++i) {
     uint64_t cell_count = 0;
-    WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&cell_count));
-    if (cell_count > 256) return Status::Corruption("row too wide");
+    WEBDIS_RETURN_IF_ERROR(
+        dec->GetCount("row cell", 256, /*min_bytes_per_item=*/1,
+                      &cell_count));
     relational::Tuple row;
     row.reserve(cell_count);
     for (uint64_t j = 0; j < cell_count; ++j) {
@@ -85,8 +88,9 @@ Status NodeReport::DecodeFrom(serialize::Decoder* dec, NodeReport* out) {
   WEBDIS_RETURN_IF_ERROR(
       CloneState::DecodeFrom(dec, &out->received_state));
   uint64_t entry_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&entry_count));
-  if (entry_count > 1000000) return Status::Corruption("too many CHT entries");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("CHT entry", 1000000, /*min_bytes_per_item=*/6,
+                    &entry_count));
   out->next_entries.clear();
   for (uint64_t i = 0; i < entry_count; ++i) {
     ChtEntry e;
@@ -97,10 +101,9 @@ Status NodeReport::DecodeFrom(serialize::Decoder* dec, NodeReport* out) {
   WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->undeliverable));
   WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->budget_exceeded));
   uint64_t result_set_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&result_set_count));
-  if (result_set_count > 1024) {
-    return Status::Corruption("too many result sets");
-  }
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("result set", 1024, /*min_bytes_per_item=*/2,
+                    &result_set_count));
   out->result_sets.clear();
   for (uint64_t i = 0; i < result_set_count; ++i) {
     relational::ResultSet rs;
@@ -121,10 +124,9 @@ void QueryReport::EncodeTo(serialize::Encoder* enc) const {
 Status QueryReport::DecodeFrom(serialize::Decoder* dec, QueryReport* out) {
   WEBDIS_RETURN_IF_ERROR(QueryId::DecodeFrom(dec, &out->id));
   uint64_t report_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&report_count));
-  if (report_count > 1000000) {
-    return Status::Corruption("too many node reports");
-  }
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("node report", 1000000, /*min_bytes_per_item=*/8,
+                    &report_count));
   out->node_reports.clear();
   for (uint64_t i = 0; i < report_count; ++i) {
     NodeReport r;
@@ -143,9 +145,10 @@ void ReportBatch::EncodeTo(serialize::Encoder* enc) const {
 
 Status ReportBatch::DecodeFrom(serialize::Decoder* dec, ReportBatch* out) {
   uint64_t count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&count));
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("report-batch member", 1024, /*min_bytes_per_item=*/8,
+                    &count));
   if (count == 0) return Status::Corruption("empty report batch");
-  if (count > 1024) return Status::Corruption("too many batch members");
   out->reports.clear();
   for (uint64_t i = 0; i < count; ++i) {
     QueryReport r;

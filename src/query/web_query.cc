@@ -137,8 +137,9 @@ void WebQuery::EncodeTo(serialize::Encoder* enc) const {
 Status WebQuery::DecodeFrom(serialize::Decoder* dec, WebQuery* out) {
   WEBDIS_RETURN_IF_ERROR(QueryId::DecodeFrom(dec, &out->id));
   uint64_t query_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&query_count));
-  if (query_count > 1024) return Status::Corruption("too many node-queries");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("node-query", 1024, /*min_bytes_per_item=*/4,
+                    &query_count));
   out->remaining_queries.clear();
   for (uint64_t i = 0; i < query_count; ++i) {
     NodeQuery q;
@@ -146,8 +147,9 @@ Status WebQuery::DecodeFrom(serialize::Decoder* dec, WebQuery* out) {
     out->remaining_queries.push_back(std::move(q));
   }
   uint64_t pre_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&pre_count));
-  if (pre_count > 1024) return Status::Corruption("too many PREs");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("future PRE", 1024, /*min_bytes_per_item=*/1,
+                    &pre_count));
   out->future_pres.clear();
   for (uint64_t i = 0; i < pre_count; ++i) {
     pre::Pre p;
@@ -156,8 +158,9 @@ Status WebQuery::DecodeFrom(serialize::Decoder* dec, WebQuery* out) {
   }
   WEBDIS_ASSIGN_OR_RETURN(out->rem_pre, pre::Pre::DecodeFrom(dec));
   uint64_t dest_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&dest_count));
-  if (dest_count > 100000) return Status::Corruption("too many destinations");
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("destination", 100000, /*min_bytes_per_item=*/1,
+                    &dest_count));
   out->dest_urls.clear();
   for (uint64_t i = 0; i < dest_count; ++i) {
     std::string url;
@@ -171,7 +174,13 @@ Status WebQuery::DecodeFrom(serialize::Decoder* dec, WebQuery* out) {
     WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->ack_token));
   }
   WEBDIS_RETURN_IF_ERROR(QueryBudget::DecodeFrom(dec, &out->budget));
-  return out->Validate();
+  // Decode-side structural failures are wire corruption, not a caller
+  // argument error: a clone that parses but violates the pipeline invariant
+  // can only come from a damaged or hostile frame.
+  if (const Status status = out->Validate(); !status.ok()) {
+    return Status::Corruption(status.message());
+  }
+  return Status::OK();
 }
 
 size_t WebQuery::WireSize() const {
@@ -189,9 +198,10 @@ void CloneBatch::EncodeTo(serialize::Encoder* enc) const {
 
 Status CloneBatch::DecodeFrom(serialize::Decoder* dec, CloneBatch* out) {
   uint64_t count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&count));
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("clone-batch member", 1024, /*min_bytes_per_item=*/8,
+                    &count));
   if (count == 0) return Status::Corruption("empty clone batch");
-  if (count > 1024) return Status::Corruption("too many batch members");
   out->clones.clear();
   for (uint64_t i = 0; i < count; ++i) {
     WebQuery clone;

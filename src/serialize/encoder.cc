@@ -105,6 +105,38 @@ Status Decoder::GetVarint(uint64_t* out) {
   return Status::OK();
 }
 
+Status Decoder::GetCount(const char* what, uint64_t max_count,
+                         size_t min_bytes_per_item, uint64_t* out) {
+  uint64_t count = 0;
+  WEBDIS_RETURN_IF_ERROR(GetVarint(&count));
+  if (count > max_count) {
+    return Status::Corruption(StringPrintf(
+        "%s count %llu exceeds limit %llu", what,
+        static_cast<unsigned long long>(count),
+        static_cast<unsigned long long>(max_count)));
+  }
+  // Feasibility gate, phrased as a division so count * min_bytes_per_item
+  // cannot overflow: if the remaining bytes cannot possibly hold `count`
+  // items, the prefix is corrupt — reject before any allocation.
+  if (min_bytes_per_item > 0 &&
+      count > remaining() / min_bytes_per_item) {
+    return Status::Corruption(StringPrintf(
+        "%s count %llu needs >= %zu byte(s) per item but only %zu remain",
+        what, static_cast<unsigned long long>(count), min_bytes_per_item,
+        remaining()));
+  }
+  *out = count;
+  return Status::OK();
+}
+
+Status Decoder::ExpectAtEnd(const char* what) const {
+  if (pos_ != len_) {
+    return Status::Corruption(StringPrintf(
+        "%zu trailing byte(s) after %s", remaining(), what));
+  }
+  return Status::OK();
+}
+
 Status Decoder::GetString(std::string* out) {
   uint64_t len = 0;
   WEBDIS_RETURN_IF_ERROR(GetVarint(&len));

@@ -59,6 +59,24 @@ class Decoder {
   Status GetString(std::string* out);
   Status GetBool(bool* out);
 
+  /// Bounds/overflow-checked length-prefix read: decodes a varint count and
+  /// validates it against an explicit cap AND against the bytes actually
+  /// remaining (each counted item needs at least `min_bytes_per_item` bytes
+  /// of encoding), so a crafted prefix can neither drive a huge allocation
+  /// (reserve/resize) nor a long decode loop before the truncation is
+  /// noticed. Every repeated-field decoder in the wire/WAL/snapshot codecs
+  /// reads its count through this helper; `what` names the field in the
+  /// Corruption message so fuzzer crashes and corrupt-frame logs are
+  /// attributable.
+  Status GetCount(const char* what, uint64_t max_count,
+                  size_t min_bytes_per_item, uint64_t* out);
+
+  /// Corruption unless every byte has been consumed. Full-message decoders
+  /// call this after their last field: a frame with trailing garbage is
+  /// rejected outright, never silently truncated to its parseable prefix
+  /// (PROTOCOL.md §1: decoders reject, they do not repair).
+  Status ExpectAtEnd(const char* what) const;
+
   /// Bytes not yet consumed.
   size_t remaining() const { return len_ - pos_; }
   bool AtEnd() const { return pos_ == len_; }

@@ -74,7 +74,7 @@ Status HttpServer::DecodeFetchRequest(const std::vector<uint8_t>& payload,
                                       std::string* url) {
   serialize::Decoder dec(payload);
   WEBDIS_RETURN_IF_ERROR(dec.GetString(url));
-  return Status::OK();
+  return dec.ExpectAtEnd("fetch request");
 }
 
 std::vector<uint8_t> HttpServer::EncodeFetchResponse(
@@ -92,7 +92,7 @@ Status HttpServer::DecodeFetchResponse(const std::vector<uint8_t>& payload,
   WEBDIS_RETURN_IF_ERROR(dec.GetString(&out->url));
   WEBDIS_RETURN_IF_ERROR(dec.GetBool(&out->found));
   WEBDIS_RETURN_IF_ERROR(dec.GetString(&out->html));
-  return Status::OK();
+  return dec.ExpectAtEnd("fetch response");
 }
 
 }  // namespace webdis::server

@@ -82,14 +82,18 @@ void LogTable::EncodeTo(serialize::Encoder* enc) const {
 Status LogTable::DecodeFrom(serialize::Decoder* dec, LogTable* out) {
   out->entries_.clear();
   uint64_t group_count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&group_count));
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("log-table group", 10000000, /*min_bytes_per_item=*/7,
+                    &group_count));
   for (uint64_t g = 0; g < group_count; ++g) {
     Key key;
     WEBDIS_RETURN_IF_ERROR(dec->GetString(&key.node_url));
     WEBDIS_RETURN_IF_ERROR(dec->GetString(&key.query_key));
     WEBDIS_RETURN_IF_ERROR(dec->GetU32(&key.num_q));
     uint64_t pre_count = 0;
-    WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&pre_count));
+    WEBDIS_RETURN_IF_ERROR(
+        dec->GetCount("logged PRE", 10000000, /*min_bytes_per_item=*/1,
+                      &pre_count));
     std::vector<LoggedPre> logged;
     logged.reserve(pre_count);
     for (uint64_t i = 0; i < pre_count; ++i) {

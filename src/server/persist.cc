@@ -77,9 +77,10 @@ Status WalBatchAdmitted::DecodeFrom(serialize::Decoder* dec,
   WEBDIS_RETURN_IF_ERROR(dec->GetBool(&out->tracked));
   WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->seq));
   uint64_t count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&count));
+  WEBDIS_RETURN_IF_ERROR(
+      dec->GetCount("admitted-batch member", 1024, /*min_bytes_per_item=*/8,
+                    &count));
   if (count == 0) return Status::Corruption("empty admitted batch");
-  if (count > 1024) return Status::Corruption("too many batch members");
   out->clones.clear();
   for (uint64_t i = 0; i < count; ++i) {
     query::WebQuery clone;
@@ -247,13 +248,17 @@ Status DecodeSnapshot(const std::vector<uint8_t>& bytes,
   WEBDIS_RETURN_IF_ERROR(dec.GetU64(&state.last_wal_id));
   WEBDIS_RETURN_IF_ERROR(LogTable::DecodeFrom(&dec, &state.log_table));
   uint64_t count = 0;
-  WEBDIS_RETURN_IF_ERROR(dec.GetVarint(&count));
+  WEBDIS_RETURN_IF_ERROR(
+      dec.GetCount("terminated query", 10000000, /*min_bytes_per_item=*/1,
+                   &count));
   for (uint64_t i = 0; i < count; ++i) {
     std::string key;
     WEBDIS_RETURN_IF_ERROR(dec.GetString(&key));
     state.terminated_queries.push_back(std::move(key));
   }
-  WEBDIS_RETURN_IF_ERROR(dec.GetVarint(&count));
+  WEBDIS_RETURN_IF_ERROR(
+      dec.GetCount("seen transfer", 10000000, /*min_bytes_per_item=*/4,
+                   &count));
   for (uint64_t i = 0; i < count; ++i) {
     net::Endpoint from;
     uint64_t seq = 0;
@@ -262,7 +267,9 @@ Status DecodeSnapshot(const std::vector<uint8_t>& bytes,
     WEBDIS_RETURN_IF_ERROR(dec.GetVarint(&seq));
     state.seen_transfers.emplace_back(std::move(from), seq);
   }
-  WEBDIS_RETURN_IF_ERROR(dec.GetVarint(&count));
+  WEBDIS_RETURN_IF_ERROR(
+      dec.GetCount("pending clone", 1000000, /*min_bytes_per_item=*/15,
+                   &count));
   for (uint64_t i = 0; i < count; ++i) {
     DurablePendingClone pending;
     WEBDIS_RETURN_IF_ERROR(dec.GetU64(&pending.record_id));
@@ -274,9 +281,7 @@ Status DecodeSnapshot(const std::vector<uint8_t>& bytes,
         query::WebQuery::DecodeFrom(&dec, &pending.clone));
     state.pending_clones.push_back(std::move(pending));
   }
-  if (!dec.AtEnd()) {
-    return Status::Corruption("snapshot body has trailing bytes");
-  }
+  WEBDIS_RETURN_IF_ERROR(dec.ExpectAtEnd("snapshot body"));
   *out = std::move(state);
   return Status::OK();
 }

@@ -166,7 +166,8 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
       }
       serialize::Decoder dec(*body);
       query::WebQuery clone;
-      const Status status = query::WebQuery::DecodeFrom(&dec, &clone);
+      Status status = query::WebQuery::DecodeFrom(&dec, &clone);
+      if (status.ok()) status = dec.ExpectAtEnd("clone payload");
       if (!status.ok()) {
         ++stats_.decode_errors;
         WEBDIS_LOG(kWarning) << host_ << ": bad clone: " << status.ToString();
@@ -220,7 +221,8 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
       }
       serialize::Decoder dec(*body);
       query::CloneBatch batch;
-      const Status status = query::CloneBatch::DecodeFrom(&dec, &batch);
+      Status status = query::CloneBatch::DecodeFrom(&dec, &batch);
+      if (status.ok()) status = dec.ExpectAtEnd("clone-batch payload");
       if (!status.ok()) {
         ++stats_.decode_errors;
         WEBDIS_LOG(kWarning) << host_ << ": bad clone batch: "
@@ -260,7 +262,7 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
     case net::MessageType::kAck: {
       serialize::Decoder dec(payload);
       uint64_t token = 0;
-      if (!dec.GetU64(&token).ok()) {
+      if (!dec.GetU64(&token).ok() || !dec.ExpectAtEnd("ack").ok()) {
         ++stats_.decode_errors;
         return;
       }
@@ -270,8 +272,9 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
     case net::MessageType::kTerminate: {
       serialize::Decoder dec(payload);
       query::QueryId id;
-      if (const Status status = query::QueryId::DecodeFrom(&dec, &id);
-          !status.ok()) {
+      Status status = query::QueryId::DecodeFrom(&dec, &id);
+      if (status.ok()) status = dec.ExpectAtEnd("terminate payload");
+      if (!status.ok()) {
         ++stats_.decode_errors;
         return;
       }
@@ -345,8 +348,9 @@ void QueryServer::AdmitClone(const net::Endpoint& from,
   }
   serialize::Decoder dec(*body);
   query::WebQuery decoded;
-  if (const Status status = query::WebQuery::DecodeFrom(&dec, &decoded);
-      !status.ok()) {
+  Status decode_status = query::WebQuery::DecodeFrom(&dec, &decoded);
+  if (decode_status.ok()) decode_status = dec.ExpectAtEnd("clone payload");
+  if (const Status& status = decode_status; !status.ok()) {
     ++stats_.decode_errors;
     WEBDIS_LOG(kWarning) << host_ << ": bad clone: " << status.ToString();
     // A malformed clone decodes no better on retransmission: commit (ack)
@@ -444,8 +448,11 @@ void QueryServer::AdmitBatch(const net::Endpoint& from,
   }
   serialize::Decoder dec(*body);
   query::CloneBatch batch;
-  if (const Status status = query::CloneBatch::DecodeFrom(&dec, &batch);
-      !status.ok()) {
+  Status decode_status = query::CloneBatch::DecodeFrom(&dec, &batch);
+  if (decode_status.ok()) {
+    decode_status = dec.ExpectAtEnd("clone-batch payload");
+  }
+  if (const Status& status = decode_status; !status.ok()) {
     ++stats_.decode_errors;
     WEBDIS_LOG(kWarning) << host_ << ": bad clone batch: "
                          << status.ToString();
@@ -1537,7 +1544,10 @@ void QueryServer::Recover() {
         switch (record.type) {
           case WalRecordType::kCloneAdmitted: {
             WalCloneAdmitted admitted;
-            if (!WalCloneAdmitted::DecodeFrom(&dec, &admitted).ok()) break;
+            if (!WalCloneAdmitted::DecodeFrom(&dec, &admitted).ok() ||
+                !dec.ExpectAtEnd("WAL clone-admitted record").ok()) {
+              break;
+            }
             max_wal_id = std::max(max_wal_id, admitted.record_id);
             if (admitted.tracked) {
               // The pre-crash life acked this transfer right after the
@@ -1559,7 +1569,10 @@ void QueryServer::Recover() {
           }
           case WalRecordType::kCloneCompleted: {
             WalCloneCompleted completed;
-            if (!WalCloneCompleted::DecodeFrom(&dec, &completed).ok()) break;
+            if (!WalCloneCompleted::DecodeFrom(&dec, &completed).ok() ||
+                !dec.ExpectAtEnd("WAL clone-completed record").ok()) {
+              break;
+            }
             max_wal_id = std::max(max_wal_id, completed.record_id);
             pending.erase(completed.record_id);
             ++stats_.replayed_wal_records;
@@ -1567,14 +1580,18 @@ void QueryServer::Recover() {
           }
           case WalRecordType::kTransferSeen: {
             WalTransferSeen seen;
-            if (!WalTransferSeen::DecodeFrom(&dec, &seen).ok()) break;
+            if (!WalTransferSeen::DecodeFrom(&dec, &seen).ok() ||
+                !dec.ExpectAtEnd("WAL transfer-seen record").ok()) {
+              break;
+            }
             receiver_.RestoreSeen(seen.from, seen.seq);
             ++stats_.replayed_wal_records;
             break;
           }
           case WalRecordType::kQueryTerminated: {
             WalQueryTerminated terminated;
-            if (!WalQueryTerminated::DecodeFrom(&dec, &terminated).ok()) {
+            if (!WalQueryTerminated::DecodeFrom(&dec, &terminated).ok() ||
+                !dec.ExpectAtEnd("WAL query-terminated record").ok()) {
               break;
             }
             terminated_queries_.insert(terminated.query_key);
@@ -1584,7 +1601,10 @@ void QueryServer::Recover() {
           }
           case WalRecordType::kBatchAdmitted: {
             WalBatchAdmitted admitted;
-            if (!WalBatchAdmitted::DecodeFrom(&dec, &admitted).ok()) break;
+            if (!WalBatchAdmitted::DecodeFrom(&dec, &admitted).ok() ||
+                !dec.ExpectAtEnd("WAL batch-admitted record").ok()) {
+              break;
+            }
             max_wal_id = std::max(
                 max_wal_id,
                 admitted.first_record_id + admitted.clones.size() - 1);

@@ -35,6 +35,9 @@
 #include "core/engine.h"
 #include "disql/compiler.h"
 #include "net/fault.h"
+#include "serialize/encoder.h"
+#include "serialize/framing.h"
+#include "server/persist.h"
 #include "web/synth.h"
 
 namespace webdis {
@@ -615,6 +618,59 @@ TEST(BatchAdmissionCrashPointTest, NoSilentPartialAcceptAcrossCrashGrid) {
   EXPECT_GT(batches_received, 0u);
   EXPECT_GT(recovered, 0u);
   EXPECT_GT(batches_shed, 0u);
+}
+
+// -- Adversarial batch durability -------------------------------------------
+// A kBatchAdmitted WAL record is one atomic admission unit: damage to any
+// nested member must reject the whole record — replay must never resurrect
+// a batch missing some of its members (the lost members' queries would
+// silently drop rows, the exact failure the sharing oracle exists to catch).
+
+TEST(MultiQueryBatchDurabilityTest, DamagedBatchMemberNeverReplaysPartially) {
+  auto compiled = disql::CompileDisql(QueryFor(0));
+  ASSERT_TRUE(compiled.ok());
+  std::vector<query::WebQuery> members;
+  for (int i = 0; i < 2; ++i) {
+    query::WebQuery clone = compiled->web_query.Clone();
+    clone.id.user = "u";
+    clone.id.reply_host = "h";
+    clone.id.reply_port = 1;
+    clone.id.query_number = static_cast<uint32_t>(i + 1);
+    clone.dest_urls = {web::SynthUrl(4, 0)};
+    members.push_back(std::move(clone));
+  }
+  serialize::Encoder payload;
+  server::WalBatchAdmitted::EncodeFields(
+      7, net::Endpoint{"sender", 1}, /*tracked=*/true, /*seq=*/9, members,
+      &payload);
+  const std::vector<uint8_t> record = server::EncodeWalRecord(
+      server::WalRecordType::kBatchAdmitted, payload.data());
+
+  // (a) Flip one byte inside the second member's image. The per-record
+  // CRC no longer matches, so DecodeWal must discard the record whole.
+  std::vector<uint8_t> damaged = record;
+  damaged[damaged.size() - 5] ^= 0x40;
+  const server::WalReadResult read = server::DecodeWal(damaged);
+  EXPECT_TRUE(read.records.empty());
+  EXPECT_EQ(read.discarded_records, 1u);
+  EXPECT_EQ(read.discarded_bytes, damaged.size());
+
+  // (b) A torn second member whose record checksum is *valid* (the tear
+  // happened before framing, not after): framing passes, so the payload
+  // decoder itself must reject with Corruption — never return a batch that
+  // decoded "most of" its members.
+  std::vector<uint8_t> torn_payload = payload.data();
+  torn_payload.resize(torn_payload.size() - 4);
+  const std::vector<uint8_t> torn_record = server::EncodeWalRecord(
+      server::WalRecordType::kBatchAdmitted, torn_payload);
+  const server::WalReadResult reread = server::DecodeWal(torn_record);
+  ASSERT_EQ(reread.records.size(), 1u);
+  serialize::Decoder dec(reread.records[0].payload);
+  server::WalBatchAdmitted out;
+  Status status = server::WalBatchAdmitted::DecodeFrom(&dec, &out);
+  if (status.ok()) status = dec.ExpectAtEnd("WAL batch-admitted record");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
 }
 
 }  // namespace

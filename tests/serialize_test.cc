@@ -109,6 +109,83 @@ TEST(DecoderTest, BadBoolByteIsError) {
   EXPECT_EQ(dec.GetBool(&b).code(), StatusCode::kCorruption);
 }
 
+TEST(DecoderTest, GetCountAcceptsFeasiblePrefix) {
+  Encoder enc;
+  enc.PutVarint(3);
+  enc.PutRaw("abcdef", 6);  // 2 bytes per item available
+  Decoder dec(enc.data());
+  uint64_t count = 0;
+  ASSERT_TRUE(dec.GetCount("item", 10, /*min_bytes_per_item=*/2, &count).ok());
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(DecoderTest, GetCountRejectsOverCap) {
+  Encoder enc;
+  enc.PutVarint(11);
+  enc.PutRaw(std::string(64, 'x').data(), 64);  // plenty of bytes: cap decides
+  Decoder dec(enc.data());
+  uint64_t count = 0;
+  const Status s = dec.GetCount("item", 10, /*min_bytes_per_item=*/1, &count);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("item"), std::string::npos);
+}
+
+TEST(DecoderTest, GetCountRejectsInfeasibleCount) {
+  // Claims 5 items needing >= 4 bytes each, but only 6 bytes remain. The
+  // truncation must be detected before any allocation or decode loop.
+  Encoder enc;
+  enc.PutVarint(5);
+  enc.PutRaw("abcdef", 6);
+  Decoder dec(enc.data());
+  uint64_t count = 0;
+  const Status s = dec.GetCount("item", 1000, /*min_bytes_per_item=*/4,
+                                &count);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(DecoderTest, GetCountHugeCountDoesNotOverflow) {
+  // count * min_bytes_per_item would wrap a u64; the division-phrased
+  // feasibility gate must still reject.
+  Encoder enc;
+  enc.PutVarint(UINT64_MAX);
+  enc.PutRaw("abcdefgh", 8);
+  Decoder dec(enc.data());
+  uint64_t count = 0;
+  const Status s = dec.GetCount("item", UINT64_MAX,
+                                /*min_bytes_per_item=*/8, &count);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(DecoderTest, GetCountZeroMinBytesSkipsFeasibilityGate) {
+  Encoder enc;
+  enc.PutVarint(4);  // nothing follows; items may be zero-width
+  Decoder dec(enc.data());
+  uint64_t count = 0;
+  ASSERT_TRUE(dec.GetCount("item", 10, /*min_bytes_per_item=*/0, &count).ok());
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(DecoderTest, ExpectAtEndDetectsTrailingGarbage) {
+  Encoder enc;
+  enc.PutU32(7);
+  enc.PutU8(0xEE);  // trailing byte
+  Decoder dec(enc.data());
+  uint32_t v = 0;
+  ASSERT_TRUE(dec.GetU32(&v).ok());
+  const Status s = dec.ExpectAtEnd("test message");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("test message"), std::string::npos);
+}
+
+TEST(DecoderTest, ExpectAtEndPassesWhenConsumed) {
+  Encoder enc;
+  enc.PutU32(7);
+  Decoder dec(enc.data());
+  uint32_t v = 0;
+  ASSERT_TRUE(dec.GetU32(&v).ok());
+  EXPECT_TRUE(dec.ExpectAtEnd("test message").ok());
+}
+
 TEST(EncoderTest, FuzzRoundTripMixedFields) {
   // Property: any sequence of typed puts decodes back identically.
   Rng rng(2024);

@@ -300,6 +300,77 @@ TEST(WireGoldenTest, CloneBatchEmptyRejected) {
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
 }
 
+TEST(WireGoldenTest, CloneBatchTruncatedMemberListRejected) {
+  // Adversarial: a 2-member batch with the second member's bytes cut off
+  // mid-image. The decoder must report Corruption — never hand admission a
+  // partial batch containing only the members that happened to fit.
+  query::CloneBatch batch;
+  batch.clones.push_back(MinimalClone());
+  batch.clones.push_back(MinimalClone());
+  batch.clones[1].id.query_number = 2;
+  serialize::Encoder enc;
+  batch.EncodeTo(&enc);
+  std::vector<uint8_t> bytes = enc.data();
+  bytes.resize(bytes.size() - 10);  // tear the tail off member #2
+  serialize::Decoder dec(bytes);
+  query::CloneBatch decoded;
+  const Status status = query::CloneBatch::DecodeFrom(&dec, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(WireGoldenTest, CloneBatchCountOverrunRejected) {
+  // Adversarial: the member count claims 3 but only 2 member images follow.
+  // Decoding the phantom third member runs out of bytes -> Corruption.
+  query::CloneBatch batch;
+  batch.clones.push_back(MinimalClone());
+  batch.clones.push_back(MinimalClone());
+  serialize::Encoder members;
+  for (const auto& clone : batch.clones) clone.EncodeTo(&members);
+  serialize::Encoder enc;
+  enc.PutVarint(3);
+  enc.PutRaw(members.data().data(), members.data().size());
+  serialize::Decoder dec(enc.data());
+  query::CloneBatch decoded;
+  const Status status = query::CloneBatch::DecodeFrom(&dec, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(WireGoldenTest, CloneBatchCountUnderrunRejected) {
+  // Adversarial: the count claims 1 but two member images follow. The
+  // member loop succeeds, so the surplus is only caught by the trailing-
+  // bytes check every dispatch site runs after DecodeFrom (PROTOCOL.md §1:
+  // decoders reject, they do not repair).
+  query::CloneBatch batch;
+  batch.clones.push_back(MinimalClone());
+  batch.clones.push_back(MinimalClone());
+  serialize::Encoder members;
+  for (const auto& clone : batch.clones) clone.EncodeTo(&members);
+  serialize::Encoder enc;
+  enc.PutVarint(1);
+  enc.PutRaw(members.data().data(), members.data().size());
+  serialize::Decoder dec(enc.data());
+  query::CloneBatch decoded;
+  Status status = query::CloneBatch::DecodeFrom(&dec, &decoded);
+  if (status.ok()) status = dec.ExpectAtEnd("clone-batch payload");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(WireGoldenTest, CloneBatchHugeCountRejectedBeforeAllocation) {
+  // Adversarial: a count far beyond what the remaining bytes could hold
+  // must be rejected by the feasibility gate (GetCount) without looping —
+  // or allocating — count times.
+  serialize::Encoder enc;
+  enc.PutVarint(0xFFFFFF);
+  serialize::Decoder dec(enc.data());
+  query::CloneBatch decoded;
+  const Status status = query::CloneBatch::DecodeFrom(&dec, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
 TEST(WireGoldenTest, ReportBatchFrame) {
   // kReportBatch (PROTOCOL.md §9.3): varint count, then each member's
   // ordinary QueryReport image. Members are reports for different queries
@@ -333,6 +404,30 @@ TEST(WireGoldenTest, ReportBatchEmptyRejected) {
   serialize::Decoder dec(enc.data());
   query::ReportBatch batch;
   const Status status = query::ReportBatch::DecodeFrom(&dec, &batch);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(WireGoldenTest, ReportBatchTruncatedMemberRejected) {
+  // Same adversarial shape as the clone batch: a torn second member must
+  // surface as Corruption, not as a 1-report batch.
+  query::ReportBatch batch;
+  query::QueryReport first;
+  first.id.user = "u";
+  first.id.reply_host = "h";
+  first.id.reply_port = 1;
+  first.id.query_number = 1;
+  query::QueryReport second = first;
+  second.id.query_number = 2;
+  batch.reports.push_back(std::move(first));
+  batch.reports.push_back(std::move(second));
+  serialize::Encoder enc;
+  batch.EncodeTo(&enc);
+  std::vector<uint8_t> bytes = enc.data();
+  bytes.resize(bytes.size() - 3);
+  serialize::Decoder dec(bytes);
+  query::ReportBatch decoded;
+  const Status status = query::ReportBatch::DecodeFrom(&dec, &decoded);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
 }

@@ -48,8 +48,26 @@ def load(path: str) -> dict[tuple[str, int], dict]:
                 raise ValueError(f"{path}:{line_no}: bad JSON: {e}") from e
             for field in ("workload", "workers", "wall_ms"):
                 if field not in row:
-                    raise ValueError(f"{path}:{line_no}: missing '{field}'")
-            rows[(row["workload"], int(row["workers"]))] = row
+                    raise ValueError(
+                        f"{path}:{line_no}: bench row is missing metric "
+                        f"'{field}' (row: {line})")
+            # Validate metric types up front so a malformed row fails with
+            # the metric's name, not a TypeError deep in the comparison.
+            for field in ("wall_ms", "virtual_ms", "messages", "bytes",
+                          "cache_hit_rate"):
+                if field in row and (isinstance(row[field], bool)
+                                     or not isinstance(row[field],
+                                                       (int, float))):
+                    raise ValueError(
+                        f"{path}:{line_no}: metric '{field}' is "
+                        f"{row[field]!r}, expected a number")
+            try:
+                workers = int(row["workers"])
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path}:{line_no}: metric 'workers' is "
+                    f"{row['workers']!r}, expected an integer") from None
+            rows[(row["workload"], workers)] = row
     return rows
 
 
@@ -70,7 +88,14 @@ def check_sharing(current: dict[tuple[str, int], dict]) -> list[str]:
         return []
     violations: list[str] = []
     for field in ("messages", "bytes"):
-        if field not in plain or field not in shared:
+        missing = [row["workload"] for row in (plain, shared)
+                   if field not in row]
+        if missing:
+            # A silently absent metric would pass the gate vacuously; name
+            # the metric and the row so the failing log is actionable.
+            violations.append(
+                f"row(s) {', '.join(missing)} missing metric '{field}' — "
+                "cannot evaluate the sharing gate")
             continue
         base, cur = plain[field], shared[field]
         limit = base * SHARING_GATE_RATIO

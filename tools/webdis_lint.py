@@ -53,6 +53,27 @@ the ones whose violation breaks distributed termination or reproducibility
                 allowlist entries (field renamed/removed) also fail, so the
                 audit record cannot rot. See DESIGN.md "Parallel execution".
 
+  lock-order    Builds the directed mutex-acquisition graph under src/ from
+                two sources: WEBDIS_ACQUIRED_BEFORE annotations on
+                webdis::Mutex declarations, and lexically nested MutexLock
+                scopes (lock B taken while lock A's scope is still open).
+                Fails when (a) two mutexes nest without a covering
+                WEBDIS_ACQUIRED_BEFORE annotation on the outer mutex,
+                (b) the union graph has a cycle — a latent deadlock even if
+                today's schedules never interleave it — or (c) an annotation
+                names a mutex that is not declared anywhere (stale audit
+                record).
+
+  iter-determinism
+                Flags range-for loops over std::unordered_map /
+                std::unordered_set inside functions that feed serialization
+                (EncodeTo / serialize::Encoder / Put* / FormatRunStats).
+                Hash-table iteration order is implementation-defined, so
+                bytes produced from it drift across stdlibs and runs —
+                breaking golden frames, WAL replay equivalence, and the
+                bit-identical parallel-vs-sequential oracle. Materialize
+                into a sorted container first, or iterate a std::map.
+
 Suppressions: a comment containing `webdis-lint: allow(<rule>)` on the same
 line, or anywhere in the contiguous comment block immediately above the
 flagged line, silences that rule for that line.
@@ -144,6 +165,32 @@ ENUM_CONSTANT = re.compile(
 PAYLOAD_ANNOTATION = re.compile(
     r"payload:\s*(?P<kind>struct|codec|u8|u16|u32|u64|string|raw|none)"
     r"(\s+(?P<detail>\S+))?")
+
+# webdis::Mutex declaration, optionally carrying an ordering annotation:
+#   Mutex mu_;
+#   Mutex mu_ WEBDIS_ACQUIRED_BEFORE(log_mu_);
+MUTEX_DECL = re.compile(
+    r"\bMutex\s+(?P<name>\w+)\s*"
+    r"(?:WEBDIS_ACQUIRED_BEFORE\s*\((?P<after>[^)]*)\))?\s*;")
+# Scoped acquisition: MutexLock lock(&mu_); — the argument may be a member
+# access chain (&self->mu_, &site.mu_); the trailing identifier is the mutex.
+MUTEX_LOCK = re.compile(r"\bMutexLock\s+\w+\s*\(\s*&\s*(?P<target>[\w.>-]+)\s*\)")
+
+UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+"
+    r"(?P<name>\w+)\s*[;={(]")
+RANGE_FOR = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,*&\s\[\]]+?:\s*(?P<expr>[\w.>-]+)\s*\)")
+SERIAL_MARKER = re.compile(
+    r"\b(EncodeTo|serialize::Encoder|Encoder\s*[&*]|"
+    r"Put(?:U8|U16|U32|U64|Varint|Bool|String|Raw|LengthPrefixed)|"
+    r"FormatRunStats)\b")
+# A '{' opens a function (or lambda) body when the text before it ends with
+# the parameter list's ')' plus optional qualifiers. Control-flow statements
+# (for/if/while/switch/catch) also match ') {' and are excluded by keyword.
+CONTROL_KEYWORDS = {"for", "if", "while", "switch", "catch", "return"}
+FUNC_QUALIFIER_TAIL = re.compile(
+    r"\)\s*(?:const|noexcept|override|final|mutable|->\s*[\w:<>,*&\s]+)*\s*$")
 
 ALLOW = re.compile(r"webdis-lint:\s*allow\(([\w,-]+)\)")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -477,6 +524,221 @@ class Linter:
                     f"allowlist entry {cls}::{name} matches no declared "
                     "field — remove it so the audit record stays accurate")
 
+    # -- lock ordering ---------------------------------------------------------
+
+    def check_lock_order(self) -> None:
+        declared: dict[str, tuple[str, int]] = {}
+        # Directed edges, (outer, inner) -> first site seen.
+        annotated: dict[tuple[str, str], tuple[str, int]] = {}
+        nested: dict[tuple[str, str], tuple[str, int]] = {}
+        missing: list[tuple[str, str, str, int]] = []
+
+        for rel in self.source_files():
+            if not rel.startswith("src" + os.sep):
+                continue
+            text = self.read(rel)
+            if text is None:
+                continue
+            lines = text.splitlines()
+
+            for idx, raw in enumerate(lines):
+                code = self.strip_code(raw)
+                for dm in MUTEX_DECL.finditer(code):
+                    name = dm.group("name")
+                    declared.setdefault(name, (rel, idx + 1))
+                    after = dm.group("after") or ""
+                    for succ in re.split(r"[,\s]+", after.strip()):
+                        if succ:
+                            annotated.setdefault((name, succ), (rel, idx + 1))
+
+            # Nesting scan: a MutexLock declared at brace depth d stays held
+            # until depth drops below d; any lock taken meanwhile nests
+            # inside it. Braces and lock statements on one line are replayed
+            # in textual order so `{ MutexLock a(&x); { MutexLock b(&y); } }`
+            # parses the same regardless of line breaks.
+            depth = 0
+            held: list[tuple[str, int]] = []  # (mutex, depth at acquisition)
+            for idx, raw in enumerate(lines):
+                code = self.strip_code(raw)
+                events: list[tuple[int, str, str | None]] = []
+                for lm in MUTEX_LOCK.finditer(code):
+                    target = re.split(r"->|\.", lm.group("target"))[-1]
+                    events.append((lm.start(), "lock", target))
+                for pos, ch in enumerate(code):
+                    if ch == "{":
+                        events.append((pos, "open", None))
+                    elif ch == "}":
+                        events.append((pos, "close", None))
+                events.sort(key=lambda e: e[0])
+                for _, kind, name in events:
+                    if kind == "open":
+                        depth += 1
+                    elif kind == "close":
+                        depth -= 1
+                        while held and held[-1][1] > depth:
+                            held.pop()
+                    else:
+                        assert name is not None
+                        for outer, _ in held:
+                            if outer == name:
+                                continue
+                            pair = (outer, name)
+                            nested.setdefault(pair, (rel, idx + 1))
+                            if pair not in annotated and not self.suppressed(
+                                    lines, idx, "lock-order"):
+                                missing.append((outer, name, rel, idx + 1))
+                        held.append((name, depth))
+
+        for outer, inner, rel, line in missing:
+            self.error(
+                rel, line, "lock-order",
+                f"{inner} acquired while {outer} is held, but {outer}'s "
+                f"declaration carries no WEBDIS_ACQUIRED_BEFORE({inner}) "
+                "annotation — record the ordering on the outer mutex's "
+                "declaration (src/common/thread_annotations.h)")
+
+        for (a, b), (rel, line) in sorted(annotated.items()):
+            if b not in declared:
+                self.error(
+                    rel, line, "lock-order",
+                    f"WEBDIS_ACQUIRED_BEFORE on {a} names {b}, but no "
+                    f"`Mutex {b}` is declared under src/ — stale annotation; "
+                    "update or remove it")
+
+        # Cycle detection over the union graph (annotated + observed
+        # nestings). An allow() on a nesting site silences the
+        # missing-annotation error but never removes the edge: a cycle is a
+        # deadlock whether or not each individual nesting was blessed.
+        graph: dict[str, set[str]] = {}
+        edge_site: dict[tuple[str, str], tuple[str, int]] = {}
+        for pair, site in list(annotated.items()) + list(nested.items()):
+            graph.setdefault(pair[0], set()).add(pair[1])
+            edge_site.setdefault(pair, site)
+
+        state: dict[str, int] = {}  # 1 = on the DFS path, 2 = finished
+
+        def visit(node: str, path: list[str]) -> list[str] | None:
+            state[node] = 1
+            path.append(node)
+            for succ in sorted(graph.get(node, ())):
+                if state.get(succ) == 1:
+                    return path[path.index(succ):] + [succ]
+                if state.get(succ, 0) == 0:
+                    cycle = visit(succ, path)
+                    if cycle is not None:
+                        return cycle
+            path.pop()
+            state[node] = 2
+            return None
+
+        for node in sorted(graph):
+            if state.get(node, 0) == 0:
+                cycle = visit(node, [])
+                if cycle is not None:
+                    rel, line = edge_site.get(
+                        (cycle[0], cycle[1]), ("src", 1))
+                    self.error(
+                        rel, line, "lock-order",
+                        "acquisition-order cycle: " + " -> ".join(cycle)
+                        + " — a latent deadlock; break the cycle (or fix "
+                        "the stale annotation that closes it)")
+                    break  # one cycle report is enough to fail the build
+
+    # -- iteration determinism -------------------------------------------------
+
+    @staticmethod
+    def _function_extents(code: str) -> list[tuple[int, int]]:
+        """Offsets (open brace, close brace) of function/lambda bodies.
+
+        A '{' opens a body when the preceding text ends with a parameter
+        list's ')' (plus optional const/noexcept/etc.), and the identifier
+        before the matching '(' is not a control-flow keyword. Constructor
+        initializer lists resolve to the last initializer's ')', which still
+        classifies the brace as a function body.
+        """
+        extents: list[tuple[int, int]] = []
+        brace_stack: list[tuple[int, bool]] = []
+        for pos, ch in enumerate(code):
+            if ch == "{":
+                before = code[:pos]
+                is_func = False
+                if FUNC_QUALIFIER_TAIL.search(before):
+                    close = before.rfind(")")
+                    level = 0
+                    open_pos = -1
+                    for i in range(close, -1, -1):
+                        if before[i] == ")":
+                            level += 1
+                        elif before[i] == "(":
+                            level -= 1
+                            if level == 0:
+                                open_pos = i
+                                break
+                    if open_pos >= 0:
+                        head = re.search(r"([A-Za-z_]\w*)\s*$",
+                                         before[:open_pos])
+                        word = head.group(1) if head else None
+                        is_func = word not in CONTROL_KEYWORDS
+                brace_stack.append((pos, is_func))
+            elif ch == "}":
+                if brace_stack:
+                    start, is_func = brace_stack.pop()
+                    if is_func:
+                        extents.append((start, pos))
+        return extents
+
+    def check_iter_determinism(self) -> None:
+        for rel in self.source_files():
+            if not rel.startswith("src" + os.sep):
+                continue
+            text = self.read(rel)
+            if text is None:
+                continue
+            lines = text.splitlines()
+            code = "\n".join(self.strip_code(l) for l in lines)
+
+            unordered = {dm.group("name")
+                         for dm in UNORDERED_DECL.finditer(code)}
+            if not unordered:
+                continue
+
+            extents = self._function_extents(code)
+
+            for fm in RANGE_FOR.finditer(code):
+                name = re.split(r"->|\.", fm.group("expr"))[-1]
+                if name not in unordered:
+                    continue
+                # Innermost function/lambda body containing the loop: the
+                # serialization-marker test looks at exactly the code that
+                # surrounds it, not the whole file.
+                body = None
+                for start, end in extents:
+                    if start < fm.start() < end and (
+                            body is None or start > body[0]):
+                        body = (start, end)
+                if body is None:
+                    continue
+                # Include the signature (back to the previous statement/brace
+                # boundary): a function *named* FormatRunStats or taking an
+                # Encoder* is serialization-feeding even if the marker never
+                # repeats inside the braces.
+                sig = max(code.rfind(";", 0, body[0]),
+                          code.rfind("}", 0, body[0]),
+                          code.rfind("{", 0, body[0])) + 1
+                if not SERIAL_MARKER.search(code[sig:body[1] + 1]):
+                    continue
+                idx = code[:fm.start()].count("\n")
+                if self.suppressed(lines, idx, "iter-determinism"):
+                    continue
+                self.error(
+                    rel, idx + 1, "iter-determinism",
+                    f"range-for over unordered container `{name}` in a "
+                    "function that feeds serialization — hash-table "
+                    "iteration order is implementation-defined, so the "
+                    "encoded bytes drift across stdlibs and runs; "
+                    "materialize into a sorted vector (or use std::map) "
+                    "before encoding")
+
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -486,7 +748,8 @@ def main(argv: list[str]) -> int:
         help="repository root to lint (default: this script's repo)")
     parser.add_argument(
         "--rules",
-        default="wire-parity,wal-parity,clock,naked-new,confinement",
+        default="wire-parity,wal-parity,clock,naked-new,confinement,"
+                "lock-order,iter-determinism",
         help="comma-separated subset of rules to run")
     args = parser.parse_args(argv)
 
@@ -506,6 +769,10 @@ def main(argv: list[str]) -> int:
         linter.check_naked_new()
     if "confinement" in rules:
         linter.check_confinement()
+    if "lock-order" in rules:
+        linter.check_lock_order()
+    if "iter-determinism" in rules:
+        linter.check_iter_determinism()
 
     for err in linter.errors:
         print(err)

@@ -112,6 +112,10 @@ class LintTreeTest(unittest.TestCase):
             linter.check_naked_new()
         if "confinement" in rules:
             linter.check_confinement()
+        if "lock-order" in rules:
+            linter.check_lock_order()
+        if "iter-determinism" in rules:
+            linter.check_iter_determinism()
         return linter.errors
 
     # -- wire-parity ---------------------------------------------------------
@@ -471,6 +475,210 @@ struct EchoBatch {
     def test_confinement_absent_file_skipped(self):
         self.write_consistent_tree()  # no query_server.h at all
         self.assertEqual(self.run_lint({"confinement"}), [])
+
+    # -- lock ordering -------------------------------------------------------
+
+    def test_lock_order_nested_without_annotation_fails(self):
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex mu_;\n"
+                   "Mutex log_mu_;\n"
+                   "void Flush() {\n"
+                   "  MutexLock lock(&mu_);\n"
+                   "  MutexLock inner(&log_mu_);\n"
+                   "}\n")
+        errors = self.run_lint({"lock-order"})
+        self.assertTrue(any("[lock-order]" in e and "log_mu_" in e
+                            and "WEBDIS_ACQUIRED_BEFORE" in e
+                            for e in errors), errors)
+
+    def test_lock_order_annotation_satisfies(self):
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex mu_ WEBDIS_ACQUIRED_BEFORE(log_mu_);\n"
+                   "Mutex log_mu_;\n"
+                   "void Flush() {\n"
+                   "  MutexLock lock(&mu_);\n"
+                   "  {\n"
+                   "    MutexLock inner(&log_mu_);\n"
+                   "  }\n"
+                   "}\n")
+        self.assertEqual(self.run_lint({"lock-order"}), [])
+
+    def test_lock_order_annotation_cycle_fails(self):
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex a_ WEBDIS_ACQUIRED_BEFORE(b_);\n"
+                   "Mutex b_ WEBDIS_ACQUIRED_BEFORE(a_);\n")
+        errors = self.run_lint({"lock-order"})
+        self.assertTrue(any("[lock-order]" in e and "cycle" in e
+                            for e in errors), errors)
+
+    def test_lock_order_nesting_edge_closes_cycle(self):
+        # The annotated order says a_ before b_; a suppressed inversion in
+        # another function still contributes its edge, so the union graph
+        # must report the deadlock even though each site looks blessed.
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex a_ WEBDIS_ACQUIRED_BEFORE(b_);\n"
+                   "Mutex b_;\n"
+                   "void F() {\n"
+                   "  MutexLock l1(&a_);\n"
+                   "  MutexLock l2(&b_);\n"
+                   "}\n"
+                   "void G() {\n"
+                   "  MutexLock l1(&b_);\n"
+                   "  // webdis-lint: allow(lock-order) — test inversion\n"
+                   "  MutexLock l2(&a_);\n"
+                   "}\n")
+        errors = self.run_lint({"lock-order"})
+        self.assertTrue(any("cycle" in e and "a_" in e and "b_" in e
+                            for e in errors), errors)
+        self.assertFalse(any("WEBDIS_ACQUIRED_BEFORE(a_)" in e
+                             for e in errors), errors)
+
+    def test_lock_order_suppression_honored(self):
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex mu_;\n"
+                   "Mutex log_mu_;\n"
+                   "void Flush() {\n"
+                   "  MutexLock lock(&mu_);\n"
+                   "  // webdis-lint: allow(lock-order) — audited by hand\n"
+                   "  MutexLock inner(&log_mu_);\n"
+                   "}\n")
+        self.assertEqual(self.run_lint({"lock-order"}), [])
+
+    def test_lock_order_stale_annotation_fails(self):
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex mu_ WEBDIS_ACQUIRED_BEFORE(retired_mu_);\n")
+        errors = self.run_lint({"lock-order"})
+        self.assertTrue(any("[lock-order]" in e and "retired_mu_" in e
+                            and "stale" in e for e in errors), errors)
+
+    def test_lock_order_sequential_locks_pass(self):
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex mu_;\n"
+                   "Mutex log_mu_;\n"
+                   "void F() {\n"
+                   "  { MutexLock l(&mu_); }\n"
+                   "  { MutexLock l(&log_mu_); }\n"
+                   "}\n")
+        self.assertEqual(self.run_lint({"lock-order"}), [])
+
+    def test_lock_order_chain_requires_every_pair(self):
+        # a_ -> b_ and b_ -> c_ are annotated, but holding all three also
+        # nests a_ over c_: transitive closure is not assumed, the direct
+        # pair must be recorded too.
+        self.write_consistent_tree()
+        self.write("src/server/cache.cc",
+                   "Mutex a_ WEBDIS_ACQUIRED_BEFORE(b_);\n"
+                   "Mutex b_ WEBDIS_ACQUIRED_BEFORE(c_);\n"
+                   "Mutex c_;\n"
+                   "void F() {\n"
+                   "  MutexLock l1(&a_);\n"
+                   "  MutexLock l2(&b_);\n"
+                   "  MutexLock l3(&c_);\n"
+                   "}\n")
+        errors = self.run_lint({"lock-order"})
+        self.assertTrue(any("c_ acquired while a_ is held" in e
+                            for e in errors), errors)
+
+    # -- iteration determinism -----------------------------------------------
+
+    def test_iter_determinism_unordered_in_encode_fails(self):
+        self.write_consistent_tree()
+        self.write("src/query/stats.cc",
+                   "std::unordered_map<std::string, int> counts_;\n"
+                   "void EncodeTo(serialize::Encoder* enc) {\n"
+                   "  for (const auto& kv : counts_) {\n"
+                   "    enc->PutU64(kv.second);\n"
+                   "  }\n"
+                   "}\n")
+        errors = self.run_lint({"iter-determinism"})
+        self.assertTrue(any("[iter-determinism]" in e and "counts_" in e
+                            for e in errors), errors)
+
+    def test_iter_determinism_sorted_materialization_passes(self):
+        self.write_consistent_tree()
+        self.write("src/query/stats.cc",
+                   "std::unordered_map<std::string, int> counts_;\n"
+                   "void EncodeTo(serialize::Encoder* enc) {\n"
+                   "  std::vector<std::pair<std::string, int>> sorted(\n"
+                   "      counts_.begin(), counts_.end());\n"
+                   "  std::sort(sorted.begin(), sorted.end());\n"
+                   "  for (const auto& kv : sorted) {\n"
+                   "    enc->PutU64(kv.second);\n"
+                   "  }\n"
+                   "}\n")
+        self.assertEqual(self.run_lint({"iter-determinism"}), [])
+
+    def test_iter_determinism_suppression_honored(self):
+        self.write_consistent_tree()
+        self.write("src/query/stats.cc",
+                   "std::unordered_map<std::string, int> counts_;\n"
+                   "void EncodeTo(serialize::Encoder* enc) {\n"
+                   "  // webdis-lint: allow(iter-determinism) — order-free sum\n"
+                   "  for (const auto& kv : counts_) {\n"
+                   "    total += kv.second;\n"
+                   "  }\n"
+                   "  enc->PutU64(total);\n"
+                   "}\n")
+        self.assertEqual(self.run_lint({"iter-determinism"}), [])
+
+    def test_iter_determinism_non_serializing_function_passes(self):
+        self.write_consistent_tree()
+        self.write("src/query/stats.cc",
+                   "std::unordered_set<int> seen_;\n"
+                   "bool Contains(int x) const {\n"
+                   "  for (int v : seen_) {\n"
+                   "    if (v == x) return true;\n"
+                   "  }\n"
+                   "  return false;\n"
+                   "}\n")
+        self.assertEqual(self.run_lint({"iter-determinism"}), [])
+
+    def test_iter_determinism_ordered_map_passes(self):
+        self.write_consistent_tree()
+        self.write("src/query/stats.cc",
+                   "std::unordered_map<std::string, int> index_;\n"
+                   "std::map<std::string, int> counts_;\n"
+                   "void EncodeTo(serialize::Encoder* enc) {\n"
+                   "  for (const auto& kv : counts_) {\n"
+                   "    enc->PutU64(kv.second);\n"
+                   "  }\n"
+                   "}\n")
+        self.assertEqual(self.run_lint({"iter-determinism"}), [])
+
+    def test_iter_determinism_format_run_stats_flagged(self):
+        self.write_consistent_tree()
+        self.write("src/client/stats.cc",
+                   "std::unordered_set<std::string> hosts_;\n"
+                   "std::string FormatRunStats() {\n"
+                   "  std::string out;\n"
+                   "  for (const auto& h : hosts_) {\n"
+                   "    out += h;\n"
+                   "  }\n"
+                   "  return out;\n"
+                   "}\n")
+        errors = self.run_lint({"iter-determinism"})
+        self.assertTrue(any("[iter-determinism]" in e and "hosts_" in e
+                            for e in errors), errors)
+
+    def test_iter_determinism_structured_binding_flagged(self):
+        self.write_consistent_tree()
+        self.write("src/query/stats.cc",
+                   "std::unordered_map<std::string, int> counts_;\n"
+                   "void EncodeTo(serialize::Encoder* enc) {\n"
+                   "  for (const auto& [name, n] : counts_) {\n"
+                   "    enc->PutU64(n);\n"
+                   "  }\n"
+                   "}\n")
+        errors = self.run_lint({"iter-determinism"})
+        self.assertTrue(any("[iter-determinism]" in e and "counts_" in e
+                            for e in errors), errors)
 
     # -- end to end ----------------------------------------------------------
 
