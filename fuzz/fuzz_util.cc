@@ -79,7 +79,8 @@ bool CanonicalizeWirePayload(uint8_t raw_type,
     }
     case net::MessageType::kAck:
     case net::MessageType::kDeliveryAck:
-    case net::MessageType::kOverloaded: {
+    case net::MessageType::kOverloaded:
+    case net::MessageType::kSiteRetired: {
       uint64_t v = 0;
       if (!dec.GetU64(&v).ok()) return false;
       if (!dec.ExpectAtEnd("u64 payload").ok()) return false;
@@ -336,6 +337,29 @@ int WriteSeedCorpus(const std::string& root) {
         frame(net::MessageType::kReportBatch, batch_enc.data()));
   }
   {
+    // §10 version-stamped report: nonzero doc_version + non-normal
+    // visibility, so the fuzzer starts from the new trailing fields too.
+    query::QueryReport report;
+    report.id = clone.id;
+    query::NodeReport nr;
+    nr.node_url = "http://a/";
+    nr.received_state = {1, clone.rem_pre};
+    nr.doc_version = 5;
+    nr.visibility = query::NodeReport::kVisibilityEpochGated;
+    report.node_reports.push_back(std::move(nr));
+    serialize::Encoder enc;
+    report.EncodeTo(&enc);
+    put("wire", "seed-report-stamped.bin",
+        frame(net::MessageType::kReport, enc.data()));
+  }
+  {
+    // §10.1 epoch-pinned clone: budget flags bit 4 + varint epoch.
+    query::WebQuery pinned = clone.Clone();
+    pinned.budget.pinned_epoch = 3;
+    put("wire", "seed-webquery-epoch.bin",
+        frame(net::MessageType::kWebQuery, Encoded(pinned)));
+  }
+  {
     serialize::Encoder enc;
     clone.id.EncodeTo(&enc);
     put("wire", "seed-terminate.bin",
@@ -356,7 +380,8 @@ int WriteSeedCorpus(const std::string& root) {
   for (const auto& [type, name] :
        {std::pair{net::MessageType::kAck, "seed-ack.bin"},
         std::pair{net::MessageType::kDeliveryAck, "seed-deliveryack.bin"},
-        std::pair{net::MessageType::kOverloaded, "seed-overloaded.bin"}}) {
+        std::pair{net::MessageType::kOverloaded, "seed-overloaded.bin"},
+        std::pair{net::MessageType::kSiteRetired, "seed-siteretired.bin"}}) {
     serialize::Encoder enc;
     enc.PutU64(42);
     put("wire", name, frame(type, enc.data()));

@@ -21,6 +21,8 @@ std::string QueryRunStats::ToText() const {
   line("duplicate_drop_reports", duplicate_drop_reports);
   line("undeliverable_reports", undeliverable_reports);
   line("budget_exceeded_reports", budget_exceeded_reports);
+  line("site_retired_reports", site_retired_reports);
+  line("epoch_gated_reports", epoch_gated_reports);
   line("result_rows_received", result_rows_received);
   line("duplicate_rows_filtered", duplicate_rows_filtered);
   line("termination_messages_sent", termination_messages_sent);
@@ -103,6 +105,12 @@ Result<query::QueryId> UserSite::Submit(const disql::CompiledQuery& compiled,
   if (options_.budget_max_rows_per_visit > 0) {
     budget.has_row_limit = true;
     budget.max_rows_per_visit = options_.budget_max_rows_per_visit;
+  }
+  if (options_.epoch_source) {
+    // §10.1: pin the web epoch at submission — servers hide documents
+    // spawned after it, so this run sees a consistent reachability set.
+    budget.pinned_epoch = options_.epoch_source();
+    raw->pinned_epoch = budget.pinned_epoch;
   }
   uint64_t clone_alloc_base = 0;
   uint64_t clone_alloc_extra = 0;
@@ -327,6 +335,12 @@ void UserSite::OnMessage(QueryRun* run, const net::Endpoint& from,
     sender_.OnOverloaded(payload);
     return;
   }
+  if (type == net::MessageType::kSiteRetired) {
+    // A StartNode site retired (§10.2): terminal — abandon the transfer.
+    // The retired server's site-retired reports settle the CHT entries.
+    sender_.OnSiteRetired(payload);
+    return;
+  }
   if (type != net::MessageType::kReport &&
       type != net::MessageType::kReportBatch) {
     WEBDIS_LOG(kWarning) << "user site ignoring message of type "
@@ -400,6 +414,7 @@ void UserSite::HandleReport(QueryRun* run,
   run->last_report_time = clock_();
   for (const query::NodeReport& nr : report.node_reports) {
     ++run->stats.node_reports;
+    if (report_observer_) report_observer_(run->id, nr);
     // Mark the topmost entry (the processed node in its received state)
     // deleted. Unmatched deletes are tolerated: the entry may have been
     // suppressed by CHT dedup. (The ack-tree baseline keeps no CHT.)
@@ -415,6 +430,41 @@ void UserSite::HandleReport(QueryRun* run,
       run->fallback_nodes.push_back(
           query::ChtEntry{nr.node_url, nr.received_state});
       continue;
+    }
+    if (nr.visibility == query::NodeReport::kVisibilitySiteRetired) {
+      // §10.2: the node's site retired mid-run — a named degraded outcome
+      // (retired_sites), deliberately NOT `partial`: partial means deadline
+      // GC gave up on unreachable hosts, while retirement settles the CHT
+      // cleanly. The topmost entry was already cleared above; nothing was
+      // evaluated or forwarded, and the host never lands in the
+      // retry/fallback path.
+      ++run->stats.site_retired_reports;
+      auto parsed = html::ParseUrl(nr.node_url);
+      const std::string site_host =
+          parsed.ok() ? parsed->host : nr.node_url;
+      if (std::find(run->retired_sites.begin(), run->retired_sites.end(),
+                    site_host) == run->retired_sites.end()) {
+        run->retired_sites.push_back(site_host);
+      }
+      continue;
+    }
+    if (nr.visibility == query::NodeReport::kVisibilityEpochGated) {
+      // §10.3: the document was spawned after this run's pinned epoch and
+      // is invisible to it — by design, not a degradation.
+      ++run->stats.epoch_gated_reports;
+      if (std::find(run->epoch_gated_nodes.begin(),
+                    run->epoch_gated_nodes.end(),
+                    nr.node_url) == run->epoch_gated_nodes.end()) {
+        run->epoch_gated_nodes.push_back(nr.node_url);
+      }
+      continue;
+    }
+    if (nr.doc_version != 0) {
+      // §10.1: record the stamped document version for the final verdict's
+      // freshness classification. Re-visits (recomputation with dedup off)
+      // keep the highest stamp seen.
+      uint64_t& stamped = run->node_versions[nr.node_url];
+      stamped = std::max(stamped, nr.doc_version);
     }
     if (nr.budget_exceeded) {
       // Explicit degradation (PROTOCOL.md §7.1): the visit was shed,

@@ -74,6 +74,12 @@ struct UserSiteOptions {
   /// above — which stops the whole query once enough rows arrived — this
   /// degrades each visit individually and the traversal continues.
   uint64_t budget_max_rows_per_visit = 0;
+  /// §10.1 epoch pinning: when set, Submit stamps the current web epoch on
+  /// every initial clone (budget.pinned_epoch) so servers hide documents
+  /// spawned after submission. Wired to WebGraph::epoch by the engine when
+  /// a mutation plan is installed; nullptr = no pin (frozen-web behavior,
+  /// wire bytes unchanged).
+  std::function<uint64_t()> epoch_source;
 };
 
 /// Per-query client-side statistics.
@@ -96,6 +102,9 @@ struct QueryRunStats {
                                            // termination still covers it
   // Overload & degradation (PROTOCOL.md §7):
   uint64_t budget_exceeded_reports = 0;  // visits shed/expired/truncated
+  // Dynamic web & churn (PROTOCOL.md §10):
+  uint64_t site_retired_reports = 0;  // node reports naming a retired site
+  uint64_t epoch_gated_reports = 0;   // nodes hidden by the epoch pin
   // Cross-query sharing (PROTOCOL.md §9): batched report envelopes arriving
   // on this query's socket as the batch carrier, and members addressed to a
   // query whose result socket already closed (the batch rode the carrier's
@@ -125,6 +134,13 @@ class UserSite {
   /// engine); defaults to a constant 0.
   void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
 
+  /// §10.1: late-binds the epoch source (see UserSiteOptions::epoch_source).
+  /// The engine calls this when a mutation plan is installed after
+  /// construction; affects queries submitted from then on.
+  void SetEpochSource(std::function<uint64_t()> source) {
+    options_.epoch_source = std::move(source);
+  }
+
   /// Everything the client knows about one submitted query.
   struct QueryRun {
     query::QueryId id;
@@ -147,6 +163,19 @@ class UserSite {
     bool budget_exhausted = false;
     /// Nodes named in budget-exceeded reports (deduplicated).
     std::vector<std::string> budget_exceeded_nodes;
+    /// §10.2: hosts whose query server answered site-retired mid-run
+    /// (deduplicated) — a *named* degraded outcome, distinct from the
+    /// unreachable (crash/partition) list above.
+    std::vector<std::string> retired_sites;
+    /// §10.3: nodes hidden from this run by its epoch pin (deduplicated).
+    std::vector<std::string> epoch_gated_nodes;
+    /// §10.1: document version each evaluated node's report was stamped
+    /// with (node url -> version; stamp 0 reports are not recorded). The
+    /// engine classifies these fresh / stale-consistent / superseded
+    /// against the web at completion time.
+    std::map<std::string, uint64_t> node_versions;
+    /// §10.1: the epoch pinned at Submit (0 = unpinned).
+    uint64_t pinned_epoch = 0;
     /// Pending deadline-sweep timer id (0 = none armed).
     uint64_t sweep_timer = 0;
     /// Result socket closed (completion/cancel/timeout). Individual sends
@@ -194,6 +223,16 @@ class UserSite {
   /// query complete. Returns how many entries were abandoned.
   size_t AbandonStalled(const query::QueryId& id);
 
+  /// §10.4 oracle hook: observes every accepted NodeReport (after receipt
+  /// dedup, before CHT/merge bookkeeping). The churn oracle re-evaluates
+  /// each report's rows against the historical document at its stamped
+  /// version — the exact-for-its-version invariant.
+  using ReportObserver = std::function<void(const query::QueryId& id,
+                                            const query::NodeReport& report)>;
+  void SetReportObserver(ReportObserver observer) {
+    report_observer_ = std::move(observer);
+  }
+
   const UserSiteOptions& options() const { return options_; }
   const std::string& host() const { return host_; }
   /// Client-side at-least-once delivery counters (initial clone dispatch).
@@ -230,6 +269,7 @@ class UserSite {
   std::map<std::string, std::unique_ptr<QueryRun>> runs_;  // by QueryId::Key
   /// Per-run row filter: label signature + row rendering already seen.
   std::map<std::string, std::set<std::string>> seen_rows_;
+  ReportObserver report_observer_;
 };
 
 }  // namespace webdis::client

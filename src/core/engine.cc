@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/thread_annotations.h"
+#include "html/url.h"
 
 namespace webdis::core {
 
@@ -63,6 +64,25 @@ std::string FormatRunStats(const RunOutcome& outcome) {
   for (const std::string& node : outcome.budget_exceeded_nodes) {
     out += "budget_exceeded_node: " + node + "\n";
   }
+  if (outcome.pinned_epoch != 0) {
+    out += StringPrintf(
+        "freshness: pinned_epoch=%llu fresh=%zu stale_consistent=%zu "
+        "superseded=%zu\n",
+        (unsigned long long)outcome.pinned_epoch, outcome.fresh_nodes,
+        outcome.stale_consistent_nodes, outcome.superseded_nodes);
+  }
+  for (const std::string& url : outcome.stale_node_urls) {
+    out += "stale_node: " + url + "\n";
+  }
+  for (const std::string& url : outcome.superseded_node_urls) {
+    out += "superseded_node: " + url + "\n";
+  }
+  for (const std::string& host : outcome.retired_sites) {
+    out += "retired_site: " + host + "\n";
+  }
+  for (const std::string& url : outcome.epoch_gated_nodes) {
+    out += "epoch_gated_node: " + url + "\n";
+  }
   out += "client:\n";
   const std::string client = outcome.client_stats.ToText();
   if (client.empty()) out += "  (all zero)\n";
@@ -116,6 +136,10 @@ std::string FormatRunStats(const RunOutcome& outcome) {
   emit("report_batches_sent", s.report_batches_sent);
   emit("report_batch_members_sent", s.report_batch_members_sent);
   emit("batches_shed", s.batches_shed);
+  emit("site_retired_nacks_sent", s.site_retired_nacks_sent);
+  emit("site_retired_nacks_received", s.site_retired_nacks_received);
+  emit("retired_reports_sent", s.retired_reports_sent);
+  emit("epoch_gated_nodes", s.epoch_gated_nodes);
   if (outcome.workers > 0) {
     // Cumulative over the network's lifetime, not per query: occupancy is a
     // property of how the whole run's slices partitioned.
@@ -150,7 +174,7 @@ Engine::Engine(const web::WebGraph* web, EngineOptions options)
                                                      network_.get());
     const Status status = http->Start();
     WEBDIS_CHECK(status.ok()) << status.ToString();
-    http_servers_.push_back(std::move(http));
+    http_servers_.emplace(host, std::move(http));
   }
 
   // A deterministic subset of hosts participates in WEBDIS.
@@ -168,32 +192,38 @@ Engine::Engine(const web::WebGraph* web, EngineOptions options)
     const server::QueryServerOptions& server_options =
         override_it == options_.server_overrides.end() ? options_.server
                                                        : override_it->second;
-    auto qs = std::make_unique<server::QueryServer>(
-        host, web_, network_.get(), server_options);
-    if (server_options.persist.enabled) {
-      // Per-host seed: FNV-1a of the host name folded into the base seed,
-      // so fault schedules are stable across platforms and host ordering.
-      uint64_t host_hash = 1469598103934665603ull;
-      for (const char c : host) {
-        host_hash ^= static_cast<uint8_t>(c);
-        host_hash *= 1099511628211ull;
-      }
-      server::PersistFaultRules rules = options_.persist_faults;
-      rules.seed = options_.persist_faults.seed ^ host_hash;
-      auto backend = std::make_unique<server::MemoryPersistBackend>(rules);
-      qs->SetPersistence(backend.get());
-      persist_backends_.emplace(host, std::move(backend));
-    }
-    const Status status = qs->Start();
-    WEBDIS_CHECK(status.ok()) << status.ToString();
-    qs->SetClock([this] { return network_->now(); });
-    participating_hosts_.push_back(host);
-    query_servers_.emplace(host, std::move(qs));
+    AddParticipant(host, server_options);
   }
 
   user_site_ = std::make_unique<client::UserSite>(
       kClientHost, network_.get(), options_.client);
   user_site_->SetClock([this] { return network_->now(); });
+}
+
+void Engine::AddParticipant(
+    const std::string& host,
+    const server::QueryServerOptions& server_options) {
+  auto qs = std::make_unique<server::QueryServer>(
+      host, web_, network_.get(), server_options);
+  if (server_options.persist.enabled) {
+    // Per-host seed: FNV-1a of the host name folded into the base seed,
+    // so fault schedules are stable across platforms and host ordering.
+    uint64_t host_hash = 1469598103934665603ull;
+    for (const char c : host) {
+      host_hash ^= static_cast<uint8_t>(c);
+      host_hash *= 1099511628211ull;
+    }
+    server::PersistFaultRules rules = options_.persist_faults;
+    rules.seed = options_.persist_faults.seed ^ host_hash;
+    auto backend = std::make_unique<server::MemoryPersistBackend>(rules);
+    qs->SetPersistence(backend.get());
+    persist_backends_.emplace(host, std::move(backend));
+  }
+  const Status status = qs->Start();
+  WEBDIS_CHECK(status.ok()) << status.ToString();
+  qs->SetClock([this] { return network_->now(); });
+  participating_hosts_.push_back(host);
+  query_servers_.emplace(host, std::move(qs));
 }
 
 Engine::~Engine() = default;
@@ -226,6 +256,71 @@ void Engine::ObserveVisits(server::QueryServer::VisitObserver observer) {
   }
   for (auto& [host, qs] : query_servers_) {
     qs->SetVisitObserver(observer);
+  }
+}
+
+void Engine::InstallMutationPlan(web::WebGraph* web,
+                                 web::MutationPlan* plan) {
+  WEBDIS_CHECK(web == web_)
+      << "mutation plan must target the graph the engine was built over";
+  WEBDIS_CHECK(options_.network.worker_threads == 0)
+      << "churn requires the sequential stepper (workers == 0): mutations "
+         "touch shared WebGraph state outside endpoint confinement";
+  mutable_web_ = web;
+  mutation_plan_ = plan;
+  // Every query submitted from here on pins the then-current epoch (§10.1).
+  user_site_->SetEpochSource([web] { return web->epoch(); });
+  const SimTime now = network_->now();
+  for (const SimTime t : plan->PendingTimes()) {
+    // ApplyDue is a no-op for an already-applied prefix, so a timer that
+    // fires after a later timer already consumed its batch is harmless.
+    network_->ScheduleAfter(t > now ? t - now : 0,
+                            [this] { ApplyDueMutations(); });
+  }
+}
+
+void Engine::ApplyDueMutations() {
+  if (mutation_plan_ == nullptr) return;
+  const std::vector<web::Mutation> batch =
+      mutation_plan_->ApplyDue(mutable_web_, network_->now());
+  for (const web::Mutation& m : batch) {
+    switch (m.kind) {
+      case web::Mutation::Kind::kSpawnSite: {
+        auto parsed = html::ParseUrl(m.url);
+        WEBDIS_CHECK(parsed.ok()) << parsed.status().ToString();
+        const std::string& host = parsed->host;
+        if (http_servers_.find(host) == http_servers_.end()) {
+          auto http = std::make_unique<server::HttpServer>(host, web_,
+                                                           network_.get());
+          const Status status = http->Start();
+          WEBDIS_CHECK(status.ok()) << status.ToString();
+          http_servers_.emplace(host, std::move(http));
+        }
+        if (query_servers_.find(host) == query_servers_.end()) {
+          // Spawned sites always participate: the plan pairs each spawn
+          // with an inbound link, and the point is that queries pinned at
+          // or after the spawn epoch can actually traverse into it.
+          AddParticipant(host, options_.server);
+          spawned_hosts_.push_back(host);
+        }
+        break;
+      }
+      case web::Mutation::Kind::kRetireSite: {
+        // The query server survives in retired mode so in-flight clones get
+        // a terminal SiteRetired instead of a silent black hole (§10.2);
+        // plain HTTP goes dark with the site.
+        auto qs_it = query_servers_.find(m.host);
+        if (qs_it != query_servers_.end()) qs_it->second->Retire();
+        auto http_it = http_servers_.find(m.host);
+        if (http_it != http_servers_.end()) http_it->second->Stop();
+        churn_retired_hosts_.push_back(m.host);
+        break;
+      }
+      case web::Mutation::Kind::kEditPage:
+      case web::Mutation::Kind::kAddLink:
+      case web::Mutation::Kind::kRemoveLink:
+        break;  // document-level churn needs no deployment change
+    }
   }
 }
 
@@ -338,6 +433,10 @@ server::QueryServerStats Engine::AggregateServerStats() const {
     total.report_batches_sent += s.report_batches_sent;
     total.report_batch_members_sent += s.report_batch_members_sent;
     total.batches_shed += s.batches_shed;
+    total.site_retired_nacks_sent += s.site_retired_nacks_sent;
+    total.site_retired_nacks_received += s.site_retired_nacks_received;
+    total.retired_reports_sent += s.retired_reports_sent;
+    total.epoch_gated_nodes += s.epoch_gated_nodes;
   }
   return total;
 }
@@ -368,6 +467,25 @@ RunOutcome Engine::CollectOutcome(const query::QueryId& id,
   outcome.cht_suppressed = run->cht.suppressed_count();
   outcome.cht_unmatched_deletes = run->cht.unmatched_deletes();
   outcome.fallback_node_count = run->fallback_nodes.size();
+  outcome.pinned_epoch = run->pinned_epoch;
+  outcome.node_versions = run->node_versions;
+  outcome.retired_sites = run->retired_sites;
+  outcome.epoch_gated_nodes = run->epoch_gated_nodes;
+  // §10 freshness classification: compare each report's stamped version
+  // against the web as it stands now. Versions only grow, so "different"
+  // always means "edited after the visit".
+  for (const auto& [url, stamped] : run->node_versions) {
+    const web::WebGraph::Document* doc = web_->Find(url);
+    if (doc == nullptr) {
+      ++outcome.superseded_nodes;
+      outcome.superseded_node_urls.push_back(url);
+    } else if (doc->version == stamped) {
+      ++outcome.fresh_nodes;
+    } else {
+      ++outcome.stale_consistent_nodes;
+      outcome.stale_node_urls.push_back(url);
+    }
+  }
   outcome.client_retry = user_site_->retry_stats();
   outcome.server_stats = AggregateServerStats();
   outcome.traffic = Subtract(TrafficSnapshot(), baseline_traffic);

@@ -15,6 +15,7 @@
 #include "server/http_server.h"
 #include "server/query_server.h"
 #include "web/graph.h"
+#include "web/mutation.h"
 
 namespace webdis::core {
 
@@ -89,6 +90,30 @@ struct RunOutcome {
   uint64_t cht_unmatched_deletes = 0;
   size_t fallback_node_count = 0;
   baseline::DataShippingOutcome fallback;  // §7.1 centralized continuation
+  /// §10 dynamic-web outcome. `pinned_epoch` is the web epoch the query was
+  /// submitted under (0 = unpinned / frozen web). `node_versions` maps each
+  /// evaluated node to the document version its report was stamped with;
+  /// the classification below compares those stamps against the web at
+  /// collection time:
+  ///   fresh            — current version == stamped version
+  ///   stale-consistent — document still exists but was edited after the
+  ///                      visit (the answer is exact for its stamped
+  ///                      version, just not for the latest one)
+  ///   superseded       — document (or its whole site) is gone
+  /// A mutated web therefore yields an explicitly qualified answer, never a
+  /// silent torn read.
+  uint64_t pinned_epoch = 0;
+  std::map<std::string, uint64_t> node_versions;
+  size_t fresh_nodes = 0;
+  size_t stale_consistent_nodes = 0;
+  size_t superseded_nodes = 0;
+  std::vector<std::string> stale_node_urls;
+  std::vector<std::string> superseded_node_urls;
+  /// Hosts that answered SiteRetired mid-run (named degraded outcome,
+  /// distinct from unreachable_hosts).
+  std::vector<std::string> retired_sites;
+  /// Nodes hidden from this run by its epoch pin.
+  std::vector<std::string> epoch_gated_nodes;
   /// Client-side at-least-once delivery counters (initial dispatch).
   net::RetryStats client_retry;
   TrafficSummary traffic;
@@ -147,6 +172,29 @@ class Engine {
   /// Installs a visit observer on every query server.
   void ObserveVisits(server::QueryServer::VisitObserver observer);
 
+  /// §10: attaches a seeded mutation plan over a mutable view of the
+  /// engine's web. Schedules one network timer per distinct pending
+  /// mutation time; each firing applies the due batch and orchestrates the
+  /// deployment to match — a spawned host gets an HttpServer plus a
+  /// participating QueryServer (reachable to queries pinned at or after the
+  /// spawn epoch), a retired host gets QueryServer::Retire() and its HTTP
+  /// server stopped. Also wires the client's epoch source to `web->epoch`
+  /// so every subsequent Submit pins the then-current epoch.
+  ///
+  /// `web` must be the same graph the engine was constructed over (the
+  /// const view the servers read through). Requires worker_threads == 0:
+  /// mutations touch shared WebGraph state outside the parallel stepper's
+  /// endpoint confinement. `plan` must outlive the engine.
+  void InstallMutationPlan(web::WebGraph* web, web::MutationPlan* plan);
+
+  /// Hosts spawned / retired by the installed mutation plan so far.
+  const std::vector<std::string>& spawned_hosts() const {
+    return spawned_hosts_;
+  }
+  const std::vector<std::string>& churn_retired_hosts() const {
+    return churn_retired_hosts_;
+  }
+
   /// Submits without driving the network (for step-wise orchestration).
   Result<query::QueryId> Submit(const disql::CompiledQuery& compiled,
                                 const std::string& user = "user");
@@ -163,15 +211,28 @@ class Engine {
   static constexpr const char* kClientHost = "user.site";
 
  private:
+  /// Creates, starts and registers a participating QueryServer on `host`
+  /// (with its per-host persistence backend when enabled). Shared between
+  /// construction and mid-run site spawns.
+  void AddParticipant(const std::string& host,
+                      const server::QueryServerOptions& server_options);
+  /// Timer callback: applies due mutations and reconciles the deployment.
+  void ApplyDueMutations();
+
   const web::WebGraph* web_;
   EngineOptions options_;
   std::unique_ptr<net::SimNetwork> network_;
-  std::vector<std::unique_ptr<server::HttpServer>> http_servers_;
+  std::map<std::string, std::unique_ptr<server::HttpServer>> http_servers_;
   std::map<std::string, std::unique_ptr<server::QueryServer>> query_servers_;
   std::map<std::string, std::unique_ptr<server::MemoryPersistBackend>>
       persist_backends_;
   std::vector<std::string> participating_hosts_;
   std::unique_ptr<client::UserSite> user_site_;
+  /// §10 churn state (set by InstallMutationPlan; null on frozen webs).
+  web::WebGraph* mutable_web_ = nullptr;
+  web::MutationPlan* mutation_plan_ = nullptr;
+  std::vector<std::string> spawned_hosts_;
+  std::vector<std::string> churn_retired_hosts_;
 };
 
 /// Runs the same compiled query through the data-shipping baseline on a

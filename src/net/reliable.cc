@@ -123,6 +123,24 @@ void ReliableSender::OnOverloaded(const std::vector<uint8_t>& payload) {
   Notify(pending.to, DeliveryEvent::kOverloadNack);
 }
 
+void ReliableSender::OnSiteRetired(const std::vector<uint8_t>& payload) {
+  serialize::Decoder dec(payload);
+  uint64_t seq = 0;
+  if (!dec.GetU64(&seq).ok() || !dec.ExpectAtEnd("site-retired nack").ok()) {
+    return;  // malformed NACK: ignore
+  }
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // already acked, NACKed, or abandoned
+  // Terminal: the site is gone for good. Cancel the retransmission timer
+  // and drop the transfer — retrying against a retired site only burns
+  // attempts that the retired side will NACK again.
+  if (it->second.timer != 0) transport_->CancelTimer(it->second.timer);
+  const Endpoint to = it->second.to;
+  pending_.erase(it);
+  ++stats_.site_retired;
+  Notify(to, DeliveryEvent::kSiteRetired);
+}
+
 SimDuration ReliableSender::JitterOverload(SimDuration timeout) {
   const double j = options_.overload_jitter;
   if (j > 0.0) {
@@ -197,6 +215,15 @@ void ReliableReceiver::SendOverloaded(const Endpoint& self,
   serialize::Encoder nack;
   nack.PutU64(seq);
   (void)transport_->Send(self, from, MessageType::kOverloaded, nack.Release());
+}
+
+void ReliableReceiver::SendSiteRetired(const Endpoint& self,
+                                       const Endpoint& from, uint64_t seq) {
+  serialize::Encoder nack;
+  nack.PutU64(seq);
+  // Refusal is fine: the sender may already be gone.
+  (void)transport_->Send(self, from, MessageType::kSiteRetired,
+                         nack.Release());
 }
 
 bool ReliableReceiver::AcceptSeq(const Endpoint& self, const Endpoint& from,

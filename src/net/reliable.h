@@ -53,6 +53,7 @@ struct RetryStats {
   uint64_t exhausted = 0;        // transfers abandoned after max_attempts
   uint64_t refused_on_retry = 0; // retransmissions refused at connect time
   uint64_t overload_nacks = 0;   // kOverloaded NACKs received
+  uint64_t site_retired = 0;     // kSiteRetired terminal NACKs received
 };
 
 /// Terminal (or class-changing) per-transfer outcomes, surfaced to the
@@ -65,6 +66,11 @@ enum class DeliveryEvent {
   kExhausted,
   kRefusedOnRetry,
   kOverloadNack,
+  /// §10.2: the destination answered kSiteRetired — it is gone for good.
+  /// Terminal like kRefusedOnRetry (retrying is futile), and the owner
+  /// should feed it to the breaker as failure evidence so later sends to
+  /// the host short-circuit.
+  kSiteRetired,
 };
 
 /// Sender half of at-least-once delivery for clone forwarding and report
@@ -109,6 +115,14 @@ class ReliableSender {
   /// receiver shed the transfer. The pending entry moves to the overload
   /// backoff class and re-arms with a longer, jittered timeout.
   void OnOverloaded(const std::vector<uint8_t>& payload);
+
+  /// Routes a received kSiteRetired payload (u64 transfer_seq) here: the
+  /// destination site retired (§10.2). Unlike kOverloaded this is
+  /// *terminal* — the transfer is abandoned immediately, like a
+  /// synchronous ConnectionRefused, and no further retransmission is ever
+  /// scheduled. The retired site already converted the transfer's nodes
+  /// into named degraded reports, so nothing is silently lost.
+  void OnSiteRetired(const std::vector<uint8_t>& payload);
 
   /// Observes per-transfer outcomes (see DeliveryEvent). Called with the
   /// destination endpoint; the owner typically feeds a HostBreakers.
@@ -202,6 +216,11 @@ class ReliableReceiver {
   /// the overload backoff class and retries later.
   void SendOverloaded(const Endpoint& self, const Endpoint& from,
                       uint64_t seq);
+
+  /// Sends the terminal kSiteRetired NACK (§10.2): this site retired and
+  /// will never process the transfer. The sender abandons it immediately.
+  void SendSiteRetired(const Endpoint& self, const Endpoint& from,
+                       uint64_t seq);
 
   /// Commits acceptance of a peeked transfer: acks it and records the seq.
   /// Returns false for a replay (a retransmitted copy of a transfer that

@@ -26,6 +26,8 @@ std::string_view MessageTypeToString(MessageType type) {
       return "CloneBatch";
     case MessageType::kReportBatch:
       return "ReportBatch";
+    case MessageType::kSiteRetired:
+      return "SiteRetired";
   }
   return "Unknown";
 }

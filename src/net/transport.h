@@ -45,6 +45,11 @@ enum class MessageType : uint8_t {
   // Cross-query sharing (PROTOCOL.md §9): reports for different queries
   // bound for the same user-site host, batched per flush window.
   kReportBatch = 10,  // payload: struct query::ReportBatch
+  // Site-churn NACK (PROTOCOL.md §10): the destination site retired — a
+  // *terminal* outcome, unlike kOverloaded. The sender abandons the
+  // transfer immediately instead of backing off to cap against a site
+  // that will never come back.
+  kSiteRetired = 11,  // payload: u64 transfer_seq
 };
 
 std::string_view MessageTypeToString(MessageType type);

@@ -81,6 +81,8 @@ void NodeReport::EncodeTo(serialize::Encoder* enc) const {
   for (const relational::ResultSet& rs : result_sets) {
     EncodeResultSet(rs, enc);
   }
+  enc->PutU64(doc_version);
+  enc->PutU8(visibility);
 }
 
 Status NodeReport::DecodeFrom(serialize::Decoder* dec, NodeReport* out) {
@@ -109,6 +111,11 @@ Status NodeReport::DecodeFrom(serialize::Decoder* dec, NodeReport* out) {
     relational::ResultSet rs;
     WEBDIS_RETURN_IF_ERROR(DecodeResultSet(dec, &rs));
     out->result_sets.push_back(std::move(rs));
+  }
+  WEBDIS_RETURN_IF_ERROR(dec->GetU64(&out->doc_version));
+  WEBDIS_RETURN_IF_ERROR(dec->GetU8(&out->visibility));
+  if (out->visibility > kVisibilityEpochGated) {
+    return Status::Corruption("unknown node-report visibility");
   }
   return Status::OK();
 }

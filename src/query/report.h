@@ -54,6 +54,26 @@ struct NodeReport {
   /// evaluate several pipeline stages at once when a later PRE is nullable).
   /// Empty for PureRouters and dead-ends.
   std::vector<relational::ResultSet> result_sets;
+  /// §10: the WebGraph document version this node was evaluated against,
+  /// or 0 when the node was never evaluated (missing document, duplicate
+  /// drop, undeliverable, shed). Every row in `result_sets` was computed
+  /// from exactly this version — a report never mixes rows from two
+  /// versions of one document. The user site records the stamp so the
+  /// final verdict can classify the node fresh / stale-consistent /
+  /// superseded against the web as it stands at completion.
+  uint64_t doc_version = 0;
+  /// §10: churn-visibility outcome for this node. Encoded as one byte;
+  /// decoders reject values above kVisibilityEpochGated.
+  ///  * kVisibilityNormal      — evaluated (or degraded) the ordinary way;
+  ///  * kVisibilitySiteRetired — the node's site retired for good; the CHT
+  ///    entry is cleared and the host lands in the run's named
+  ///    retired-sites outcome, never in the retry path;
+  ///  * kVisibilityEpochGated  — the document was spawned *after* the
+  ///    query's pinned epoch, so this run must not see it (§10.3).
+  static constexpr uint8_t kVisibilityNormal = 0;
+  static constexpr uint8_t kVisibilitySiteRetired = 1;
+  static constexpr uint8_t kVisibilityEpochGated = 2;
+  uint8_t visibility = kVisibilityNormal;
 
   void EncodeTo(serialize::Encoder* enc) const;
   static Status DecodeFrom(serialize::Decoder* dec, NodeReport* out);

@@ -32,6 +32,7 @@ bool QueryBudget::Equals(const QueryBudget& other) const {
   if (has_row_limit && max_rows_per_visit != other.max_rows_per_visit) {
     return false;
   }
+  if (pinned_epoch != other.pinned_epoch) return false;
   return true;
 }
 
@@ -40,6 +41,7 @@ constexpr uint8_t kBudgetDeadlineBit = 1 << 0;
 constexpr uint8_t kBudgetHopBit = 1 << 1;
 constexpr uint8_t kBudgetCloneBit = 1 << 2;
 constexpr uint8_t kBudgetRowBit = 1 << 3;
+constexpr uint8_t kBudgetEpochBit = 1 << 4;
 }  // namespace
 
 void QueryBudget::EncodeTo(serialize::Encoder* enc) const {
@@ -48,18 +50,20 @@ void QueryBudget::EncodeTo(serialize::Encoder* enc) const {
   if (has_hop_limit) flags |= kBudgetHopBit;
   if (has_clone_limit) flags |= kBudgetCloneBit;
   if (has_row_limit) flags |= kBudgetRowBit;
+  if (pinned_epoch != 0) flags |= kBudgetEpochBit;
   enc->PutU8(flags);
   if (has_deadline) enc->PutU64(deadline);
   if (has_hop_limit) enc->PutU32(hops_left);
   if (has_clone_limit) enc->PutVarint(clones_left);
   if (has_row_limit) enc->PutVarint(max_rows_per_visit);
+  if (pinned_epoch != 0) enc->PutVarint(pinned_epoch);
 }
 
 Status QueryBudget::DecodeFrom(serialize::Decoder* dec, QueryBudget* out) {
   uint8_t flags = 0;
   WEBDIS_RETURN_IF_ERROR(dec->GetU8(&flags));
   if ((flags & ~(kBudgetDeadlineBit | kBudgetHopBit | kBudgetCloneBit |
-                 kBudgetRowBit)) != 0) {
+                 kBudgetRowBit | kBudgetEpochBit)) != 0) {
     return Status::Corruption("unknown budget flags");
   }
   out->has_deadline = (flags & kBudgetDeadlineBit) != 0;
@@ -73,6 +77,14 @@ Status QueryBudget::DecodeFrom(serialize::Decoder* dec, QueryBudget* out) {
   }
   if (out->has_row_limit) {
     WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&out->max_rows_per_visit));
+  }
+  if ((flags & kBudgetEpochBit) != 0) {
+    WEBDIS_RETURN_IF_ERROR(dec->GetVarint(&out->pinned_epoch));
+    if (out->pinned_epoch == 0) {
+      return Status::Corruption("epoch-pin flag with zero epoch");
+    }
+  } else {
+    out->pinned_epoch = 0;
   }
   return Status::OK();
 }

@@ -39,17 +39,26 @@ struct QueryBudget {
   /// the user site's row_limit remains the global cap).
   bool has_row_limit = false;
   uint64_t max_rows_per_visit = 0;
+  /// §10.1: the WebGraph epoch the query was submitted under, or 0 when the
+  /// web is treated as frozen (every pre-§10 query). Servers use the pin to
+  /// gate *spawned* sites: a document whose born_epoch exceeds the pin is
+  /// invisible to this run (reported kVisibilityEpochGated), so an already-
+  /// running query never half-sees a site that appeared mid-flight.
+  uint64_t pinned_epoch = 0;
 
-  /// True if any limit is armed.
+  /// True if any limit is armed. The epoch pin is a visibility stamp, not a
+  /// resource limit, so it does not participate.
   bool Any() const {
     return has_deadline || has_hop_limit || has_clone_limit || has_row_limit;
   }
 
   bool Equals(const QueryBudget& other) const;
 
-  /// Wire: `u8 flags` (bit 0 deadline, 1 hop, 2 clone, 3 row) followed by
-  /// the present fields in that order. Flags 0 = no budget — the encoding
-  /// the seed's budget-less clones now carry as a single trailing byte.
+  /// Wire: `u8 flags` (bit 0 deadline, 1 hop, 2 clone, 3 row, 4 epoch pin)
+  /// followed by the present fields in that order. Flags 0 = no budget — the
+  /// encoding the seed's budget-less clones now carry as a single trailing
+  /// byte. The epoch pin is present iff nonzero, keeping every pre-§10
+  /// encoding byte-identical.
   void EncodeTo(serialize::Encoder* enc) const;
   static Status DecodeFrom(serialize::Decoder* dec, QueryBudget* out);
 };

@@ -38,6 +38,10 @@ QueryServer::QueryServer(std::string host, const web::WebGraph* web,
             break;
           case net::DeliveryEvent::kExhausted:
           case net::DeliveryEvent::kRefusedOnRetry:
+          // A kSiteRetired NACK is the strongest failure evidence there is
+          // (the destination told us it is gone for good, §10.2): trip the
+          // breaker so later forwards to the host short-circuit locally.
+          case net::DeliveryEvent::kSiteRetired:
             breakers_.RecordFailure(to.host, Now());
             break;
           case net::DeliveryEvent::kOverloadNack:
@@ -56,6 +60,7 @@ const QueryServerStats& QueryServer::stats() const {
   stats_.retry_exhausted = sender_.stats().exhausted;
   stats_.redeliveries_suppressed = receiver_.suppressed_count();
   stats_.overload_nacks_received = sender_.stats().overload_nacks;
+  stats_.site_retired_nacks_received = sender_.stats().site_retired;
   stats_.breaker_trips = breakers_.stats().trips;
   stats_.breaker_short_circuits = breakers_.stats().short_circuits;
   stats_.breaker_probes = breakers_.stats().probes;
@@ -132,6 +137,14 @@ void QueryServer::Stop() {
 
 void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
                             const std::vector<uint8_t>& payload) {
+  if (retired_ && (type == net::MessageType::kWebQuery ||
+                   type == net::MessageType::kCloneBatch)) {
+    // §10.2: a retired site never processes another clone. Answer
+    // terminally — kSiteRetired NACK plus named degraded reports — so the
+    // sender stops retrying and the user site's CHT settles.
+    HandleCloneWhileRetired(from, type, payload);
+    return;
+  }
   switch (type) {
     case net::MessageType::kWebQuery: {
       if (options_.admission.max_pending != 0) {
@@ -259,6 +272,10 @@ void QueryServer::OnMessage(const net::Endpoint& from, net::MessageType type,
       sender_.OnOverloaded(payload);
       return;
     }
+    case net::MessageType::kSiteRetired: {
+      sender_.OnSiteRetired(payload);
+      return;
+    }
     case net::MessageType::kAck: {
       serialize::Decoder dec(payload);
       uint64_t token = 0;
@@ -312,6 +329,14 @@ query::NodeReport MakeBudgetReport(std::string url, query::CloneState state) {
   nr.node_url = std::move(url);
   nr.received_state = std::move(state);
   nr.budget_exceeded = true;
+  return nr;
+}
+
+query::NodeReport MakeRetiredReport(std::string url, query::CloneState state) {
+  query::NodeReport nr;
+  nr.node_url = std::move(url);
+  nr.received_state = std::move(state);
+  nr.visibility = query::NodeReport::kVisibilitySiteRetired;
   return nr;
 }
 
@@ -573,6 +598,111 @@ void QueryServer::ShedClone(QueuedClone shed) {
   }
 }
 
+void QueryServer::Retire() {
+  if (retired_) return;
+  retired_ = true;
+  if (drain_timer_ != 0) {
+    transport_->CancelTimer(drain_timer_);
+    drain_timer_ = 0;
+  }
+  // Shed the admission queue terminally: queued work will never be served.
+  std::deque<QueuedClone> queued;
+  queued.swap(pending_clones_);
+  for (QueuedClone& unit : queued) {
+    RetireUnit(std::move(unit));
+  }
+}
+
+void QueryServer::RetireUnit(QueuedClone unit) {
+  const net::Endpoint self{host_, kQueryServerPort};
+  if (unit.tracked && !unit.acked) {
+    // Terminal NACK instead of an ack: the sender abandons the transfer
+    // immediately and feeds its breaker (§10.2).
+    receiver_.SendSiteRetired(self, unit.from, unit.seq);
+    ++stats_.site_retired_nacks_sent;
+    // Record receipt without acking: if the NACK is lost, the
+    // retransmission is answered with the NACK alone — a second round of
+    // reports would double-delete the nodes' CHT entries.
+    receiver_.RestoreSeen(unit.from, unit.seq);
+  }
+  for (size_t i = 0; i < unit.clones.size(); ++i) {
+    query::WebQuery& clone = unit.clones[i];
+    const uint64_t wal_id = unit.wal_id == 0 ? 0 : unit.wal_id + i;
+    if (terminated_queries_.contains(clone.id.Key())) {
+      FinishWalClone(wal_id);
+      continue;
+    }
+    if (clone.ack_mode) {
+      // Ack-tree baseline: a retired site is a leaf — ack the parent so
+      // the tree still completes.
+      SendAck(net::Endpoint{clone.ack_parent_host, clone.ack_parent_port},
+              clone.ack_token);
+      FinishWalClone(wal_id);
+      continue;
+    }
+    std::vector<query::NodeReport> reports;
+    reports.reserve(clone.dest_urls.size());
+    for (const std::string& url : clone.dest_urls) {
+      reports.push_back(MakeRetiredReport(url, clone.State()));
+    }
+    stats_.retired_reports_sent += reports.size();
+    (void)DispatchReports(clone, std::move(reports));
+    FinishWalClone(wal_id);
+  }
+}
+
+void QueryServer::HandleCloneWhileRetired(
+    const net::Endpoint& from, net::MessageType type,
+    const std::vector<uint8_t>& payload) {
+  const net::Endpoint self{host_, kQueryServerPort};
+  QueuedClone unit;
+  unit.from = from;
+  unit.tracked = receiver_.enabled();
+  std::vector<uint8_t> inner;
+  const std::vector<uint8_t>* body = &payload;
+  if (unit.tracked) {
+    if (!net::ReliableReceiver::PeekSeq(payload, &unit.seq)) return;
+    if (receiver_.TestSeen(from, unit.seq)) {
+      // A transfer committed before retirement was already answered once;
+      // only the terminal NACK is due (its ack may have been lost).
+      receiver_.SendSiteRetired(self, from, unit.seq);
+      ++stats_.site_retired_nacks_sent;
+      return;
+    }
+    if (!net::ReliableReceiver::StripEnvelope(payload, &inner)) return;
+    body = &inner;
+  }
+  serialize::Decoder dec(*body);
+  if (type == net::MessageType::kWebQuery) {
+    query::WebQuery clone;
+    Status status = query::WebQuery::DecodeFrom(&dec, &clone);
+    if (status.ok()) status = dec.ExpectAtEnd("clone payload");
+    if (!status.ok()) {
+      ++stats_.decode_errors;
+      if (unit.tracked) {
+        receiver_.SendSiteRetired(self, from, unit.seq);
+        ++stats_.site_retired_nacks_sent;
+      }
+      return;
+    }
+    unit.clones.push_back(std::move(clone));
+  } else {
+    query::CloneBatch batch;
+    Status status = query::CloneBatch::DecodeFrom(&dec, &batch);
+    if (status.ok()) status = dec.ExpectAtEnd("clone-batch payload");
+    if (!status.ok()) {
+      ++stats_.decode_errors;
+      if (unit.tracked) {
+        receiver_.SendSiteRetired(self, from, unit.seq);
+        ++stats_.site_retired_nacks_sent;
+      }
+      return;
+    }
+    unit.clones = std::move(batch.clones);
+  }
+  RetireUnit(std::move(unit));
+}
+
 const relational::Database& QueryServer::NodeDatabase(
     const web::WebGraph::Document& doc) {
   if (options_.cache_databases) {
@@ -776,11 +906,25 @@ void QueryServer::ProcessNode(const query::WebQuery& clone,
   const web::WebGraph::Document* doc = web_->Find(url);
   if (doc == nullptr || doc->url.host != host_) {
     // A floating link or a mis-routed clone: report the visit (so the CHT
-    // entry clears) but there is nothing to process or forward.
+    // entry clears) but there is nothing to process or forward. Under churn
+    // this also covers a document removed mid-run (§10) — the stamp stays
+    // 0 and the verdict classifies the node superseded.
     ++stats_.missing_documents;
     if (visit_observer_) visit_observer_(event);
     return;
   }
+  if (clone.budget.pinned_epoch != 0 &&
+      doc->born_epoch > clone.budget.pinned_epoch) {
+    // §10.3: the document was spawned after this query's pinned epoch —
+    // invisible to this run. Report the visit (the CHT entry clears) with
+    // the epoch-gated visibility; nothing is evaluated or forwarded, so a
+    // mid-run spawn can never be half-seen.
+    ++stats_.epoch_gated_nodes;
+    report->visibility = query::NodeReport::kVisibilityEpochGated;
+    if (visit_observer_) visit_observer_(event);
+    return;
+  }
+  report->doc_version = doc->version;
 
   ++stats_.nodes_processed;
   const relational::Database& db = NodeDatabase(*doc);

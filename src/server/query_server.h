@@ -177,6 +177,11 @@ struct QueryServerStats {
   uint64_t report_batches_sent = 0;     // kReportBatch envelopes dispatched
   uint64_t report_batch_members_sent = 0;
   uint64_t batches_shed = 0;  // whole batch units NACKed/shed at admission
+  // Dynamic web & churn (PROTOCOL.md §10):
+  uint64_t site_retired_nacks_sent = 0;  // terminal NACKs sent while retired
+  uint64_t site_retired_nacks_received = 0;  // own forwards hit a retired site
+  uint64_t retired_reports_sent = 0;  // node reports carrying site-retired
+  uint64_t epoch_gated_nodes = 0;     // destinations hidden by the epoch pin
 };
 
 /// One per-node visit, emitted to the observer hook (used by the figure
@@ -250,6 +255,18 @@ class QueryServer {
   /// cold_starts) — a restart is never silent.
   Status Restart();
 
+  /// §10.2: puts the server into retired mode — the site is going away for
+  /// good (unlike Crash(), which models an outage that Restart() ends).
+  /// The pending admission queue is shed terminally: every queued unit's
+  /// sender gets the kSiteRetired NACK (terminal — retries stop) and every
+  /// member's destination nodes are reported with the site-retired
+  /// visibility so the user site's CHT settles with a *named* degraded
+  /// outcome. The server keeps listening: later clones are answered the
+  /// same way instead of vanishing into connection-refused ambiguity.
+  /// Irreversible; Restart() on a retired server keeps it retired.
+  void Retire();
+  bool retired() const { return retired_; }
+
   const std::string& host() const { return host_; }
   const QueryServerStats& stats() const;
   const LogTable& log_table() const { return log_table_; }
@@ -317,6 +334,16 @@ class QueryServer {
   /// reports every destination node of every member budget-exceeded so the
   /// CHT settles.
   void ShedClone(QueuedClone shed);
+  /// §10.2 terminal answer for one unit at a retired server: kSiteRetired
+  /// NACK for unacked tracked transfers, site-retired node reports for
+  /// every member so the CHT converts the participants into named degraded
+  /// outcomes, and the WAL completion records so recovery never replays
+  /// them.
+  void RetireUnit(QueuedClone unit);
+  /// Front door for kWebQuery / kCloneBatch arriving while retired.
+  void HandleCloneWhileRetired(const net::Endpoint& from,
+                               net::MessageType type,
+                               const std::vector<uint8_t>& payload);
   /// Queued members across units (admission capacity counts members, not
   /// units — a 10-member batch occupies 10 slots).
   size_t PendingMembers() const;
@@ -478,6 +505,9 @@ class QueryServer {
   std::vector<uint64_t> wal_pending_flush_;
   VisitObserver visit_observer_;
   bool started_ = false;
+  /// §10.2: retired mode. Deliberately NOT reset by Crash()/Restart() —
+  /// retirement is permanent, not an outage.
+  bool retired_ = false;
   /// Durability (PROTOCOL.md §8): storage backend (not owned), the next
   /// WAL record id (monotonic across restarts — recovered from the maximum
   /// of the snapshot's last_wal_id and the replayed records), and the

@@ -18,6 +18,10 @@ Status WebGraph::AddDocument(std::string_view url, std::string html) {
   doc.url = parsed_url;
   doc.parsed = html::ParseDocument(parsed_url, html);
   doc.raw_html = std::move(html);
+  doc.born_epoch = epoch_;
+  if (history_enabled_) {
+    history_[{key, doc.version}] = doc.raw_html;
+  }
   docs_.emplace(key, std::move(doc));
   return Status::OK();
 }
@@ -35,7 +39,63 @@ Status WebGraph::UpdateDocument(std::string_view url, std::string html) {
   doc.parsed = html::ParseDocument(doc.url, html);
   doc.raw_html = std::move(html);
   ++doc.version;
+  if (history_enabled_) {
+    history_[{key, doc.version}] = doc.raw_html;
+  }
   return Status::OK();
+}
+
+Status WebGraph::RemoveDocument(std::string_view url) {
+  html::Url parsed_url;
+  WEBDIS_ASSIGN_OR_RETURN(parsed_url, html::ParseUrl(url));
+  const std::string key = parsed_url.ResourceKey();
+  auto it = docs_.find(key);
+  if (it == docs_.end()) {
+    return Status::InvalidArgument(
+        StringPrintf("no such document '%s'", key.c_str()));
+  }
+  docs_.erase(it);
+  return Status::OK();
+}
+
+Status WebGraph::RetireHost(std::string_view host) {
+  bool removed_any = false;
+  for (auto it = docs_.begin(); it != docs_.end();) {
+    if (it->second.url.host == host) {
+      it = docs_.erase(it);
+      removed_any = true;
+    } else {
+      ++it;
+    }
+  }
+  if (!removed_any && retired_hosts_.find(host) == retired_hosts_.end()) {
+    return Status::InvalidArgument(
+        StringPrintf("no documents on host '%.*s'",
+                     static_cast<int>(host.size()), host.data()));
+  }
+  retired_hosts_.emplace(host);
+  return Status::OK();
+}
+
+bool WebGraph::HostRetired(std::string_view host) const {
+  return retired_hosts_.find(host) != retired_hosts_.end();
+}
+
+void WebGraph::EnableHistory() {
+  if (history_enabled_) return;
+  history_enabled_ = true;
+  // Backfill current versions so every live (key, version) pair resolves.
+  for (const auto& [key, doc] : docs_) {
+    history_[{key, doc.version}] = doc.raw_html;
+  }
+}
+
+const std::string* WebGraph::HistoricalHtml(std::string_view url,
+                                            uint64_t version) const {
+  auto parsed = html::ParseUrl(url);
+  if (!parsed.ok()) return nullptr;
+  auto it = history_.find({parsed->ResourceKey(), version});
+  return it == history_.end() ? nullptr : &it->second;
 }
 
 const WebGraph::Document* WebGraph::Find(std::string_view url) const {

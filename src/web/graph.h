@@ -2,8 +2,10 @@
 #define WEBDIS_WEB_GRAPH_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -26,6 +28,11 @@ class WebGraph {
     /// result cache (PROTOCOL.md §9.1) keys on it: a cached node-query
     /// result is valid only for the exact version it was computed against.
     uint64_t version = 1;
+    /// §10.3: the web epoch this document first existed in. Documents
+    /// present at construction carry epoch 1; spawned documents carry the
+    /// epoch current at spawn time, so servers can hide them from queries
+    /// pinned to an earlier epoch.
+    uint64_t born_epoch = 1;
   };
 
   WebGraph() = default;
@@ -41,6 +48,39 @@ class WebGraph {
   /// Replaces an existing document's contents, re-parses, and bumps its
   /// version stamp. Fails if the URL names no stored resource.
   Status UpdateDocument(std::string_view url, std::string html);
+
+  /// §10: removes one document for good. Fails if the URL names no stored
+  /// resource. Later Finds return nullptr — from a query's view the node
+  /// is superseded.
+  Status RemoveDocument(std::string_view url);
+
+  /// §10.2: retires a whole site — removes every document on `host` and
+  /// records the host as permanently gone (HostRetired distinguishes "never
+  /// existed" from "retired mid-run" for verdict classification). Fails if
+  /// the host has no documents and was not previously retired.
+  Status RetireHost(std::string_view host);
+
+  /// True if RetireHost(host) ran.
+  bool HostRetired(std::string_view host) const;
+
+  /// §10.1: the current web epoch, starting at 1 for the frozen pre-churn
+  /// web. A MutationPlan bumps it once per applied mutation batch; queries
+  /// submitted under epoch E pin E and never see documents born later.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Advances the epoch by one and returns the new value.
+  uint64_t AdvanceEpoch() { return ++epoch_; }
+
+  /// §10.4 oracle support: when enabled, every document body is recorded
+  /// per (resource key, version) — including versions later overwritten or
+  /// removed — so a test oracle can re-evaluate a node exactly as it stood
+  /// at a report's stamped version. Off by default (benches pay nothing).
+  void EnableHistory();
+
+  /// The recorded body for (url, version), or nullptr when history is off
+  /// or the pair was never recorded.
+  const std::string* HistoricalHtml(std::string_view url,
+                                    uint64_t version) const;
 
   /// Looks up by resource key (URL without fragment); nullptr if absent.
   const Document* Find(std::string_view url) const;
@@ -65,6 +105,10 @@ class WebGraph {
 
  private:
   std::map<std::string, Document, std::less<>> docs_;  // key: ResourceKey
+  std::set<std::string, std::less<>> retired_hosts_;
+  uint64_t epoch_ = 1;
+  bool history_enabled_ = false;
+  std::map<std::pair<std::string, uint64_t>, std::string> history_;
 };
 
 }  // namespace webdis::web

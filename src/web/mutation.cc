@@ -1,0 +1,209 @@
+#include "web/mutation.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace webdis::web {
+
+namespace {
+
+/// The anchor text MutationPlan emits; RemoveLink searches for the href
+/// attribute only, so it also strips anchors a generator produced.
+std::string AnchorHtml(const std::string& target_url) {
+  return "<li><a href=\"" + target_url + "\">churned link</a></li>";
+}
+
+}  // namespace
+
+void MutationPlan::Add(Mutation m) {
+  auto it = std::upper_bound(
+      mutations_.begin() + static_cast<ptrdiff_t>(applied_), mutations_.end(),
+      m.at, [](SimTime t, const Mutation& other) { return t < other.at; });
+  mutations_.insert(it, std::move(m));
+}
+
+std::vector<SimTime> MutationPlan::PendingTimes() const {
+  std::vector<SimTime> times;
+  for (size_t i = applied_; i < mutations_.size(); ++i) {
+    if (times.empty() || times.back() != mutations_[i].at) {
+      times.push_back(mutations_[i].at);
+    }
+  }
+  return times;
+}
+
+std::vector<Mutation> MutationPlan::ApplyDue(WebGraph* web, SimTime now) {
+  std::vector<Mutation> batch;
+  bool bumped = false;
+  while (applied_ < mutations_.size() && mutations_[applied_].at <= now) {
+    const Mutation& m = mutations_[applied_];
+    ++applied_;
+    if (!bumped) {
+      // One epoch per batch: spawned documents below are born into the new
+      // epoch, so queries pinned earlier never see them (§10.3).
+      web->AdvanceEpoch();
+      ++stats_.epochs_advanced;
+      bumped = true;
+    }
+    switch (m.kind) {
+      case Mutation::Kind::kEditPage: {
+        const WebGraph::Document* doc = web->Find(m.url);
+        if (doc == nullptr) {
+          ++stats_.skipped;
+          continue;
+        }
+        std::string html = doc->raw_html + "\n<p>" + m.html + "</p>";
+        if (!web->UpdateDocument(m.url, std::move(html)).ok()) {
+          ++stats_.skipped;
+          continue;
+        }
+        ++stats_.pages_edited;
+        break;
+      }
+      case Mutation::Kind::kAddLink: {
+        const WebGraph::Document* doc = web->Find(m.url);
+        if (doc == nullptr) {
+          ++stats_.skipped;
+          continue;
+        }
+        std::string html = doc->raw_html + "\n" + AnchorHtml(m.target_url);
+        if (!web->UpdateDocument(m.url, std::move(html)).ok()) {
+          ++stats_.skipped;
+          continue;
+        }
+        ++stats_.links_added;
+        break;
+      }
+      case Mutation::Kind::kRemoveLink: {
+        const WebGraph::Document* doc = web->Find(m.url);
+        if (doc == nullptr) {
+          ++stats_.skipped;
+          continue;
+        }
+        const std::string needle = "<a href=\"" + m.target_url + "\"";
+        std::string html = doc->raw_html;
+        const size_t start = html.find(needle);
+        if (start == std::string::npos) {
+          ++stats_.skipped;
+          continue;
+        }
+        size_t end = html.find("</a>", start);
+        end = end == std::string::npos ? html.size() : end + 4;
+        html.erase(start, end - start);
+        if (!web->UpdateDocument(m.url, std::move(html)).ok()) {
+          ++stats_.skipped;
+          continue;
+        }
+        ++stats_.links_removed;
+        break;
+      }
+      case Mutation::Kind::kSpawnSite: {
+        if (!web->AddDocument(m.url, m.html).ok()) {
+          ++stats_.skipped;
+          continue;
+        }
+        ++stats_.sites_spawned;
+        break;
+      }
+      case Mutation::Kind::kRetireSite: {
+        if (!web->RetireHost(m.host).ok()) {
+          ++stats_.skipped;
+          continue;
+        }
+        ++stats_.sites_retired;
+        break;
+      }
+    }
+    batch.push_back(m);
+  }
+  return batch;
+}
+
+MutationPlan MutationPlan::Random(const WebGraph& web,
+                                  const RandomOptions& opts) {
+  MutationPlan plan;
+  Rng rng(opts.seed);
+  const std::vector<std::string> urls = web.AllUrls();
+  std::vector<std::string> hosts = web.Hosts();
+  const auto protectd = [&](const std::string& h) {
+    return std::find(opts.protected_hosts.begin(), opts.protected_hosts.end(),
+                     h) != opts.protected_hosts.end();
+  };
+  hosts.erase(std::remove_if(hosts.begin(), hosts.end(), protectd),
+              hosts.end());
+  const auto pick_time = [&] {
+    return static_cast<SimTime>(rng.UniformRange(
+        static_cast<uint64_t>(opts.window_start),
+        static_cast<uint64_t>(opts.window_end)));
+  };
+
+  if (urls.empty()) return plan;
+  for (int i = 0; i < opts.edits; ++i) {
+    Mutation m;
+    m.kind = Mutation::Kind::kEditPage;
+    m.at = pick_time();
+    m.url = rng.Pick(urls);
+    m.html = StringPrintf("churn edit %d token%llu", i,
+                          static_cast<unsigned long long>(rng.Uniform(1000)));
+    plan.Add(std::move(m));
+  }
+  for (int i = 0; i < opts.link_adds; ++i) {
+    Mutation m;
+    m.kind = Mutation::Kind::kAddLink;
+    m.at = pick_time();
+    m.url = rng.Pick(urls);
+    m.target_url = rng.Pick(urls);
+    plan.Add(std::move(m));
+  }
+  for (int i = 0; i < opts.link_removes; ++i) {
+    // Remove a link we first add ourselves, so the anchor format is known;
+    // scheduled strictly after the add when possible.
+    Mutation add;
+    add.kind = Mutation::Kind::kAddLink;
+    add.at = pick_time();
+    add.url = rng.Pick(urls);
+    add.target_url = rng.Pick(urls);
+    Mutation remove;
+    remove.kind = Mutation::Kind::kRemoveLink;
+    remove.at = std::max(add.at + 1, pick_time());
+    remove.url = add.url;
+    remove.target_url = add.target_url;
+    plan.Add(std::move(add));
+    plan.Add(std::move(remove));
+  }
+  for (int i = 0; i < opts.spawns; ++i) {
+    Mutation spawn;
+    spawn.kind = Mutation::Kind::kSpawnSite;
+    spawn.at = pick_time();
+    const std::string host =
+        StringPrintf("spawn%d-s%llu.example", i,
+                     static_cast<unsigned long long>(opts.seed));
+    spawn.url = "http://" + host + "/index.html";
+    spawn.html = StringPrintf(
+        "<html><head><title>Spawned site %d</title></head>"
+        "<body><p>born of churn seed %llu</p></body></html>",
+        i, static_cast<unsigned long long>(opts.seed));
+    // Pair with a link from an existing page so the new site is reachable
+    // to queries pinned at or after the spawn epoch.
+    Mutation link;
+    link.kind = Mutation::Kind::kAddLink;
+    link.at = spawn.at;
+    link.url = rng.Pick(urls);
+    link.target_url = spawn.url;
+    plan.Add(std::move(spawn));
+    plan.Add(std::move(link));
+  }
+  for (int i = 0; i < opts.retires && !hosts.empty(); ++i) {
+    Mutation m;
+    m.kind = Mutation::Kind::kRetireSite;
+    m.at = pick_time();
+    const size_t idx = static_cast<size_t>(rng.Uniform(hosts.size()));
+    m.host = hosts[idx];
+    hosts.erase(hosts.begin() + static_cast<ptrdiff_t>(idx));
+    plan.Add(std::move(m));
+  }
+  return plan;
+}
+
+}  // namespace webdis::web

@@ -1,0 +1,599 @@
+// Dynamic-web robustness (PROTOCOL.md §10): the churn oracle. Seeded
+// mutation schedules (page edits, link rot, site spawns, whole-site
+// retirements) run composed with the §6 fault machinery and §8 crash/
+// recovery, asserting the staleness contract: every query terminates with a
+// verdict, every reported answer is exact for the document version its
+// report was stamped with (re-evaluated against the recorded historical
+// html — so no report can mix rows from two versions of one document), and
+// every node the verdict classifies stale / superseded / retired /
+// epoch-gated is named, never silently torn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/user_site.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/engine.h"
+#include "disql/compiler.h"
+#include "html/parser.h"
+#include "html/url.h"
+#include "net/fault.h"
+#include "pre/pre.h"
+#include "query/report.h"
+#include "relational/eval.h"
+#include "server/db_constructor.h"
+#include "server/query_server.h"
+#include "web/graph.h"
+#include "web/mutation.h"
+#include "web/university.h"
+
+namespace webdis {
+namespace {
+
+std::set<std::string> AllRowKeys(
+    const std::vector<relational::ResultSet>& results) {
+  std::set<std::string> keys;
+  for (const relational::ResultSet& rs : results) {
+    for (const relational::Tuple& row : rs.rows) {
+      std::string key = Join(rs.column_labels, ",") + ":";
+      for (const relational::Value& v : row) key += v.ToString() + "|";
+      keys.insert(std::move(key));
+    }
+  }
+  return keys;
+}
+
+/// Canonical resource key for comparing report node URLs against planted
+/// page URLs (reports carry resolved resource keys).
+std::string Key(const std::string& url) {
+  auto parsed = html::ParseUrl(url);
+  EXPECT_TRUE(parsed.ok()) << url;
+  return parsed.ok() ? parsed->ResourceKey() : url;
+}
+
+std::string HostOf(const std::string& url) {
+  auto parsed = html::ParseUrl(url);
+  EXPECT_TRUE(parsed.ok()) << url;
+  return parsed.ok() ? parsed->host : url;
+}
+
+/// Order-insensitive fingerprint of one result set (labels + row multiset).
+std::multiset<std::string> ResultSetRows(const relational::ResultSet& rs) {
+  std::multiset<std::string> rows;
+  for (const relational::Tuple& row : rs.rows) {
+    std::string key = Join(rs.column_labels, ",") + ":";
+    for (const relational::Value& v : row) key += v.ToString() + "|";
+    rows.insert(std::move(key));
+  }
+  return rows;
+}
+
+/// Re-runs the server's evaluation chain (QueryServer::ProcessStage, the
+/// ServerRouter half only) over one parsed document: starting at the stage
+/// the received state identifies, evaluate while the guarding PRE admits the
+/// zero-length path and the previous stage answered.
+std::vector<relational::ResultSet> EvaluateStages(
+    const disql::CompiledQuery& compiled, const html::ParsedDocument& doc,
+    uint32_t num_q, const pre::Pre& rem_pre) {
+  const std::vector<query::NodeQuery>& queries =
+      compiled.web_query.remaining_queries;
+  const std::vector<pre::Pre>& pres = compiled.web_query.future_pres;
+  std::vector<relational::ResultSet> out;
+  EXPECT_LE(num_q, queries.size());
+  if (num_q > queries.size() || num_q == 0) return out;
+  const relational::Database db = server::BuildNodeDatabase(doc);
+  size_t stage = queries.size() - num_q;
+  const pre::Pre* rem = &rem_pre;
+  while (stage < queries.size() && rem->ContainsNull()) {
+    auto rows = relational::Execute(queries[stage].select, db);
+    if (!rows.ok() || rows->rows.empty()) break;
+    out.push_back(std::move(rows).value());
+    if (stage + 1 >= queries.size()) break;
+    rem = &pres[stage];
+    ++stage;
+  }
+  return out;
+}
+
+/// The §10.1 oracle for one accepted NodeReport: every row was computed from
+/// exactly the stamped document version. Re-evaluates the node's stages
+/// against the recorded historical html at that version and requires the
+/// result sets to match exactly — a report mixing rows from two versions of
+/// one document cannot pass, because no single version reproduces it.
+void VerifyExactForStampedVersion(const web::WebGraph& web,
+                                  const disql::CompiledQuery& compiled,
+                                  const query::NodeReport& nr) {
+  SCOPED_TRACE("report for " + nr.node_url);
+  if (nr.visibility != query::NodeReport::kVisibilityNormal) {
+    // Site-retired / epoch-gated visits evaluate nothing by definition.
+    EXPECT_TRUE(nr.result_sets.empty());
+    EXPECT_EQ(nr.doc_version, 0u);
+    return;
+  }
+  if (nr.result_sets.empty()) return;  // routed or dead-ended: nothing to pin
+  ASSERT_NE(nr.doc_version, 0u);
+  const std::string* html = web.HistoricalHtml(nr.node_url, nr.doc_version);
+  ASSERT_NE(html, nullptr) << nr.node_url << " @v" << nr.doc_version
+                           << " missing from history";
+  auto url = html::ParseUrl(nr.node_url);
+  ASSERT_TRUE(url.ok());
+  const html::ParsedDocument doc = html::ParseDocument(url.value(), *html);
+  // A log-table superset rewrite never admits the zero-length path, so any
+  // report carrying results was evaluated under the received rem_pre.
+  const std::vector<relational::ResultSet> expected = EvaluateStages(
+      compiled, doc, nr.received_state.num_q, nr.received_state.rem_pre);
+  ASSERT_EQ(nr.result_sets.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(nr.result_sets[i].column_labels, expected[i].column_labels);
+    EXPECT_EQ(ResultSetRows(nr.result_sets[i]), ResultSetRows(expected[i]));
+  }
+}
+
+web::UniversityWeb SmallUniversity() {
+  web::UniversityOptions options;
+  options.seed = 11;
+  options.departments = 2;
+  options.labs_per_department = 2;
+  return web::GenerateUniversityWeb(options);
+}
+
+disql::CompiledQuery CompileOrDie(const std::string& disql) {
+  auto compiled = disql::CompileDisql(disql);
+  EXPECT_TRUE(compiled.ok()) << disql;
+  return std::move(compiled).value();
+}
+
+core::EngineOptions ChurnRecoveryOptions() {
+  core::EngineOptions options;
+  options.server.retry.enabled = true;
+  options.server.retry.initial_timeout = 100 * kMillisecond;
+  options.server.retry.max_timeout = 400 * kMillisecond;
+  options.server.retry.max_attempts = 4;
+  options.client.retry = options.server.retry;
+  options.client.entry_deadline = 10 * kSecond;
+  // Retired hosts stop their HTTP servers too, so the data-shipping
+  // fallback has nothing to fetch from — keep undeliverable nodes as a
+  // named outcome instead of continuing centrally.
+  options.fallback_processing = false;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic single-mutation semantics.
+// ---------------------------------------------------------------------------
+
+// An edit landing after the visit leaves the answer exact for the stamped
+// version; the verdict classifies the edited node stale-consistent and
+// everything else fresh. Never a silent torn read: the stamp says exactly
+// which version each row came from.
+TEST(ChurnTest, EditAfterVisitClassifiesStaleConsistent) {
+  web::UniversityWeb uni = SmallUniversity();
+  const disql::CompiledQuery compiled = CompileOrDie(uni.convener_disql);
+  std::set<std::string> reference;
+  {
+    core::Engine engine(&uni.web);
+    auto outcome = engine.RunCompiled(compiled);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome->completed);
+    reference = AllRowKeys(outcome->results);
+    ASSERT_FALSE(reference.empty());
+  }
+
+  uni.web.EnableHistory();
+  const std::string edited_url = uni.conveners[0].first;
+  web::MutationPlan plan;
+  web::Mutation edit;
+  edit.kind = web::Mutation::Kind::kEditPage;
+  edit.at = 5 * kSecond;  // long after the traversal drained
+  edit.url = edited_url;
+  edit.html = "post-visit revision";
+  plan.Add(edit);
+
+  core::Engine engine(&uni.web);
+  engine.InstallMutationPlan(&uni.web, &plan);
+  auto outcome = engine.RunCompiled(compiled);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->completed);
+  EXPECT_EQ(plan.stats().pages_edited, 1u);
+
+  // The answer was computed before the edit: exact for its stamped versions,
+  // identical to the frozen reference.
+  EXPECT_EQ(AllRowKeys(outcome->results), reference);
+  EXPECT_EQ(outcome->pinned_epoch, 1u);
+  ASSERT_FALSE(outcome->node_versions.empty());
+  EXPECT_EQ(outcome->stale_consistent_nodes, 1u);
+  ASSERT_EQ(outcome->stale_node_urls.size(), 1u);
+  EXPECT_EQ(outcome->stale_node_urls[0], Key(edited_url));
+  EXPECT_EQ(outcome->superseded_nodes, 0u);
+  EXPECT_EQ(outcome->fresh_nodes + outcome->stale_consistent_nodes,
+            outcome->node_versions.size());
+  // The stamp on the edited node is the pre-edit version.
+  auto it = outcome->node_versions.find(Key(edited_url));
+  ASSERT_NE(it, outcome->node_versions.end());
+  EXPECT_EQ(it->second, 1u);
+}
+
+// A site spawned mid-run is invisible to the in-flight query (its documents
+// are born into the next epoch), but a query submitted after the spawn pins
+// the new epoch and sees it — §10.3 end to end.
+TEST(ChurnTest, SpawnedSiteIsEpochGatedUntilTheNextQuery) {
+  web::UniversityWeb uni = SmallUniversity();
+  uni.web.EnableHistory();
+  const disql::CompiledQuery sitemap = CompileOrDie(
+      "select a.base, a.href from document d such that \"" + uni.root_url +
+      "\" G.(L*1) d, anchor a");
+
+  const std::string spawn_url = "http://spawned.example/";
+  web::MutationPlan plan;
+  web::Mutation spawn;
+  spawn.kind = web::Mutation::Kind::kSpawnSite;
+  spawn.at = 1 * kMillisecond;  // before the first visit (latency is 20ms)
+  spawn.url = spawn_url;
+  spawn.html = "<html><body><p>spawned mid-run</p></body></html>";
+  plan.Add(spawn);
+  web::Mutation link;
+  link.kind = web::Mutation::Kind::kAddLink;
+  link.at = 1 * kMillisecond;
+  link.url = uni.root_url;
+  link.target_url = spawn_url;
+  plan.Add(link);
+
+  core::Engine engine(&uni.web);
+  engine.InstallMutationPlan(&uni.web, &plan);
+
+  // Query A is submitted at epoch 1; the spawn batch advances to epoch 2
+  // before any visit. The root is visited at version 2 (link included), the
+  // spawned site receives a clone and reports it epoch-gated.
+  auto first = engine.RunCompiled(sitemap);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->completed);
+  EXPECT_EQ(plan.stats().sites_spawned, 1u);
+  ASSERT_EQ(engine.spawned_hosts().size(), 1u);
+  EXPECT_EQ(engine.spawned_hosts()[0], HostOf(spawn_url));
+  EXPECT_EQ(first->pinned_epoch, 1u);
+  ASSERT_EQ(first->epoch_gated_nodes.size(), 1u);
+  EXPECT_EQ(first->epoch_gated_nodes[0], Key(spawn_url));
+  EXPECT_FALSE(first->node_versions.contains(Key(spawn_url)));
+  // The root's rows include the new anchor — exact for root's version 2.
+  auto root_version = first->node_versions.find(Key(uni.root_url));
+  ASSERT_NE(root_version, first->node_versions.end());
+  EXPECT_EQ(root_version->second, 2u);
+
+  // Query B pins epoch 2: the spawned site is now a first-class node.
+  auto second = engine.RunCompiled(sitemap);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->completed);
+  EXPECT_EQ(second->pinned_epoch, 2u);
+  EXPECT_TRUE(second->epoch_gated_nodes.empty());
+  EXPECT_TRUE(second->node_versions.contains(Key(spawn_url)));
+  EXPECT_EQ(second->fresh_nodes, second->node_versions.size());
+}
+
+// Retiring a site mid-query converts its pending work into a named degraded
+// outcome: the retired host answers SiteRetired (terminal — no retry ever
+// recovers a retired site), the CHT drains, and the verdict lists the host
+// in retired_sites rather than hanging or faking freshness.
+TEST(ChurnTest, MidQueryRetirementIsNamedNeverRetried) {
+  web::UniversityWeb uni = SmallUniversity();
+  const disql::CompiledQuery compiled = CompileOrDie(uni.convener_disql);
+  std::set<std::string> reference;
+  {
+    core::Engine engine(&uni.web);
+    auto outcome = engine.RunCompiled(compiled);
+    ASSERT_TRUE(outcome.ok());
+    reference = AllRowKeys(outcome->results);
+    ASSERT_FALSE(reference.empty());
+  }
+
+  uni.web.EnableHistory();
+  // Retire the first convener's lab site before any clone can reach it
+  // (visits there need two 20ms hops; 30ms sits in between).
+  const std::string victim = HostOf(uni.conveners[0].first);
+  ASSERT_NE(victim, HostOf(uni.root_url));
+  web::MutationPlan plan;
+  web::Mutation retire;
+  retire.kind = web::Mutation::Kind::kRetireSite;
+  retire.at = 30 * kMillisecond;
+  retire.host = victim;
+  plan.Add(retire);
+
+  core::Engine engine(&uni.web, ChurnRecoveryOptions());
+  engine.InstallMutationPlan(&uni.web, &plan);
+  auto outcome = engine.RunCompiled(compiled);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->completed);
+  EXPECT_FALSE(outcome->partial);  // named degradation, not a GC timeout
+  EXPECT_EQ(plan.stats().sites_retired, 1u);
+  ASSERT_EQ(engine.churn_retired_hosts().size(), 1u);
+  EXPECT_EQ(engine.churn_retired_hosts()[0], victim);
+
+  // The retired host is named in the verdict and its rows are missing.
+  ASSERT_FALSE(outcome->retired_sites.empty());
+  for (const std::string& host : outcome->retired_sites) {
+    EXPECT_EQ(host, victim);
+  }
+  EXPECT_GT(outcome->server_stats.site_retired_nacks_sent +
+                outcome->server_stats.retired_reports_sent,
+            0u);
+  const std::set<std::string> keys = AllRowKeys(outcome->results);
+  EXPECT_LT(keys.size(), reference.size());
+  for (const std::string& key : keys) EXPECT_TRUE(reference.contains(key));
+  // Surviving visits are all fresh — retirement removed unvisited documents,
+  // so nothing reads as stale.
+  EXPECT_EQ(outcome->fresh_nodes, outcome->node_versions.size());
+}
+
+// The §9.1 result cache is keyed by (resource, version): after an edit the
+// next pinned query re-evaluates against the new version — a cached answer
+// for the old version is never served across the bump.
+TEST(ChurnTest, ResultCacheNeverServesAcrossAVersionBump) {
+  web::UniversityWeb uni = SmallUniversity();
+  uni.web.EnableHistory();
+  const disql::CompiledQuery sitemap = CompileOrDie(
+      "select a.base, a.href from document d such that \"" + uni.root_url +
+      "\" G.(L*1) d, anchor a");
+  // The edited page must be inside the PRE's range (one G hop from the
+  // root) for its new anchor to surface as a row: follow the root's first
+  // global link to a department homepage.
+  const web::WebGraph::Document* root_doc = uni.web.Find(uni.root_url);
+  ASSERT_NE(root_doc, nullptr);
+  std::string department_home;
+  for (const html::ParsedAnchor& anchor : root_doc->parsed.anchors) {
+    if (anchor.ltype == html::LinkType::kGlobal) {
+      department_home = anchor.resolved.ToString();
+      break;
+    }
+  }
+  ASSERT_FALSE(department_home.empty());
+
+  web::MutationPlan plan;
+  web::Mutation link;
+  link.kind = web::Mutation::Kind::kAddLink;
+  link.at = 2 * kSecond;  // between the first and second runs
+  link.url = department_home;
+  link.target_url = "http://late-arrival.example/";
+  plan.Add(link);
+
+  core::EngineOptions options;
+  options.server.share_results = true;
+  core::Engine engine(&uni.web, options);
+  engine.InstallMutationPlan(&uni.web, &plan);
+
+  auto first = engine.RunCompiled(sitemap);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->completed);
+  const std::set<std::string> before = AllRowKeys(first->results);
+
+  auto second = engine.RunCompiled(sitemap);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->completed);
+  EXPECT_EQ(plan.stats().links_added, 1u);
+  const std::set<std::string> after = AllRowKeys(second->results);
+
+  // The second run saw version 2 of the root: one extra anchor row, so the
+  // stale cached entry (keyed @v1) was provably not served.
+  EXPECT_GT(after.size(), before.size());
+  bool found_new_link = false;
+  for (const std::string& key : after) {
+    if (key.find("late-arrival.example") != std::string::npos) {
+      found_new_link = true;
+    }
+  }
+  EXPECT_TRUE(found_new_link);
+  for (const std::string& key : before) EXPECT_TRUE(after.contains(key));
+  EXPECT_GT(second->server_stats.result_cache_hits, 0u);  // unedited pages
+}
+
+// ---------------------------------------------------------------------------
+// The composed churn oracle (ISSUE 9 tentpole): 24 seeded schedules mixing
+// web mutation with message drop/duplication/delay, admission-queue
+// overload (a third of the seeds run every server admission-limited with a
+// nonzero service time), and server crash/restart (half the seeds durable:
+// snapshots + WAL replay across version bumps and retirement). Invariants
+// per schedule:
+//   1. the query always terminates with a verdict;
+//   2. every accepted report is exact for its stamped document version
+//      (re-evaluated against recorded history — so no report mixes rows
+//      from two versions of one document);
+//   3. the freshness classification is complete and consistent, and every
+//      degraded node is named (retired hosts, epoch-gated spawns,
+//      unreachable hosts) — never a silent torn read.
+// ---------------------------------------------------------------------------
+
+TEST(ChurnScheduleTest, ComposedSchedulesKeepVerdictsSoundAndStamped) {
+  web::UniversityOptions uni_options;
+  uni_options.seed = 11;
+  uni_options.departments = 2;
+  uni_options.labs_per_department = 2;
+
+  uint64_t total_dropped = 0;
+  uint64_t total_shed = 0;
+  uint64_t total_mutations = 0;
+  size_t stale_or_superseded_runs = 0;
+  size_t retired_runs = 0;
+  size_t gated_runs = 0;
+  size_t reports_verified = 0;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("churn schedule seed " + std::to_string(seed));
+    Rng rng(seed * 6151);
+
+    // Mutations are destructive: every seed gets a fresh web.
+    web::UniversityWeb uni = web::GenerateUniversityWeb(uni_options);
+    uni.web.EnableHistory();
+    const disql::CompiledQuery compiled = CompileOrDie(uni.convener_disql);
+    ASSERT_FALSE(compiled.start_urls.empty());
+
+    net::FaultPlan fault_plan(seed);
+    for (net::MessageType type :
+         {net::MessageType::kWebQuery, net::MessageType::kReport,
+          net::MessageType::kDeliveryAck}) {
+      net::FaultPlan::Rule rule;
+      rule.type = type;
+      rule.drop_prob = 0.02 + 0.10 * rng.NextDouble();
+      rule.duplicate_prob = 0.08 * rng.NextDouble();
+      fault_plan.AddRule(rule);
+    }
+    net::FaultPlan::Rule delay_rule;
+    delay_rule.type = net::MessageType::kReport;
+    delay_rule.delay_prob = 0.25;
+    delay_rule.delay = rng.UniformRange(1, 8) * kMillisecond;
+    fault_plan.AddRule(delay_rule);
+
+    web::MutationPlan::RandomOptions mutation_options;
+    mutation_options.seed = seed * 31;
+    mutation_options.edits = 1 + static_cast<int>(rng.Uniform(4));
+    mutation_options.link_adds = static_cast<int>(rng.Uniform(3));
+    mutation_options.link_removes = static_cast<int>(rng.Uniform(2));
+    mutation_options.spawns = static_cast<int>(rng.Uniform(2));
+    mutation_options.retires = 1 + static_cast<int>(rng.Uniform(2));
+    mutation_options.window_start = 10 * kMillisecond;
+    mutation_options.window_end = 200 * kMillisecond;
+    mutation_options.protected_hosts = {core::Engine::kClientHost,
+                                        HostOf(compiled.start_urls[0])};
+    web::MutationPlan mutation_plan =
+        web::MutationPlan::Random(uni.web, mutation_options);
+
+    core::EngineOptions options = ChurnRecoveryOptions();
+    if (seed % 3 == 0) {
+      // Overload third: tight admission queues + paced drains contend with
+      // the mutation schedule, so shed/NACK/retry paths run while sites
+      // version-bump and retire under them.
+      options.server.admission.max_pending = 1;
+      options.server.admission.service_time =
+          rng.UniformRange(5, 20) * kMillisecond;
+    }
+    if (seed % 2 == 0) {
+      // Durable half: WAL replay and snapshot recovery must hold across
+      // version bumps and retirement conversions.
+      options.server.persist.enabled = true;
+      options.server.persist.wal_enabled = true;
+      options.server.persist.snapshot_every_clones = 2;
+      options.server.persist.wal_compact_bytes = 1024;
+    }
+    core::Engine engine(&uni.web, options);
+    engine.network().SetFaultPlan(&fault_plan);
+    engine.InstallMutationPlan(&uni.web, &mutation_plan);
+
+    if (rng.Bernoulli(0.5)) {
+      const std::string victim = rng.Pick(engine.participating_hosts());
+      server::QueryServer* qs = engine.server_for(victim);
+      ASSERT_NE(qs, nullptr);
+      const SimDuration down = rng.UniformRange(40, 250) * kMillisecond;
+      const SimDuration up = down + rng.UniformRange(100, 700) * kMillisecond;
+      engine.network().ScheduleAfter(down, [qs] { qs->Crash(); });
+      engine.network().ScheduleAfter(
+          up, [qs] { EXPECT_TRUE(qs->Restart().ok()); });
+    }
+
+    std::vector<query::NodeReport> reports;
+    engine.user_site().SetReportObserver(
+        [&reports](const query::QueryId&, const query::NodeReport& nr) {
+          reports.push_back(nr);
+        });
+
+    // Overload seeds submit a second staggered query so the one-deep
+    // admission queues genuinely overflow while the web mutates under both.
+    const core::TrafficSummary before = engine.TrafficSnapshot();
+    std::vector<query::QueryId> ids;
+    auto first = engine.Submit(compiled);
+    ASSERT_TRUE(first.ok());
+    ids.push_back(first.value());
+    if (seed % 3 == 0) {
+      engine.network().ScheduleAfter(
+          rng.UniformRange(1, 40) * kMillisecond, [&engine, &ids, &compiled] {
+            auto id = engine.Submit(compiled);
+            ASSERT_TRUE(id.ok());
+            ids.push_back(id.value());
+          });
+    }
+    engine.network().RunUntilIdle();
+
+    // Invariant 2: exact-for-its-stamped-version, report by report (covers
+    // every query submitted this schedule).
+    for (const query::NodeReport& nr : reports) {
+      VerifyExactForStampedVersion(uni.web, compiled, nr);
+      if (!nr.result_sets.empty()) ++reports_verified;
+    }
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const core::RunOutcome outcome = engine.CollectOutcome(ids[i], before);
+
+      // Invariant 1: always a verdict, never a hang.
+      EXPECT_TRUE(outcome.completed);
+      if (outcome.partial) {
+        EXPECT_FALSE(outcome.unreachable_hosts.empty());
+      }
+
+      // Never a duplicated answer row.
+      const std::set<std::string> keys = AllRowKeys(outcome.results);
+      EXPECT_EQ(keys.size(), outcome.TotalRows());
+
+      // Invariant 3: the classification is complete and every degraded
+      // node is named against the engine's own churn record.
+      if (i == 0) {
+        EXPECT_EQ(outcome.pinned_epoch, 1u);  // submitted pre-mutation
+      } else {
+        EXPECT_GE(outcome.pinned_epoch, 1u);  // staggered into the churn
+      }
+      EXPECT_EQ(outcome.fresh_nodes + outcome.stale_consistent_nodes +
+                    outcome.superseded_nodes,
+                outcome.node_versions.size());
+      EXPECT_EQ(outcome.stale_node_urls.size(),
+                outcome.stale_consistent_nodes);
+      EXPECT_EQ(outcome.superseded_node_urls.size(),
+                outcome.superseded_nodes);
+      for (const std::string& host : outcome.retired_sites) {
+        EXPECT_TRUE(std::find(engine.churn_retired_hosts().begin(),
+                              engine.churn_retired_hosts().end(),
+                              host) != engine.churn_retired_hosts().end())
+            << host;
+      }
+      for (const std::string& node : outcome.epoch_gated_nodes) {
+        const std::string node_host =
+            HostOf(node.find("://") == std::string::npos ? "http://" + node
+                                                         : node);
+        EXPECT_TRUE(std::find(engine.spawned_hosts().begin(),
+                              engine.spawned_hosts().end(), node_host) !=
+                    engine.spawned_hosts().end())
+            << node;
+      }
+      if (outcome.budget_exhausted) {
+        EXPECT_FALSE(outcome.budget_exceeded_nodes.empty());
+      }
+
+      if (outcome.stale_consistent_nodes + outcome.superseded_nodes > 0) {
+        ++stale_or_superseded_runs;
+      }
+      if (!outcome.retired_sites.empty()) ++retired_runs;
+      if (!outcome.epoch_gated_nodes.empty()) ++gated_runs;
+    }
+
+    const server::QueryServerStats server_stats =
+        engine.AggregateServerStats();
+    total_shed += server_stats.clones_shed + server_stats.clones_evicted;
+    total_dropped += fault_plan.stats().dropped;
+    total_mutations += mutation_plan.stats().pages_edited +
+                       mutation_plan.stats().links_added +
+                       mutation_plan.stats().links_removed +
+                       mutation_plan.stats().sites_spawned +
+                       mutation_plan.stats().sites_retired;
+  }
+
+  // The sweep was no placebo: messages were really lost, the web really
+  // changed under the queries, answers were really verified against
+  // history, and the interesting verdict classes all occurred.
+  EXPECT_GT(total_dropped, 0u);
+  EXPECT_GT(total_shed, 0u);
+  EXPECT_GT(total_mutations, 0u);
+  EXPECT_GT(reports_verified, 0u);
+  EXPECT_GT(stale_or_superseded_runs, 0u);
+  EXPECT_GT(retired_runs, 0u);
+}
+
+}  // namespace
+}  // namespace webdis

@@ -4,6 +4,7 @@
 // retry recovery through a FaultyTransport over real TCP sockets.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -704,6 +705,104 @@ TEST(FaultTest, RetryRecoversDroppedReportOverTcp) {
     EXPECT_TRUE(found) << url << " / " << name;
   }
   for (auto& qs : servers) qs->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Site churn over real sockets (§10 companion to the retry test above): a
+// TcpTransport-backed query server restarts mid-query. While it is down its
+// clones bounce with real connection-refused errors, which the protocol
+// converts into undeliverable reports — the query drains with the outage
+// named in the outcome (fallback nodes on exactly the restarted host),
+// never a hang. After the restart the very same deployment answers the
+// query exactly.
+// ---------------------------------------------------------------------------
+
+TEST(FaultTest, ServerRestartMidQueryOverTcpIsNamedNotHung) {
+  web::CampusScenario scenario = web::BuildCampusScenario();
+  net::TcpTransport tcp;
+
+  net::RetryOptions retry;
+  retry.enabled = true;
+  retry.initial_timeout = 30 * kMillisecond;
+  retry.max_timeout = 120 * kMillisecond;
+
+  server::QueryServerOptions server_options;
+  server_options.retry = retry;
+  std::map<std::string, std::unique_ptr<server::QueryServer>> servers;
+  for (const std::string& host : scenario.web.Hosts()) {
+    auto qs = std::make_unique<server::QueryServer>(host, &scenario.web,
+                                                    &tcp, server_options);
+    ASSERT_TRUE(qs->Start().ok());
+    servers.emplace(host, std::move(qs));
+  }
+  client::UserSiteOptions user_options;
+  user_options.retry = retry;
+  client::UserSite user("user.site", &tcp, user_options);
+
+  auto compiled = disql::CompileDisql(scenario.disql);
+  ASSERT_TRUE(compiled.ok());
+
+  // The victim hosts a convener page: a forward target, not the StartNode.
+  auto victim_url = html::ParseUrl(scenario.expected_conveners[0].first);
+  ASSERT_TRUE(victim_url.ok());
+  const std::string victim_host = victim_url->host;
+  auto start_url = html::ParseUrl(scenario.start_url);
+  ASSERT_TRUE(start_url.ok());
+  ASSERT_NE(victim_host, start_url->host);
+  server::QueryServer* victim = servers.at(victim_host).get();
+
+  // Crash the victim after submission but before any forward can connect —
+  // the restart happens mid-query from the protocol's point of view.
+  auto id = user.Submit(compiled.value(), "maya");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  victim->Crash();
+  tcp.PumpUntilIdle(300);
+
+  const client::UserSite::QueryRun* run = user.Find(id.value());
+  ASSERT_NE(run, nullptr);
+  // Drained, not hung — and the outage is named: every fallback node sits
+  // on the crashed host.
+  EXPECT_TRUE(run->completed);
+  EXPECT_GT(run->stats.undeliverable_reports, 0u);
+  ASSERT_FALSE(run->fallback_nodes.empty());
+  for (const query::ChtEntry& entry : run->fallback_nodes) {
+    auto parsed = html::ParseUrl(entry.node_url);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->host, victim_host) << entry.node_url;
+  }
+  const std::set<std::string> degraded_keys = AllRowKeys(run->results);
+  for (const auto& [url, name] : scenario.expected_conveners) {
+    auto parsed = html::ParseUrl(url);
+    ASSERT_TRUE(parsed.ok());
+    if (parsed->host != victim_host) continue;
+    for (const std::string& key : degraded_keys) {
+      EXPECT_EQ(key.find(name), std::string::npos)
+          << "row from the crashed host survived: " << key;
+    }
+  }
+
+  // Restart and ask again: the recovered deployment is exact.
+  ASSERT_TRUE(victim->Restart().ok());
+  auto id2 = user.Submit(compiled.value(), "maya");
+  ASSERT_TRUE(id2.ok()) << id2.status().ToString();
+  tcp.PumpUntilIdle(300);
+
+  const client::UserSite::QueryRun* rerun = user.Find(id2.value());
+  ASSERT_NE(rerun, nullptr);
+  EXPECT_TRUE(rerun->completed);
+  EXPECT_TRUE(rerun->fallback_nodes.empty());
+  const std::set<std::string> keys = AllRowKeys(rerun->results);
+  for (const auto& [url, name] : scenario.expected_conveners) {
+    bool found = false;
+    for (const std::string& key : keys) {
+      if (key.find(url) != std::string::npos &&
+          key.find(name) != std::string::npos) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << url << " / " << name;
+  }
+  for (auto& [host, qs] : servers) qs->Stop();
 }
 
 }  // namespace

@@ -695,6 +695,66 @@ TEST(ReliableDeliveryTest, OverloadBackoffGrowsJitteredAndCapHolds) {
   }
 }
 
+TEST(ReliableDeliveryTest, SiteRetiredNackIsTerminalNoFurtherRetransmission) {
+  // Unlike kOverloaded ("try again later"), kSiteRetired (PROTOCOL.md
+  // §10.2) is terminal: one NACK must erase the pending transfer, cancel
+  // its retry timer, and surface DeliveryEvent::kSiteRetired — the
+  // destination is gone for good, so any further retransmission is futile.
+  SimNetwork net;
+  RetryOptions options;
+  options.enabled = true;
+  options.initial_timeout = 50 * kMillisecond;
+  options.max_attempts = 10;
+  ReliableSender sender(&net, options);
+  ReliableReceiver receiver(&net, /*enabled=*/true);
+
+  int arrivals = 0;
+  ASSERT_TRUE(net.Listen({"b", 1},
+                         [&](const Endpoint& from, MessageType,
+                             const std::vector<uint8_t>& payload) {
+                           uint64_t seq = 0;
+                           if (!ReliableReceiver::PeekSeq(payload, &seq)) {
+                             return;
+                           }
+                           ++arrivals;
+                           receiver.SendSiteRetired({"b", 1}, from, seq);
+                         })
+                  .ok());
+  int retired_events = 0;
+  sender.set_delivery_observer([&](const Endpoint&, DeliveryEvent event) {
+    if (event == DeliveryEvent::kSiteRetired) ++retired_events;
+  });
+  ASSERT_TRUE(net.Listen({"a", 2},
+                         [&](const Endpoint&, MessageType type,
+                             const std::vector<uint8_t>& payload) {
+                           if (type == MessageType::kSiteRetired) {
+                             sender.OnSiteRetired(payload);
+                           }
+                         })
+                  .ok());
+
+  ASSERT_TRUE(
+      sender.Send({"a", 2}, {"b", 1}, MessageType::kWebQuery, Bytes({1}))
+          .ok());
+  net.RunUntilIdle();
+
+  // Exactly one copy ever reached the wire: the first NACK killed the
+  // transfer despite the generous attempt budget.
+  EXPECT_EQ(arrivals, 1);
+  EXPECT_EQ(retired_events, 1);
+  EXPECT_EQ(sender.stats().site_retired, 1u);
+  EXPECT_EQ(sender.stats().retries, 0u);
+  EXPECT_EQ(sender.stats().exhausted, 0u);
+  EXPECT_EQ(sender.pending_count(), 0u);
+
+  // A duplicate NACK for the same (now unknown) seq is a no-op, mirroring
+  // OnAck's tolerance of duplicate receipts.
+  serialize::Encoder enc;
+  enc.PutU64(1);
+  sender.OnSiteRetired(enc.data());
+  EXPECT_EQ(sender.stats().site_retired, 1u);
+}
+
 TEST(FaultyTransportTest, DropSwallowsTheSendWithoutProbingAcceptance) {
   SimNetwork net;  // no listener anywhere
   FaultPlan plan;

@@ -164,7 +164,47 @@ TEST(WireGoldenTest, BudgetExceededNodeReportImage) {
             "00"        // duplicate_drop false
             "00"        // undeliverable false
             "01"        // budget_exceeded true
-            "00");      // 0 result_sets
+            "00"        // 0 result_sets
+            "0000000000000000"  // doc_version 0 (not evaluated)
+            "00");      // visibility normal
+}
+
+TEST(WireGoldenTest, SiteRetiredNodeReportImage) {
+  // A §10.2 named degraded outcome: the node's site retired mid-query. The
+  // trailing version stamp stays 0 (nothing was evaluated) and the
+  // visibility byte carries the classification.
+  query::NodeReport report;
+  report.node_url = "n";
+  report.received_state = {1, pre::Pre::Parse("L").value()};
+  report.visibility = query::NodeReport::kVisibilitySiteRetired;
+  serialize::Encoder enc;
+  report.EncodeTo(&enc);
+  EXPECT_EQ(Hex(enc.data()),
+            "016e"      // node_url "n"
+            "01000000"  // state num_q
+            "0201"      // state PRE: kLink L
+            "00"        // 0 next_entries
+            "00"        // duplicate_drop false
+            "00"        // undeliverable false
+            "00"        // budget_exceeded false
+            "00"        // 0 result_sets
+            "0000000000000000"  // doc_version 0 (not evaluated)
+            "01");      // visibility site-retired
+}
+
+TEST(WireGoldenTest, EpochPinnedCloneImageIsStable) {
+  // §10.1 epoch pin: budget flags bit 4 announces a varint pinned_epoch.
+  // An unpinned clone (the common case) stays byte-identical to the
+  // pre-§10 image — BudgetedCloneImageIsStable above proves that.
+  query::WebQuery clone = MinimalClone();
+  clone.budget.pinned_epoch = 3;
+  serialize::Encoder enc;
+  clone.EncodeTo(&enc);
+  std::string expected(kMinimalCloneHex);
+  expected.resize(expected.size() - 2);  // drop the empty flags byte
+  expected += "10"   // flags: epoch pin only
+              "03";  // pinned_epoch varint 3
+  EXPECT_EQ(Hex(enc.data()), expected);
 }
 
 TEST(WireGoldenTest, EmptyReportImage) {
@@ -441,6 +481,17 @@ TEST(WireGoldenTest, DeliveryAckFrame) {
   EXPECT_EQ(Hex(Framed(net::MessageType::kDeliveryAck, enc.data())),
             ExpectedFrameHex(net::MessageType::kDeliveryAck,
                              "0700000000000000"));
+}
+
+TEST(WireGoldenTest, SiteRetiredFrame) {
+  // kSiteRetired payload: u64 transfer_seq of the refused tracked transfer
+  // (PROTOCOL.md §10.2). Same shape as kOverloaded, but terminal: the
+  // sender gives the transfer up instead of rescheduling it.
+  serialize::Encoder enc;
+  enc.PutU64(11);
+  EXPECT_EQ(Hex(Framed(net::MessageType::kSiteRetired, enc.data())),
+            ExpectedFrameHex(net::MessageType::kSiteRetired,
+                             "0b00000000000000"));
 }
 
 }  // namespace

@@ -147,6 +147,11 @@ CONFINEMENT_ALLOWLIST = {
         "result_cache_lru_", "result_cache_index_", "result_cache_bytes_",
         "staged_clones_", "staged_reports_", "flush_timer_",
         "wal_pending_flush_",
+        # Dynamic web & churn (PROTOCOL.md §10): flipped only by Retire(),
+        # which the engine invokes from a mutation timer — churn runs are
+        # restricted to the sequential stepper (workers == 0), and under the
+        # parallel stepper the flag is written by nobody.
+        "retired_",
     },
     "UserSite": {
         # Identity / wiring, construction-time only.
@@ -155,6 +160,9 @@ CONFINEMENT_ALLOWLIST = {
         # which share the user site's single host partition.
         "sender_", "receiver_", "next_port_", "next_query_number_", "runs_",
         "seen_rows_",
+        # §10.4 oracle hook: assigned before the run starts, invoked only
+        # from this site's result-socket handlers (single host partition).
+        "report_observer_",
     },
 }
 FIELD_DECL = re.compile(r"\b(\w+_)\s*(?:=\s*[^;=]*)?;\s*$")

@@ -190,6 +190,56 @@ class LintTreeTest(unittest.TestCase):
         self.assertTrue(any("PROTOCOL.md" in e and "kBusy" in e
                             for e in errors), errors)
 
+    # A *terminal* status NACK (the real kSiteRetired, PROTOCOL.md §10.2)
+    # is wire-wise just another primitive-payload status type: the parity
+    # rule must demand its annotation, ToString case, golden frame and
+    # PROTOCOL entry exactly like kBusy/kOverloaded — terminality lives in
+    # the sender's handling, not the frame, so nothing exempts it.
+
+    def write_terminal_status_tree(self):
+        self.write("src/net/transport.h", TRANSPORT_H.replace(
+            "};", "  kGone = 4,  // payload: u64 transfer_seq\n};"))
+        self.write("src/net/transport.cc",
+                   TRANSPORT_CC + "case MessageType::kGone:\n")
+        self.write("src/query/echo.h", QUERY_H)
+        self.write("tests/wire_golden_test.cc", GOLDEN_CC +
+                   "TEST(WireGoldenTest, GoneFrame) "
+                   "{ Use(net::MessageType::kGone); }\n")
+        self.write("PROTOCOL.md", PROTOCOL_MD + "## Gone (type 4)\n")
+
+    def test_terminal_status_consistent_tree_is_clean(self):
+        self.write_terminal_status_tree()
+        self.assertEqual(self.run_lint({"wire-parity"}), [])
+
+    def test_terminal_status_missing_golden_frame_fails(self):
+        self.write_terminal_status_tree()
+        self.write("tests/wire_golden_test.cc", GOLDEN_CC)
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("[wire-parity]" in e and "kGone" in e
+                            and "golden" in e for e in errors), errors)
+
+    def test_terminal_status_missing_tostring_case_fails(self):
+        self.write_terminal_status_tree()
+        self.write("src/net/transport.cc", TRANSPORT_CC)
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("MessageTypeToString" in e and "kGone" in e
+                            for e in errors), errors)
+
+    def test_terminal_status_missing_protocol_entry_fails(self):
+        self.write_terminal_status_tree()
+        self.write("PROTOCOL.md", PROTOCOL_MD)
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("PROTOCOL.md" in e and "kGone" in e
+                            for e in errors), errors)
+
+    def test_terminal_status_missing_annotation_fails(self):
+        self.write_terminal_status_tree()
+        self.write("src/net/transport.h", TRANSPORT_H.replace(
+            "};", "  kGone = 4,\n};"))
+        errors = self.run_lint({"wire-parity"})
+        self.assertTrue(any("payload" in e and "kGone" in e for e in errors),
+                        errors)
+
     # A batch envelope type (like the real kCloneBatch/kReportBatch) is an
     # ordinary struct-payload message: adding it without its golden frame,
     # decoder, or PROTOCOL entry must fail exactly like any other type.
