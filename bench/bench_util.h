@@ -2,6 +2,7 @@
 #define WEBDIS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,31 @@ inline std::string Ratio(double num, double den) {
   std::snprintf(buf, sizeof(buf), "%.1fx", den == 0 ? 0.0 : num / den);
   return buf;
 }
+
+/// One "VmX:  <n> kB" field from /proc/self/status, in bytes; 0 on
+/// platforms without procfs (memory gates disable themselves there).
+inline uint64_t ProcStatusBytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, " %llu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return static_cast<uint64_t>(kb) * 1024;
+}
+
+/// Resident set size right now.
+inline uint64_t CurrentRssBytes() { return ProcStatusBytes("VmRSS:"); }
+
+/// Peak resident set size of this process ("high-water mark") — the
+/// peak_rss_bytes field the memory-gated benches record.
+inline uint64_t PeakRssBytes() { return ProcStatusBytes("VmHWM:"); }
 
 /// Machine-readable benchmark output: one JSON object per line, written next
 /// to the human table so tools/bench_compare.py can gate CI on wall-clock

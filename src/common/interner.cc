@@ -1,0 +1,47 @@
+#include "common/interner.h"
+
+namespace webdis::common {
+
+std::string_view StringInterner::Store(std::string_view s) {
+  if (s.size() > kChunkBytes / 2) {
+    // Oversized strings get a dedicated block so they never strand half a
+    // chunk of unused capacity.
+    chunks_.emplace_front(s);
+    return chunks_.front();
+  }
+  if (chunks_.empty() ||
+      chunks_.back().size() + s.size() > chunks_.back().capacity()) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(kChunkBytes);
+  }
+  std::string& chunk = chunks_.back();
+  const size_t offset = chunk.size();
+  chunk.append(s.data(), s.size());
+  return std::string_view(chunk).substr(offset, s.size());
+}
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  const std::string_view stored = Store(s);
+  const uint32_t id = static_cast<uint32_t>(by_id_.size());
+  by_id_.push_back(stored);
+  ids_.emplace(stored, id);
+  return id;
+}
+
+uint32_t StringInterner::Lookup(std::string_view s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kInvalidId : it->second;
+}
+
+size_t StringInterner::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const std::string& chunk : chunks_) bytes += chunk.capacity();
+  bytes += by_id_.size() * sizeof(std::string_view);
+  // Rough red-black-tree node overhead for the lookup map.
+  bytes += ids_.size() * (sizeof(std::string_view) + sizeof(uint32_t) + 40);
+  return bytes;
+}
+
+}  // namespace webdis::common

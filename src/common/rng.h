@@ -59,6 +59,26 @@ class Rng {
     return v[static_cast<size_t>(Uniform(v.size()))];
   }
 
+  // -- State capture (lazy web materialization, web/synth.cc) ---------------
+  // SplitMix64's whole state is one word that advances by a fixed increment
+  // per draw, so a generator mid-stream can be snapshotted, skipped, and
+  // reconstructed exactly — the synthetic-web generator records per-document
+  // states at build time and replays them on first fetch, producing pages
+  // byte-identical to an eager build.
+
+  /// Current raw state. `FromState(State())` continues this exact stream.
+  uint64_t State() const { return state_; }
+
+  /// A generator positioned at a previously captured `State()`.
+  static Rng FromState(uint64_t state) {
+    Rng rng(0);
+    rng.state_ = state;
+    return rng;
+  }
+
+  /// Advances the stream by `draws` calls to Next() in O(1).
+  void Skip(uint64_t draws) { state_ += draws * 0x9E3779B97F4A7C15ULL; }
+
  private:
   uint64_t state_;
 };

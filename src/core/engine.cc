@@ -145,11 +145,16 @@ std::string FormatRunStats(const RunOutcome& outcome) {
     // property of how the whole run's slices partitioned.
     out += StringPrintf(
         "parallel: workers=%zu slices=%llu parallel_slices=%llu "
-        "max_partitions=%llu occupancy=%.1f%%\n",
+        "max_partitions=%llu occupancy=%.1f%% coalesced_batches=%llu "
+        "coalesced_slices=%llu serial_slices=%llu serial_events=%llu\n",
         outcome.workers, (unsigned long long)outcome.parallel.slices,
         (unsigned long long)outcome.parallel.parallel_slices,
         (unsigned long long)outcome.parallel.max_slice_partitions,
-        100.0 * outcome.parallel.Occupancy());
+        100.0 * outcome.parallel.Occupancy(),
+        (unsigned long long)outcome.parallel.coalesced_batches,
+        (unsigned long long)outcome.parallel.coalesced_slices,
+        (unsigned long long)outcome.parallel.serial_slices,
+        (unsigned long long)outcome.parallel.serial_events);
   }
   return out;
 }

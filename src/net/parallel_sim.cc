@@ -9,27 +9,63 @@
 // on a common::ThreadPool. While a slice runs, worker threads never mutate
 // shared network state: every Transport call they make is diverted into their
 // partition's SliceContext, which buffers the operation tagged with
-// (issuing event sequence, issue index). After the barrier, the driving
-// thread replays all buffers in that tag order, which is exactly the order a
-// sequential stepper would have issued them — so the jitter RNG stream, the
-// per-endpoint busy_until_ queues, sequence-number assignment, fault-plan
-// decisions and traffic meters evolve bit-identically for any worker count.
+// (issue virtual time, issuing event sequence, issue index). After the
+// barrier, the driving thread replays all buffers in that tag order, which is
+// exactly the order a sequential stepper would have issued them — so the
+// jitter RNG stream, the per-endpoint busy_until_ queues, sequence-number
+// assignment, fault-plan decisions and traffic meters evolve bit-identically
+// for any worker count.
+//
+// Adaptive slice coalescing: committing after every slice makes the driving
+// thread the bottleneck on workloads whose wavefronts split into many small
+// sub-slices (e.g. 100 µs same-host echoes between 20 ms inter-host hops).
+// So after a slice runs, the stepper *extends the batch*: the next queued
+// slice joins the same set of partitions — no commit in between — whenever
+// it provably cannot interact with anything the batch has buffered:
+//
+//   1. No buffered effect may land before the next slice's time t'. For a
+//      buffered send the earliest landing is issue_time + base latency
+//      (jitter, bandwidth, per-host extra latency and service queueing only
+//      add); for a buffered timer it is exactly issue_time + delay. Landing
+//      *at* t' is safe: the replayed event enters the queue with a sequence
+//      above every pre-existing t' event and runs in a later batch at the
+//      same virtual time — the order the sequential stepper produces.
+//   2. No listener mutation may be buffered. Cross-slice sends resolve
+//      refusal against the frozen listener table; a buffered Listen/Close
+//      would make that table stale (refused vs silently dropped changes
+//      §2.8 passive-termination behaviour).
+//   3. The next slice may not contain a timer event whose id any batch
+//      partition has cancelled — the cancel has not committed, so the stale
+//      timer would fire.
+//   4. Driver-context timers (empty affinity) always break the batch: they
+//      run through the legacy path with direct access to global state.
+//
+// Within a batch, same-host events of successive slices land in the *same*
+// partition, preserving per-host order; the virtual clock advances per
+// slice between fork/joins, so handlers observe the same now() as under
+// sequential stepping. The batch barrier then merges counters and replays
+// every buffered op once, sorted by (issue time, sequence, index).
+//
+// Slices under SimNetworkOptions::min_parallel_{partitions,events} skip all
+// of this and dispatch through the legacy serial loop — buffering and
+// fork/join overhead only pays above a minimum width.
 //
 // Visibility rule: a partition sees its *own* listener mutations immediately
 // (via a per-partition overlay) and everyone else's from the start of the
-// slice; mutations commit globally at the slice barrier. Handlers must
+// batch; mutations commit globally at the batch barrier. Handlers must
 // confine their state to their endpoint's host (the confinement rule checked
 // by tools/webdis_lint.py); timers carry the affinity of the context that
-// armed them, and driver-context timers (empty affinity) force their whole
-// slice to run serially through the legacy dispatch path.
+// armed them.
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -39,6 +75,10 @@
 #include "net/sim.h"
 
 namespace webdis::net {
+
+namespace {
+constexpr SimTime kNeverLands = std::numeric_limits<SimTime>::max();
+}  // namespace
 
 struct SimNetwork::SliceContext {
   struct Op {
@@ -50,6 +90,7 @@ struct SimNetwork::SliceContext {
       kCancelTimer,
     };
     Kind kind;
+    SimTime issue_time = 0;  // virtual time of the slice that issued the op
     uint64_t seq = 0;    // sequence of the slice event that issued the op
     uint32_t index = 0;  // issue order within that event's handler
     Endpoint from;
@@ -65,14 +106,14 @@ struct SimNetwork::SliceContext {
 
   SimNetwork* net = nullptr;
   std::string key;            // partition affinity (destination host)
-  std::vector<Event> events;  // this partition's slice, in sequence order
-  // Listener changes made by this partition during the slice: engaged =
+  std::vector<Event> events;  // the *current* slice's events, sequence order
+  // Listener changes made by this partition during the batch: engaged =
   // (re)bound handler, nullopt = closed. Own mutations are visible to the
   // partition immediately; the base map stays frozen until the barrier.
   std::map<Endpoint, std::optional<MessageHandler>> listener_overlay;
-  std::set<uint64_t> scheduled;  // timer ids armed during this slice
-  std::set<uint64_t> cancelled;  // timer ids cancelled during this slice
-  std::set<uint64_t> fired;      // timer ids fired during this slice
+  std::set<uint64_t> scheduled;  // timer ids armed during this batch
+  std::set<uint64_t> cancelled;  // timer ids cancelled during this batch
+  std::set<uint64_t> fired;      // timer ids fired during this batch
   std::vector<Op> ops;
   uint64_t current_seq = 0;
   uint32_t op_index = 0;
@@ -80,14 +121,36 @@ struct SimNetwork::SliceContext {
   uint64_t refused = 0;
   uint64_t dropped = 0;
   uint64_t timers_fired = 0;
+  /// Earliest virtual time any effect buffered by this partition could
+  /// enter the event queue — the quantity the batch-extension rule compares
+  /// against the next slice's timestamp.
+  SimTime min_effect_landing = kNeverLands;
+  /// Set when the partition buffered a Listen/CloseListener; any such op
+  /// ends batch extension (rule 2 above).
+  bool has_listener_ops = false;
 
   Op& PushOp(Op::Kind kind) {
     Op& op = ops.emplace_back();
     op.kind = kind;
+    op.issue_time = net->now_;
     op.seq = current_seq;
     op.index = op_index++;
     return op;
   }
+};
+
+/// Everything a coalesced batch accumulates between its first slice and its
+/// commit: the partition set (grown as new hosts appear, never reset), the
+/// timer events it consumed, and the clock bookkeeping.
+struct SimNetwork::BatchState {
+  std::map<std::string, size_t> part_index;
+  std::vector<std::unique_ptr<SliceContext>> parts;
+  /// Ids of every timer event dispatched by the batch (fired or stale);
+  /// all leave pending_timers_ at commit.
+  std::vector<uint64_t> timer_event_ids;
+  SimTime end_time = 0;      // time of the last slice that advanced now_
+  bool any_advance = false;  // did any slice advance now_?
+  size_t num_slices = 0;
 };
 
 SimNetwork::SliceContext*& SimNetwork::ThreadSliceContext() {
@@ -118,6 +181,13 @@ Status SimNetwork::SliceSend(SliceContext* ctx, const Endpoint& from,
     return Status::ConnectionRefused(
         StringPrintf("no listener at %s", to.ToString().c_str()));
   }
+  // Earliest possible landing: base latency only — jitter, bandwidth
+  // transfer, per-host extra latency and service queueing are all >= 0.
+  const SimDuration base_latency = (from.host == to.host)
+                                       ? options_.same_host_latency
+                                       : options_.inter_host_latency;
+  ctx->min_effect_landing =
+      std::min(ctx->min_effect_landing, now_ + base_latency);
   SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kSend);
   op.from = from;
   op.to = to;
@@ -139,6 +209,7 @@ Status SimNetwork::SliceListen(SliceContext* ctx, const Endpoint& endpoint,
     return Status::InvalidArgument(StringPrintf(
         "endpoint %s already bound", endpoint.ToString().c_str()));
   }
+  ctx->has_listener_ops = true;
   SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kListen);
   op.to = endpoint;
   op.handler = handler;
@@ -148,6 +219,7 @@ Status SimNetwork::SliceListen(SliceContext* ctx, const Endpoint& endpoint,
 
 void SimNetwork::SliceCloseListener(SliceContext* ctx,
                                     const Endpoint& endpoint) {
+  ctx->has_listener_ops = true;
   SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kCloseListener);
   op.to = endpoint;
   ctx->listener_overlay[endpoint] = std::nullopt;
@@ -157,6 +229,8 @@ uint64_t SimNetwork::SliceScheduleAfter(SliceContext* ctx, SimDuration delay,
                                         std::function<void()> fn) {
   const uint64_t id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
   ctx->scheduled.insert(id);
+  // A timer's landing is exact: issue time + delay, no cost model applies.
+  ctx->min_effect_landing = std::min(ctx->min_effect_landing, now_ + delay);
   SliceContext::Op& op = ctx->PushOp(SliceContext::Op::kScheduleTimer);
   op.delay = delay;
   op.timer_fn = std::move(fn);
@@ -167,7 +241,7 @@ uint64_t SimNetwork::SliceScheduleAfter(SliceContext* ctx, SimDuration delay,
 
 bool SimNetwork::SliceCancelTimer(SliceContext* ctx, uint64_t id) {
   if (ctx->cancelled.contains(id)) return false;  // already cancelled
-  if (ctx->fired.contains(id)) return false;      // fired earlier this slice
+  if (ctx->fired.contains(id)) return false;      // fired earlier this batch
   const bool was_pending =
       ctx->scheduled.contains(id) || pending_timers_.contains(id);
   if (!was_pending) return false;
@@ -181,8 +255,10 @@ void SimNetwork::DispatchSlice(SliceContext* ctx) {
     ctx->current_seq = event.sequence;
     ctx->op_index = 0;
     if (event.timer) {
-      // Skip timers cancelled in an earlier slice (no longer pending) or by
+      // Skip timers cancelled before this batch (no longer pending) or by
       // an earlier event of this partition; same rule as the legacy loop.
+      // Cross-partition cancels cannot reach here: a slice containing a
+      // batch-cancelled timer id refuses to join the batch.
       if (!pending_timers_.contains(event.timer_id) ||
           ctx->cancelled.contains(event.timer_id)) {
         continue;
@@ -213,79 +289,106 @@ void SimNetwork::DispatchSlice(SliceContext* ctx) {
   }
 }
 
-void SimNetwork::StepSlice() {
-  const SimTime t = events_.top().deliver_at;
+std::vector<SimNetwork::Event> SimNetwork::PopSlice(SimTime* t_out) {
+  const SimTime t = events_.begin()->first.first;
   std::vector<Event> slice;
-  while (!events_.empty() && events_.top().deliver_at == t) {
-    // priority_queue::top() is const; copy out (payloads are modest).
-    slice.push_back(events_.top());
-    events_.pop();
+  auto it = events_.begin();
+  while (it != events_.end() && it->first.first == t) {
+    slice.push_back(std::move(it->second));
+    it = events_.erase(it);
   }
-  ++parallel_stats_.slices;
-  parallel_stats_.events += slice.size();
-  parallel_stats_.max_slice_events =
-      std::max<uint64_t>(parallel_stats_.max_slice_events, slice.size());
+  *t_out = t;
+  return slice;
+}
 
-  // Driver-context timers (empty affinity: sweeps, completion strawmen,
-  // crash/restart schedules) may touch global state such as listener tables
-  // directly, so their slice keeps exact legacy semantics, serially.
-  const bool driver_slice =
-      std::any_of(slice.begin(), slice.end(), [](const Event& e) {
-        return e.timer != nullptr && e.affinity.empty();
-      });
-  if (driver_slice) {
-    parallel_stats_.max_slice_partitions =
-        std::max<uint64_t>(parallel_stats_.max_slice_partitions, 1);
-    for (Event& event : slice) DispatchEventLegacy(std::move(event));
-    return;
-  }
-
+void SimNetwork::RunBatchSlice(BatchState* batch, std::vector<Event> slice,
+                               SimTime t) {
   // Advance the clock exactly when the legacy loop would: the first event
   // that actually runs does it. A slice of nothing but stale cancelled
-  // timers leaves `now_` untouched.
+  // timers leaves `now_` untouched. Workers read now_ during the fork/join;
+  // the driving thread only writes it here, between barriers.
   const bool advances =
       std::any_of(slice.begin(), slice.end(), [this](const Event& e) {
         return e.timer == nullptr || pending_timers_.contains(e.timer_id);
       });
-  if (advances) now_ = t;
+  if (advances) {
+    now_ = t;
+    batch->end_time = t;
+    batch->any_advance = true;
+  }
 
-  // Partition by affinity, first-appearance (= sequence) order.
-  std::map<std::string, size_t> part_index;
-  std::vector<std::unique_ptr<SliceContext>> parts;
+  // Assign events to partitions, first-appearance (= sequence) order.
+  // Partitions persist across the batch's slices: a host revisited by a
+  // later slice reuses its context, preserving per-host op/effect order.
+  std::vector<SliceContext*> active;
   for (Event& event : slice) {
     const std::string& key = event.timer ? event.affinity : event.to.host;
-    auto [it, inserted] = part_index.try_emplace(key, parts.size());
+    if (event.timer) batch->timer_event_ids.push_back(event.timer_id);
+    auto [it, inserted] = batch->part_index.try_emplace(key,
+                                                        batch->parts.size());
     if (inserted) {
-      parts.push_back(std::make_unique<SliceContext>());
-      parts.back()->net = this;
-      parts.back()->key = key;
+      batch->parts.push_back(std::make_unique<SliceContext>());
+      batch->parts.back()->net = this;
+      batch->parts.back()->key = key;
     }
-    parts[it->second]->events.push_back(std::move(event));
+    SliceContext* ctx = batch->parts[it->second].get();
+    if (ctx->events.empty()) active.push_back(ctx);
+    ctx->events.push_back(std::move(event));
   }
   parallel_stats_.max_slice_partitions = std::max<uint64_t>(
-      parallel_stats_.max_slice_partitions, parts.size());
-  if (parts.size() >= 2) {
+      parallel_stats_.max_slice_partitions, active.size());
+  if (active.size() >= 2) {
     ++parallel_stats_.parallel_slices;
-    parallel_stats_.parallel_events += slice.size();
+    size_t slice_events = 0;
+    for (const SliceContext* ctx : active) slice_events += ctx->events.size();
+    parallel_stats_.parallel_events += slice_events;
   }
 
-  if (parts.size() == 1) {
-    ThreadSliceContext() = parts[0].get();
-    DispatchSlice(parts[0].get());
+  if (active.size() == 1) {
+    ThreadSliceContext() = active[0];
+    DispatchSlice(active[0]);
     ThreadSliceContext() = nullptr;
   } else {
     if (pool_ == nullptr) {
-      pool_ = std::make_unique<common::ThreadPool>(options_.worker_threads - 1);
+      pool_ =
+          std::make_unique<common::ThreadPool>(options_.worker_threads - 1);
     }
-    pool_->RunBatch(parts.size(), [this, &parts](size_t i) {
-      ThreadSliceContext() = parts[i].get();
-      DispatchSlice(parts[i].get());
+    pool_->RunBatch(active.size(), [this, &active](size_t i) {
+      ThreadSliceContext() = active[i];
+      DispatchSlice(active[i]);
       ThreadSliceContext() = nullptr;
     });
   }
 
-  // -- Barrier passed: merge, on the driving thread. ------------------------
-  for (const auto& ctx : parts) {
+  // Contexts keep their overlays, timer sets, counters and buffered ops for
+  // the rest of the batch; only the per-slice event list resets.
+  for (SliceContext* ctx : active) ctx->events.clear();
+  ++batch->num_slices;
+}
+
+bool SimNetwork::CanExtendBatch(const BatchState& batch) const {
+  if (events_.empty()) return false;
+  SimTime min_landing = kNeverLands;
+  for (const auto& ctx : batch.parts) {
+    if (ctx->has_listener_ops) return false;  // rule 2
+    min_landing = std::min(min_landing, ctx->min_effect_landing);
+  }
+  const SimTime t_next = events_.begin()->first.first;
+  if (min_landing < t_next) return false;  // rule 1 (equality is safe)
+  for (auto it = events_.begin();
+       it != events_.end() && it->first.first == t_next; ++it) {
+    const Event& e = it->second;
+    if (e.timer == nullptr) continue;
+    if (e.affinity.empty()) return false;  // rule 4: driver timer
+    for (const auto& ctx : batch.parts) {  // rule 3: uncommitted cancel
+      if (ctx->cancelled.contains(e.timer_id)) return false;
+    }
+  }
+  return true;
+}
+
+void SimNetwork::CommitBatch(BatchState* batch) {
+  for (const auto& ctx : batch->parts) {
     delivered_ += ctx->delivered;
     refused_ += ctx->refused;
     dropped_ += ctx->dropped;
@@ -293,27 +396,30 @@ void SimNetwork::StepSlice() {
   }
   WEBDIS_CHECK(delivered_ + timers_fired_ <= options_.max_deliveries)
       << "simulated network exceeded max_deliveries — runaway forwarding?";
-  // Every timer event of this slice leaves the pending set, whether it
+  // Every timer event the batch consumed leaves the pending set, whether it
   // fired or had been cancelled (erase is idempotent).
-  for (const auto& ctx : parts) {
-    for (const Event& event : ctx->events) {
-      if (event.timer) pending_timers_.erase(event.timer_id);
-    }
+  for (const uint64_t id : batch->timer_event_ids) {
+    pending_timers_.erase(id);
   }
-  // Replay buffered ops in (sequence, issue-index) order — the order the
-  // sequential stepper would have issued them.
+  // Replay buffered ops in (issue time, sequence, issue-index) order — the
+  // order the sequential stepper would have issued them. now_ tracks each
+  // op's issue time during the replay so the jitter draw, fault decision
+  // and busy_until_ arithmetic see the clock their issuer saw.
   std::vector<SliceContext::Op*> ops;
-  for (const auto& ctx : parts) {
+  for (const auto& ctx : batch->parts) {
     for (SliceContext::Op& op : ctx->ops) ops.push_back(&op);
   }
   std::sort(ops.begin(), ops.end(),
             [](const SliceContext::Op* a, const SliceContext::Op* b) {
+              if (a->issue_time != b->issue_time)
+                return a->issue_time < b->issue_time;
               if (a->seq != b->seq) return a->seq < b->seq;
               return a->index < b->index;
             });
   for (SliceContext::Op* op : ops) {
     switch (op->kind) {
       case SliceContext::Op::kSend: {
+        now_ = op->issue_time;
         // Refusal was already resolved by the issuing worker; the accepted
         // path always returns OK.
         const Status accepted =
@@ -332,13 +438,13 @@ void SimNetwork::StepSlice() {
         break;
       case SliceContext::Op::kScheduleTimer: {
         Event event;
-        event.deliver_at = t + op->delay;
+        event.deliver_at = op->issue_time + op->delay;
         event.sequence = next_sequence_++;
         event.timer = std::move(op->timer_fn);
         event.timer_id = op->timer_id;
         event.affinity = std::move(op->affinity);
         pending_timers_.insert(op->timer_id);
-        events_.push(std::move(event));
+        PushEvent(std::move(event));
         break;
       }
       case SliceContext::Op::kCancelTimer:
@@ -346,11 +452,69 @@ void SimNetwork::StepSlice() {
         break;
     }
   }
+  // Leave the clock where the last slice that ran anything put it.
+  if (batch->any_advance) now_ = batch->end_time;
+}
+
+void SimNetwork::StepBatch() {
+  SimTime t = 0;
+  std::vector<Event> slice = PopSlice(&t);
+  ++parallel_stats_.slices;
+  parallel_stats_.events += slice.size();
+  parallel_stats_.max_slice_events =
+      std::max<uint64_t>(parallel_stats_.max_slice_events, slice.size());
+
+  // Driver-context timers (empty affinity: sweeps, completion strawmen,
+  // crash/restart schedules) may touch global state such as listener tables
+  // directly, so their slice keeps exact legacy semantics, serially.
+  const bool driver_slice =
+      std::any_of(slice.begin(), slice.end(), [](const Event& e) {
+        return e.timer != nullptr && e.affinity.empty();
+      });
+  size_t partitions = 0;
+  if (!driver_slice) {
+    std::set<std::string_view> keys;
+    for (const Event& event : slice) {
+      keys.insert(event.timer ? std::string_view(event.affinity)
+                              : std::string_view(event.to.host));
+    }
+    partitions = keys.size();
+  }
+  if (driver_slice || partitions < options_.min_parallel_partitions ||
+      slice.size() < options_.min_parallel_events) {
+    // Too narrow to pay for buffering and a fork/join (or driver-bound):
+    // the legacy loop is both correct and faster here.
+    parallel_stats_.max_slice_partitions =
+        std::max<uint64_t>(parallel_stats_.max_slice_partitions,
+                           driver_slice ? 1 : partitions);
+    ++parallel_stats_.serial_slices;
+    parallel_stats_.serial_events += slice.size();
+    for (Event& event : slice) DispatchEventLegacy(std::move(event));
+    return;
+  }
+
+  BatchState batch;
+  RunBatchSlice(&batch, std::move(slice), t);
+  while (options_.coalesce_slices &&
+         batch.num_slices < options_.max_coalesce_slices &&
+         CanExtendBatch(batch)) {
+    slice = PopSlice(&t);
+    ++parallel_stats_.slices;
+    parallel_stats_.events += slice.size();
+    parallel_stats_.max_slice_events =
+        std::max<uint64_t>(parallel_stats_.max_slice_events, slice.size());
+    RunBatchSlice(&batch, std::move(slice), t);
+  }
+  if (batch.num_slices >= 2) {
+    ++parallel_stats_.coalesced_batches;
+    parallel_stats_.coalesced_slices += batch.num_slices;
+  }
+  CommitBatch(&batch);
 }
 
 void SimNetwork::RunStepped() {
   while (!events_.empty()) {
-    StepSlice();
+    StepBatch();
   }
 }
 

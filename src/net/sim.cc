@@ -127,7 +127,12 @@ void SimNetwork::EnqueueDelivery(const Endpoint& from, const Endpoint& to,
   event.to = to;
   event.type = type;
   event.payload = std::move(payload);
-  events_.push(std::move(event));
+  PushEvent(std::move(event));
+}
+
+void SimNetwork::PushEvent(Event event) {
+  const auto key = std::make_pair(event.deliver_at, event.sequence);
+  events_.emplace(key, std::move(event));
 }
 
 uint64_t SimNetwork::ScheduleAfter(SimDuration delay,
@@ -142,7 +147,7 @@ uint64_t SimNetwork::ScheduleAfter(SimDuration delay,
   event.timer_id = next_timer_id_++;
   pending_timers_.insert(event.timer_id);
   const uint64_t id = event.timer_id;
-  events_.push(std::move(event));
+  PushEvent(std::move(event));
   return id;
 }
 
@@ -157,9 +162,9 @@ bool SimNetwork::CancelTimer(uint64_t id) {
 
 bool SimNetwork::RunOne() {
   if (events_.empty()) return false;
-  // priority_queue::top() is const; copy out (payloads are modest).
-  Event event = events_.top();
-  events_.pop();
+  auto it = events_.begin();
+  Event event = std::move(it->second);
+  events_.erase(it);
   DispatchEventLegacy(std::move(event));
   return true;
 }

@@ -5,9 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <queue>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -62,6 +62,25 @@ struct SimNetworkOptions {
   /// Any N >= 1 therefore produces bit-identical results, traffic stats and
   /// delivery order; N = 1 is the sequential reference for that guarantee.
   size_t worker_threads = 0;
+
+  /// Parallelism floors for the stepper: a slice with fewer distinct
+  /// destination partitions or fewer events than these runs through the
+  /// legacy serial dispatch instead — forking the pool and buffering ops
+  /// for one or two events costs more than it saves. Results are identical
+  /// either way (the legacy loop and the stepper are equivalent); only the
+  /// execution strategy changes.
+  size_t min_parallel_partitions = 2;
+  size_t min_parallel_events = 2;
+
+  /// Adaptive slice coalescing (DESIGN.md "Parallel execution"): after a
+  /// slice runs, the stepper keeps extending the same batch with the next
+  /// queued slice as long as no buffered effect could land before it (and
+  /// no listener mutation or timer cancellation is pending), deferring the
+  /// replay/commit to the batch boundary. Off = commit after every slice
+  /// (the pre-coalescing behaviour, kept as the equivalence reference).
+  bool coalesce_slices = true;
+  /// Cap on slices merged into one batch (bounds buffered-op memory).
+  size_t max_coalesce_slices = 64;
 };
 
 /// Counters describing how much concurrency the time-stepped stepper
@@ -73,6 +92,16 @@ struct ParallelStats {
   uint64_t parallel_events = 0;  // events inside parallel slices
   uint64_t max_slice_events = 0;
   uint64_t max_slice_partitions = 0;
+  /// Coalescing: batches that merged >= 2 slices into one commit, and the
+  /// total slices they absorbed (coalesced_slices / coalesced_batches is
+  /// the mean merge depth).
+  uint64_t coalesced_batches = 0;
+  uint64_t coalesced_slices = 0;
+  /// Threshold fallback: slices dispatched through the legacy serial loop
+  /// because they were under the min_parallel_* floors (or contained a
+  /// driver-context timer), and the events they carried.
+  uint64_t serial_slices = 0;
+  uint64_t serial_events = 0;
 
   /// Fraction of events that ran inside a parallel slice — how much of the
   /// workload was eligible for multi-core execution.
@@ -190,12 +219,12 @@ class SimNetwork : public Transport {
     // Message deliveries partition by `to.host` instead.
     std::string affinity;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
-      return a.sequence > b.sequence;
-    }
-  };
+  /// The event queue, ordered by (deliver_at, sequence). An ordered map
+  /// rather than a priority queue: the coalescing stepper needs to peek at
+  /// the *next* slice's time and contents without committing to popping it,
+  /// and to extract events without the const-top copy a priority_queue
+  /// forces.
+  using EventQueue = std::map<std::pair<SimTime, uint64_t>, Event>;
 
   // -- Parallel stepper internals (parallel_sim.cc) -------------------------
   // During a time-slice, worker threads divert every Transport call into
@@ -205,6 +234,7 @@ class SimNetwork : public Transport {
   // the jitter RNG, per-endpoint serial queues, sequence numbers and
   // traffic meters bit for bit.
   struct SliceContext;
+  struct BatchState;
   static SliceContext*& ThreadSliceContext();
   /// The calling thread's slice context, iff it belongs to `net` (a handler
   /// may legitimately drive a second, independent SimNetwork — that one
@@ -220,10 +250,29 @@ class SimNetwork : public Transport {
   bool SliceCancelTimer(SliceContext* ctx, uint64_t id);
   void DispatchSlice(SliceContext* ctx);
   void RunStepped();
-  void StepSlice();
+  /// One stepper iteration: pops the earliest slice, dispatches it (legacy
+  /// path if under the parallelism floors or driver-bound), and — when
+  /// coalescing is on — keeps absorbing subsequent non-interacting slices
+  /// into the same batch before a single commit.
+  void StepBatch();
+  /// Extracts every queued event at the minimum timestamp; stores it in
+  /// `*t_out`.
+  std::vector<Event> PopSlice(SimTime* t_out);
+  /// Runs one already-popped slice inside `batch`: advances the clock,
+  /// assigns events to (new or existing) partitions, and fork/joins the
+  /// active ones.
+  void RunBatchSlice(BatchState* batch, std::vector<Event> slice, SimTime t);
+  /// True if the next queued slice may join `batch` without changing
+  /// observable behaviour (the non-interaction rule, DESIGN.md §8).
+  bool CanExtendBatch(const BatchState& batch) const;
+  /// The batch barrier: merges counters, retires fired timers, and replays
+  /// all buffered ops in (issue-time, sequence, issue-index) order.
+  void CommitBatch(BatchState* batch);
   /// The body of RunOne after the pop: legacy inline dispatch. Used by the
   /// event loop and by stepper slices containing driver-context timers.
   void DispatchEventLegacy(Event event);
+  /// Queues an event keyed by (deliver_at, sequence).
+  void PushEvent(Event event);
 
   void EnqueueDelivery(const Endpoint& from, const Endpoint& to,
                        MessageType type, std::vector<uint8_t> payload,
@@ -247,7 +296,7 @@ class SimNetwork : public Transport {
   /// handles and never observable in results or stats.
   std::atomic<uint64_t> next_timer_id_ = 1;
   std::set<uint64_t> pending_timers_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  EventQueue events_;
   std::map<Endpoint, MessageHandler> listeners_;
   std::map<Endpoint, SimTime> busy_until_;  // per-listener serial queue
   std::map<std::string, SimDuration> host_extra_latency_;

@@ -1,6 +1,10 @@
 #ifndef WEBDIS_WEB_GRAPH_H_
 #define WEBDIS_WEB_GRAPH_H_
 
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -8,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "html/parser.h"
 
@@ -17,13 +22,24 @@ namespace webdis::web {
 /// across hosts (sites). This substitutes for the live campus web the paper
 /// evaluated on — all protocol behaviour depends only on the hyperlink graph
 /// and document contents, which this class controls deterministically.
+///
+/// Memory representation (DESIGN.md §8 "Web scale & memory representation"):
+/// URL keys and host names live once in an arena-backed string-interning
+/// pool; the document table and the per-host secondary index store 4-byte
+/// interned ids and arena views, never `std::string` copies. Documents may
+/// be *lazy*: added as (url, generator-aux) pairs and materialized — HTML
+/// rendered, parsed, cached — on first `Find`. Materialization is memoized,
+/// thread-safe (lock-free compare-exchange publication, safe under the
+/// parallel stepper's concurrent partitions), and deterministic, so a lazy
+/// web behaves byte-identically to an eager one while holding 10⁵–10⁶
+/// documents in tens of bytes each until they are actually fetched.
 class WebGraph {
  public:
   /// One web resource (Node in the paper's model).
   struct Document {
     html::Url url;
     std::string raw_html;
-    html::ParsedDocument parsed;  // parse is cached at insertion
+    html::ParsedDocument parsed;  // parse is cached at materialization
     /// Monotonic edit counter, bumped by UpdateDocument. The cross-query
     /// result cache (PROTOCOL.md §9.1) keys on it: a cached node-query
     /// result is valid only for the exact version it was computed against.
@@ -35,18 +51,39 @@ class WebGraph {
     uint64_t born_epoch = 1;
   };
 
+  /// Renders the HTML body of a lazy document on first fetch. `key` is the
+  /// document's resource key; the two aux words are whatever the registrar
+  /// stashed in AddLazyDocument (web/synth.cc stores captured RNG states,
+  /// so regeneration replays the exact draws of an eager build).
+  using PageGenerator = std::function<std::string(
+      std::string_view key, uint64_t aux0, uint64_t aux1)>;
+
   WebGraph() = default;
-  WebGraph(WebGraph&&) = default;
-  WebGraph& operator=(WebGraph&&) = default;
+  // Hand-written: the materialization atomics delete the implicit moves.
+  // Deque moves steal nodes whole, so entry addresses (and the arena views
+  // in the indexes) survive a move intact.
+  WebGraph(WebGraph&& other) noexcept;
+  WebGraph& operator=(WebGraph&& other) noexcept;
   WebGraph(const WebGraph&) = delete;
   WebGraph& operator=(const WebGraph&) = delete;
+  ~WebGraph();
 
-  /// Parses and stores a document. Fails on an unparsable URL or duplicate
-  /// resource.
+  /// Parses and stores a document eagerly. Fails on an unparsable URL or
+  /// duplicate resource.
   Status AddDocument(std::string_view url, std::string html);
 
+  /// Installs the generator lazy documents render through. Must be set
+  /// before the first lazy Find; one function serves the whole graph (per-
+  /// document state rides in the aux words, keeping entries compact).
+  void SetPageGenerator(PageGenerator generator);
+
+  /// Registers a document whose HTML is produced by the page generator on
+  /// first fetch. Fails on an unparsable URL or duplicate resource.
+  Status AddLazyDocument(std::string_view url, uint64_t aux0, uint64_t aux1);
+
   /// Replaces an existing document's contents, re-parses, and bumps its
-  /// version stamp. Fails if the URL names no stored resource.
+  /// version stamp (materializing it first if still lazy). Fails if the URL
+  /// names no stored resource.
   Status UpdateDocument(std::string_view url, std::string html);
 
   /// §10: removes one document for good. Fails if the URL names no stored
@@ -75,6 +112,8 @@ class WebGraph {
   /// per (resource key, version) — including versions later overwritten or
   /// removed — so a test oracle can re-evaluate a node exactly as it stood
   /// at a report's stamped version. Off by default (benches pay nothing).
+  /// Materializes every lazy document (history needs the bodies), so enable
+  /// it only on oracle-scale webs.
   void EnableHistory();
 
   /// The recorded body for (url, version), or nullptr when history is off
@@ -83,9 +122,11 @@ class WebGraph {
                                     uint64_t version) const;
 
   /// Looks up by resource key (URL without fragment); nullptr if absent.
+  /// Materializes a lazy document on first call (memoized; safe from
+  /// concurrent stepper partitions).
   const Document* Find(std::string_view url) const;
 
-  /// True if the URL names a stored resource.
+  /// True if the URL names a stored resource. Never materializes.
   bool Has(std::string_view url) const;
 
   /// All resource keys in insertion-independent (sorted) order.
@@ -94,20 +135,75 @@ class WebGraph {
   /// All hosts, sorted.
   std::vector<std::string> Hosts() const;
 
-  /// Resource keys of documents on one host, sorted.
+  /// Resource keys of documents on one host, sorted. Served from the
+  /// per-host secondary index: O(log hosts + k), never a full-table scan.
   std::vector<std::string> UrlsOnHost(std::string_view host) const;
 
-  size_t num_documents() const { return docs_.size(); }
+  size_t num_documents() const { return live_count_; }
+
+  /// Documents whose HTML is currently materialized (eager adds plus lazy
+  /// first-fetches) — the working-set observability counter for the lazy
+  /// representation.
+  size_t num_materialized() const {
+    return materialized_.load(std::memory_order_relaxed);
+  }
 
   /// Sum of raw HTML sizes — what a data-shipping engine would download in
-  /// the worst case.
+  /// the worst case. Materializes every lazy document; meaningful on
+  /// baseline-scale webs only.
   size_t TotalHtmlBytes() const;
 
+  /// Approximate resident footprint of the table machinery itself (interner
+  /// arena, document entries, index nodes) — excludes materialized document
+  /// bodies. The numerator of the at-rest bytes-per-document bench gate.
+  size_t ApproxTableBytes() const;
+
  private:
-  std::map<std::string, Document, std::less<>> docs_;  // key: ResourceKey
-  std::set<std::string, std::less<>> retired_hosts_;
+  /// Table slot: everything the graph knows about a document before (and
+  /// besides) its materialized body. ~64 bytes, URL stored as interned ids.
+  struct DocEntry {
+    uint32_t key_id = common::StringInterner::kInvalidId;
+    uint32_t host_id = common::StringInterner::kInvalidId;
+    uint64_t born_epoch = 1;
+    uint64_t aux0 = 0;  // PageGenerator parameters (lazy entries)
+    uint64_t aux1 = 0;
+    bool lazy = false;
+    /// Materialized body, published with a release CAS on first fetch;
+    /// readers acquire-load. Mutable: materialization is a memoization,
+    /// observable only through the const Find path.
+    mutable std::atomic<Document*> doc{nullptr};
+  };
+
+  /// Common head of AddDocument / AddLazyDocument: parses the URL (into
+  /// `parsed_out`), interns the key/host, appends the entry, and wires both
+  /// indexes. Returns the new entry.
+  Result<DocEntry*> AddEntry(std::string_view url, html::Url* parsed_out);
+  /// Renders, parses, and publishes a lazy entry's Document (memoized).
+  Document* Materialize(const DocEntry& entry) const;
+  /// Looks an entry up by resource key; nullptr if absent.
+  const DocEntry* EntryFor(std::string_view url) const;
+  /// Unlinks one entry from both indexes and frees its document.
+  void EraseEntry(uint32_t index);
+
+  common::StringInterner strings_;
+  std::deque<DocEntry> entries_;  // stable addresses; tombstoned on erase
+  // -- arena-backed document tables ------------------------------------
+  // webdis-lint: interned-tables-begin
+  // Keys are views into the interner arena and values are interned ids /
+  // entry indexes — never std::string copies (enforced by the
+  // web-interned-tables lint rule).
+  std::map<std::string_view, uint32_t> by_key_;  // resource key -> entry
+  std::map<std::string_view, std::map<std::string_view, uint32_t>>
+      host_index_;  // host -> (resource key -> entry), the per-host index
+  std::set<uint32_t> retired_hosts_;  // interned host ids
+  // webdis-lint: interned-tables-end
+  size_t live_count_ = 0;
+  mutable std::atomic<size_t> materialized_{0};
+  PageGenerator generator_;
   uint64_t epoch_ = 1;
   bool history_enabled_ = false;
+  /// Opt-in oracle storage (tests only — full bodies by design, exempt from
+  /// the interned-tables rule).
   std::map<std::pair<std::string, uint64_t>, std::string> history_;
 };
 

@@ -1,5 +1,7 @@
 #include "web/synth.h"
 
+#include <cstdio>
+
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -28,6 +30,68 @@ std::string FillerParagraph(Rng* rng, int words) {
   return out;
 }
 
+/// Performs one document's generator draws and builds its page spec. This is
+/// the single source of truth for per-document draw order: the eager build,
+/// the lazy build pass (which discards the spec but must advance `rng`
+/// through the same data-dependent structure draws), and lazy first-fetch
+/// replay all run it, so the three paths cannot drift apart.
+///
+/// With want_text=false the filler paragraphs are not generated; `text_rng`
+/// is advanced past them in O(1) (each word costs exactly one draw), which
+/// is what makes the lazy build pass cheap at 10⁵–10⁶ documents.
+PageSpec BuildPageSpec(const SynthWebOptions& options, int site, int doc,
+                       Rng* rng, Rng* text_rng, bool want_text) {
+  PageSpec spec;
+  const bool title_hit = rng->Bernoulli(options.title_keyword_prob);
+  const bool body_hit = rng->Bernoulli(options.body_keyword_prob);
+  spec.title = StringPrintf(
+      "%sdocument %d on site %d",
+      title_hit ? std::string(kTitleKeyword).append(" ").c_str() : "",
+      doc, site);
+  if (want_text) {
+    for (int p = 0; p < options.filler_paragraphs; ++p) {
+      spec.paragraphs.push_back(
+          FillerParagraph(text_rng, options.words_per_paragraph));
+    }
+  } else {
+    text_rng->Skip(static_cast<uint64_t>(options.filler_paragraphs) *
+                   static_cast<uint64_t>(options.words_per_paragraph));
+  }
+  spec.hr_blocks.push_back(body_hit
+                               ? std::string(kBodyKeyword) + " marker block"
+                               : "plain marker block");
+  // Local links: to other documents on this site (never self).
+  for (int l = 0; l < options.local_links_per_doc; ++l) {
+    if (options.docs_per_site < 2) break;
+    int target = doc;
+    while (target == doc) {
+      target = static_cast<int>(
+          rng->Uniform(static_cast<uint64_t>(options.docs_per_site)));
+    }
+    spec.links.push_back({SynthUrl(site, target), "local link"});
+  }
+  // Global links: to documents on other sites.
+  for (int g = 0; g < options.global_links_per_doc; ++g) {
+    if (options.num_sites < 2) break;
+    int target_site = site;
+    while (target_site == site) {
+      target_site = static_cast<int>(
+          rng->Uniform(static_cast<uint64_t>(options.num_sites)));
+    }
+    const int target_doc = static_cast<int>(
+        rng->Uniform(static_cast<uint64_t>(options.docs_per_site)));
+    spec.links.push_back({SynthUrl(target_site, target_doc), "global link"});
+  }
+  return spec;
+}
+
+/// Recovers (site, doc) from a synthetic resource key.
+bool ParseSynthKey(std::string_view key, int* site, int* doc) {
+  const std::string copy(key);  // sscanf needs NUL termination
+  return std::sscanf(copy.c_str(), "http://site%d.example/doc%d", site,
+                     doc) == 2;
+}
+
 }  // namespace
 
 std::string SynthHost(int site) {
@@ -42,6 +106,21 @@ WebGraph GenerateSynthWeb(const SynthWebOptions& options) {
   WEBDIS_CHECK(options.num_sites > 0);
   WEBDIS_CHECK(options.docs_per_site > 0);
   WebGraph web;
+  if (options.lazy_pages) {
+    // First-fetch replay: resume both streams from the states captured
+    // below and redo this document's draws, text included.
+    web.SetPageGenerator([options](std::string_view key, uint64_t aux0,
+                                   uint64_t aux1) {
+      int site = 0;
+      int doc = 0;
+      WEBDIS_CHECK(ParseSynthKey(key, &site, &doc));
+      Rng rng = Rng::FromState(aux0);
+      Rng text_rng = Rng::FromState(aux1);
+      return RenderHtml(
+          BuildPageSpec(options, site, doc, &rng, &text_rng,
+                        /*want_text=*/true));
+    });
+  }
   // Structure/keyword draws and filler-text draws come from independent
   // streams so changing document *size* never changes the link graph or
   // which documents match (T8 holds answers fixed while pages grow).
@@ -50,46 +129,25 @@ WebGraph GenerateSynthWeb(const SynthWebOptions& options) {
 
   for (int site = 0; site < options.num_sites; ++site) {
     for (int doc = 0; doc < options.docs_per_site; ++doc) {
-      PageSpec spec;
-      const bool title_hit = rng.Bernoulli(options.title_keyword_prob);
-      const bool body_hit = rng.Bernoulli(options.body_keyword_prob);
-      spec.title = StringPrintf(
-          "%sdocument %d on site %d",
-          title_hit ? std::string(kTitleKeyword).append(" ").c_str() : "",
-          doc, site);
-      for (int p = 0; p < options.filler_paragraphs; ++p) {
-        spec.paragraphs.push_back(
-            FillerParagraph(&text_rng, options.words_per_paragraph));
+      // Captured before this document's draws; a lazy page re-runs the
+      // generator from exactly here, so it renders byte-identical to the
+      // eager build no matter which documents were fetched before it.
+      const uint64_t structure_state = rng.State();
+      const uint64_t text_state = text_rng.State();
+      if (options.lazy_pages) {
+        // Advance both streams past this document without rendering.
+        (void)BuildPageSpec(options, site, doc, &rng, &text_rng,
+                            /*want_text=*/false);
+        const Status status = web.AddLazyDocument(
+            SynthUrl(site, doc), structure_state, text_state);
+        WEBDIS_CHECK(status.ok()) << status.ToString();
+      } else {
+        PageSpec spec = BuildPageSpec(options, site, doc, &rng, &text_rng,
+                                      /*want_text=*/true);
+        const Status status =
+            web.AddDocument(SynthUrl(site, doc), RenderHtml(spec));
+        WEBDIS_CHECK(status.ok()) << status.ToString();
       }
-      spec.hr_blocks.push_back(
-          body_hit ? std::string(kBodyKeyword) + " marker block"
-                   : "plain marker block");
-      // Local links: to other documents on this site (never self).
-      for (int l = 0; l < options.local_links_per_doc; ++l) {
-        if (options.docs_per_site < 2) break;
-        int target = doc;
-        while (target == doc) {
-          target = static_cast<int>(
-              rng.Uniform(static_cast<uint64_t>(options.docs_per_site)));
-        }
-        spec.links.push_back({SynthUrl(site, target), "local link"});
-      }
-      // Global links: to documents on other sites.
-      for (int g = 0; g < options.global_links_per_doc; ++g) {
-        if (options.num_sites < 2) break;
-        int target_site = site;
-        while (target_site == site) {
-          target_site = static_cast<int>(
-              rng.Uniform(static_cast<uint64_t>(options.num_sites)));
-        }
-        const int target_doc = static_cast<int>(
-            rng.Uniform(static_cast<uint64_t>(options.docs_per_site)));
-        spec.links.push_back(
-            {SynthUrl(target_site, target_doc), "global link"});
-      }
-      const Status status =
-          web.AddDocument(SynthUrl(site, doc), RenderHtml(spec));
-      WEBDIS_CHECK(status.ok()) << status.ToString();
     }
   }
   return web;

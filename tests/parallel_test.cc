@@ -40,6 +40,10 @@ struct Workload {
   // for the stepper); with jitter, arrivals scatter to distinct timestamps
   // and most slices are singletons. Both must be bit-identical.
   bool jitter = true;
+  // Adaptive slice coalescing (SimNetworkOptions::coalesce_slices). Off is
+  // the pre-coalescing commit-per-slice stepper, kept as the equivalence
+  // reference for the coalescing suites below.
+  bool coalesce = true;
 };
 
 std::string SummarizeTraffic(const core::TrafficSummary& t) {
@@ -118,6 +122,7 @@ std::string RunWorkload(const Workload& w, size_t workers,
 
   core::EngineOptions options;
   options.network.worker_threads = workers;
+  options.network.coalesce_slices = w.coalesce;
   options.network.latency_jitter = w.jitter ? 2 * kMillisecond : 0;
   options.network.jitter_seed = w.seed * 31 + 7;
   if (w.faults) {
@@ -262,6 +267,177 @@ TEST(ParallelDeterminismTest, LegacyModeReportsNoParallelism) {
   (void)RunWorkload({.name = "legacy", .seed = 3}, 0, &stats);
   EXPECT_EQ(stats.slices, 0u);
   EXPECT_EQ(stats.events, 0u);
+}
+
+// -- Adaptive slice coalescing ----------------------------------------------
+//
+// Coalescing merges consecutive non-interacting slices into one fork/join
+// batch (DESIGN.md §8). It is purely an execution strategy: for every seed,
+// the coalesced stepper must produce byte-identical outcomes to the
+// commit-per-slice stepper and to the legacy loop, at every worker count,
+// including under composed fault and overload schedules.
+
+TEST(CoalescingTest, CoalescedMatchesUncoalescedAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    Workload w{.name = "coalesce-faults-overload",
+               .seed = seed,
+               .faults = true,
+               .overload = true,
+               .queries = 2,
+               .jitter = false};
+    SCOPED_TRACE(w.name + " seed=" + std::to_string(seed));
+    w.coalesce = false;
+    const std::string reference = RunWorkload(w, 0);
+    for (bool coalesce : {false, true}) {
+      for (size_t workers : {size_t{0}, size_t{1}, size_t{2}, size_t{4}}) {
+        SCOPED_TRACE(StringPrintf("coalesce=%d workers=%zu",
+                                  coalesce ? 1 : 0, workers));
+        w.coalesce = coalesce;
+        EXPECT_EQ(reference, RunWorkload(w, workers));
+      }
+    }
+  }
+}
+
+TEST(CoalescingTest, CoalescedMatchesUncoalescedWithJitter) {
+  // Jittered arrivals scatter slices to distinct timestamps — mostly
+  // singleton slices, the regime where coalescing does its real work.
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    Workload w{.name = "coalesce-jitter",
+               .seed = seed,
+               .faults = true,
+               .queries = 2};
+    SCOPED_TRACE(w.name + " seed=" + std::to_string(seed));
+    w.coalesce = false;
+    const std::string reference = RunWorkload(w, 0);
+    w.coalesce = true;
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      EXPECT_EQ(reference, RunWorkload(w, workers));
+    }
+  }
+}
+
+// The equivalence above would be vacuous if the workloads never coalesced:
+// prove batches actually absorb multiple slices, and that the off switch
+// really disables the machinery.
+TEST(CoalescingTest, CoalescedBatchesActuallyHappen) {
+  net::ParallelStats stats;
+  (void)RunWorkload(
+      {.name = "coalesce-on", .seed = 3, .queries = 4, .jitter = false}, 2,
+      &stats);
+  EXPECT_GT(stats.coalesced_batches, 0u);
+  // Each coalesced batch absorbed >= 2 slices by definition.
+  EXPECT_GE(stats.coalesced_slices, 2 * stats.coalesced_batches);
+
+  net::ParallelStats off;
+  Workload w{.name = "coalesce-off", .seed = 3, .queries = 4,
+             .jitter = false};
+  w.coalesce = false;
+  (void)RunWorkload(w, 2, &off);
+  EXPECT_EQ(off.coalesced_batches, 0u);
+  EXPECT_EQ(off.coalesced_slices, 0u);
+}
+
+// Targeted non-interaction unit on a raw SimNetwork. Two deliveries are
+// queued 50 us apart (A at t=100, B at t=150). A's handler schedules a
+// 20 us timer — a buffered effect landing at t=120, *before* B's slice — so
+// the stepper must refuse to pull B's slice into A's batch: committing A
+// first lets the timer fire at its correct virtual time. The observable
+// order A@100, timer@120, B@150 is exactly what the legacy loop produces;
+// a stepper that wrongly coalesced would run B's handler before the timer
+// existed and log B@150 ahead of timer@120.
+TEST(CoalescingTest, InteractingSlicePairDoesNotCoalesce) {
+  struct LogEntry {
+    std::string what;
+    SimTime at;
+  };
+  auto run = [](bool schedule_timer, size_t workers,
+                net::ParallelStats* stats_out) {
+    net::SimNetworkOptions opts;
+    opts.same_host_latency = 100;   // us
+    opts.inter_host_latency = 150;  // us
+    opts.bandwidth_bytes_per_sec = 0;
+    opts.latency_jitter = 0;
+    opts.worker_threads = workers;
+    // Floors at 1 so even singleton slices take the stepper (and thus the
+    // coalescing) path — this unit tests batching, not the fallback.
+    opts.min_parallel_partitions = 1;
+    opts.min_parallel_events = 1;
+    net::SimNetwork net(opts);
+
+    std::vector<LogEntry> log;
+    const net::Endpoint a{"a", 1};
+    const net::Endpoint b{"b", 1};
+    EXPECT_TRUE(net.Listen(a, [&](const net::Endpoint&, net::MessageType,
+                                  const std::vector<uint8_t>&) {
+                    log.push_back({"A", net.now()});
+                    if (schedule_timer) {
+                      net.ScheduleAfter(20, [&] {
+                        log.push_back({"timer", net.now()});
+                      });
+                    }
+                  }).ok());
+    EXPECT_TRUE(net.Listen(b, [&](const net::Endpoint&, net::MessageType,
+                                  const std::vector<uint8_t>&) {
+                    log.push_back({"B", net.now()});
+                  }).ok());
+    // Same-host send -> A lands at 100; inter-host send -> B lands at 150.
+    EXPECT_TRUE(net.Send(a, a, net::MessageType::kWebQuery, {}).ok());
+    EXPECT_TRUE(net.Send(a, b, net::MessageType::kWebQuery, {}).ok());
+    net.RunUntilIdle();
+    if (stats_out != nullptr) *stats_out = net.parallel_stats();
+    std::string flat;
+    for (const LogEntry& e : log) {
+      flat += e.what + "@" + std::to_string(e.at) + " ";
+    }
+    return flat;
+  };
+
+  // Control: with no buffered effect the two slices are non-interacting and
+  // the stepper does coalesce them into one batch.
+  net::ParallelStats control;
+  EXPECT_EQ(run(false, 2, &control), "A@100 B@150 ");
+  EXPECT_EQ(control.coalesced_batches, 1u);
+  EXPECT_EQ(control.coalesced_slices, 2u);
+
+  // Interacting pair: the timer's landing time (120) precedes B's slice
+  // (150), so extension must be refused and the virtual-time order must
+  // match the legacy loop exactly.
+  const std::string legacy = run(true, 0, nullptr);
+  EXPECT_EQ(legacy, "A@100 timer@120 B@150 ");
+  for (size_t workers : {size_t{1}, size_t{2}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(run(true, workers, nullptr), legacy);
+  }
+}
+
+// Threshold fallback observability: a single-partition workload (everything
+// on one host) stays under min_parallel_partitions, so the stepper routes
+// its slices through the legacy serial dispatch and says so in the stats.
+TEST(CoalescingTest, SerialFallbackCountsSubThresholdSlices) {
+  net::SimNetworkOptions opts;
+  opts.same_host_latency = 100;
+  opts.bandwidth_bytes_per_sec = 0;
+  opts.latency_jitter = 0;
+  opts.worker_threads = 2;  // defaults: min_parallel_partitions = 2
+  net::SimNetwork net(opts);
+  const net::Endpoint a{"a", 1};
+  int received = 0;
+  EXPECT_TRUE(net.Listen(a, [&](const net::Endpoint&, net::MessageType,
+                                const std::vector<uint8_t>&) {
+                  ++received;
+                }).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(net.Send(a, a, net::MessageType::kWebQuery, {}).ok());
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(received, 3);
+  const net::ParallelStats& stats = net.parallel_stats();
+  EXPECT_GT(stats.slices, 0u);
+  EXPECT_EQ(stats.serial_slices, stats.slices);
+  EXPECT_EQ(stats.serial_events, stats.events);
+  EXPECT_EQ(stats.parallel_slices, 0u);
 }
 
 }  // namespace

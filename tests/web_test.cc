@@ -57,6 +57,123 @@ TEST(WebGraphTest, HostsAndUrls) {
   EXPECT_EQ(web.TotalHtmlBytes(), 3u);
 }
 
+// -- Per-host secondary index ---------------------------------------------------
+
+TEST(WebGraphTest, PerHostIndexTracksRemovals) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/1", "x").ok());
+  ASSERT_TRUE(web.AddDocument("http://a/2", "x").ok());
+  ASSERT_TRUE(web.AddDocument("http://b/1", "x").ok());
+  ASSERT_TRUE(web.RemoveDocument("http://a/1").ok());
+  EXPECT_EQ(web.UrlsOnHost("a"), (std::vector<std::string>{"http://a/2"}));
+  EXPECT_EQ(web.Hosts(), (std::vector<std::string>{"a", "b"}));
+  // Removing a host's last document drops the host from the index.
+  ASSERT_TRUE(web.RemoveDocument("http://a/2").ok());
+  EXPECT_TRUE(web.UrlsOnHost("a").empty());
+  EXPECT_EQ(web.Hosts(), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(web.num_documents(), 1u);
+}
+
+TEST(WebGraphTest, PerHostIndexTracksRetirement) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/1", "x").ok());
+  ASSERT_TRUE(web.AddDocument("http://a/2", "x").ok());
+  ASSERT_TRUE(web.AddDocument("http://b/1", "x").ok());
+  ASSERT_TRUE(web.RetireHost("a").ok());
+  EXPECT_TRUE(web.HostRetired("a"));
+  EXPECT_FALSE(web.HostRetired("b"));
+  EXPECT_TRUE(web.UrlsOnHost("a").empty());
+  EXPECT_EQ(web.Hosts(), (std::vector<std::string>{"b"}));
+  EXPECT_FALSE(web.Has("http://a/1"));
+  EXPECT_EQ(web.num_documents(), 1u);
+  // Retiring an already-retired host is idempotent; an unknown host fails.
+  EXPECT_TRUE(web.RetireHost("a").ok());
+  EXPECT_FALSE(web.RetireHost("never-existed").ok());
+}
+
+TEST(WebGraphTest, UrlsOnHostUnknownHostIsEmpty) {
+  WebGraph web;
+  ASSERT_TRUE(web.AddDocument("http://a/1", "x").ok());
+  EXPECT_TRUE(web.UrlsOnHost("zz").empty());
+}
+
+// -- Lazy materialization -------------------------------------------------------
+
+TEST(WebGraphTest, LazyDocumentMaterializesOnFirstFind) {
+  WebGraph web;
+  web.SetPageGenerator([](std::string_view key, uint64_t aux0, uint64_t) {
+    return "<title>doc " + std::to_string(aux0) + "</title>" +
+           std::string(key);
+  });
+  ASSERT_TRUE(web.AddLazyDocument("http://a/1", 41, 0).ok());
+  ASSERT_TRUE(web.AddLazyDocument("http://a/2", 42, 0).ok());
+  EXPECT_EQ(web.num_documents(), 2u);
+  EXPECT_EQ(web.num_materialized(), 0u);
+  // Has() and the index paths never materialize.
+  EXPECT_TRUE(web.Has("http://a/1"));
+  EXPECT_EQ(web.UrlsOnHost("a").size(), 2u);
+  EXPECT_EQ(web.num_materialized(), 0u);
+
+  const WebGraph::Document* doc = web.Find("http://a/1");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->parsed.title, "doc 41");
+  EXPECT_EQ(doc->version, 1u);
+  EXPECT_EQ(web.num_materialized(), 1u);
+  // Memoized: a second Find returns the same object, no recount.
+  EXPECT_EQ(web.Find("http://a/1"), doc);
+  EXPECT_EQ(web.num_materialized(), 1u);
+  EXPECT_EQ(web.num_documents(), 2u);
+}
+
+TEST(WebGraphTest, UpdateOfLazyDocumentMaterializesAndBumpsVersion) {
+  WebGraph web;
+  web.SetPageGenerator([](std::string_view, uint64_t, uint64_t) {
+    return std::string("<title>v1</title>");
+  });
+  ASSERT_TRUE(web.AddLazyDocument("http://a/1", 0, 0).ok());
+  // Update before any Find: the document materializes (version 1), then
+  // mutates — exactly the version the §9 result cache would key on.
+  ASSERT_TRUE(web.UpdateDocument("http://a/1", "<title>v2</title>").ok());
+  const WebGraph::Document* doc = web.Find("http://a/1");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->version, 2u);
+  EXPECT_EQ(doc->parsed.title, "v2");
+  EXPECT_EQ(web.num_materialized(), 1u);
+}
+
+TEST(WebGraphTest, HistoryCoversLazyDocuments) {
+  WebGraph web;
+  web.SetPageGenerator([](std::string_view, uint64_t, uint64_t) {
+    return std::string("<title>gen</title>");
+  });
+  ASSERT_TRUE(web.AddLazyDocument("http://a/1", 0, 0).ok());
+  web.EnableHistory();  // materializes so version-1 bodies are recorded
+  EXPECT_EQ(web.num_materialized(), 1u);
+  ASSERT_TRUE(web.UpdateDocument("http://a/1", "<title>edit</title>").ok());
+  const std::string* v1 = web.HistoricalHtml("http://a/1", 1);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(*v1, "<title>gen</title>");
+  const std::string* v2 = web.HistoricalHtml("http://a/1", 2);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(*v2, "<title>edit</title>");
+}
+
+TEST(WebGraphTest, ApproxTableBytesExcludesBodies) {
+  WebGraph web;
+  web.SetPageGenerator([](std::string_view, uint64_t, uint64_t) {
+    return std::string(64 * 1024, 'x');  // big bodies, tiny table
+  });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        web.AddLazyDocument("http://h/" + std::to_string(i), 0, 0).ok());
+  }
+  const size_t at_rest = web.ApproxTableBytes();
+  EXPECT_GT(at_rest, 0u);
+  ASSERT_NE(web.Find("http://h/7"), nullptr);
+  // Materializing a 64 KB body must not move the *table* footprint.
+  EXPECT_EQ(web.ApproxTableBytes(), at_rest);
+}
+
 // -- Page generator --------------------------------------------------------------
 
 TEST(PageGenTest, RenderedPageParsesBack) {
@@ -96,6 +213,35 @@ TEST(SynthWebTest, DeterministicForSeed) {
   for (const std::string& url : a.AllUrls()) {
     EXPECT_EQ(a.Find(url)->raw_html, b.Find(url)->raw_html);
   }
+}
+
+TEST(SynthWebTest, LazyPagesMatchEagerByteForByte) {
+  // The lazy representation is purely a memory optimization: generating the
+  // same web with lazy_pages on must produce byte-identical HTML for every
+  // document once fetched — first-fetch replay re-runs the exact RNG draws
+  // the eager build made.
+  SynthWebOptions options;
+  options.seed = 11;
+  options.num_sites = 4;
+  options.docs_per_site = 7;
+  options.title_keyword_prob = 0.3;
+  options.body_keyword_prob = 0.2;
+  const WebGraph eager = GenerateSynthWeb(options);
+  options.lazy_pages = true;
+  const WebGraph lazy = GenerateSynthWeb(options);
+  ASSERT_EQ(lazy.AllUrls(), eager.AllUrls());
+  EXPECT_EQ(lazy.num_materialized(), 0u);
+  // Fetch in an order unrelated to generation order: per-document captured
+  // RNG states make replay order-independent.
+  std::vector<std::string> urls = eager.AllUrls();
+  for (size_t i = urls.size(); i-- > 0;) {
+    const WebGraph::Document* e = eager.Find(urls[i]);
+    const WebGraph::Document* l = lazy.Find(urls[i]);
+    ASSERT_NE(l, nullptr) << urls[i];
+    EXPECT_EQ(l->raw_html, e->raw_html) << urls[i];
+    EXPECT_EQ(l->parsed.title, e->parsed.title) << urls[i];
+  }
+  EXPECT_EQ(lazy.num_materialized(), urls.size());
 }
 
 TEST(SynthWebTest, ShapeMatchesOptions) {

@@ -17,11 +17,29 @@ virtual_ms / messages / bytes are *determinism* measures: they must match the
 baseline exactly for the same code, so a mismatch is printed as a warning
 (code changes legitimately move them; wall-clock is the only gate).
 
-A second gate runs within CURRENT alone: when the multiquery bench emits both
-s2_multiquery_q16 and s2_multiquery_shared_q16 rows, cross-query sharing must
-keep shared message traffic at or below half the unshared count (the
-sublinearity claim of the result cache + batch envelopes). A violation exits 1
-and prints the offending metric deltas, not a bare failure.
+Three further gates run within CURRENT alone (no baseline needed):
+
+  sharing      when the multiquery bench emits both s2_multiquery_q16 and
+               s2_multiquery_shared_q16 rows, cross-query sharing must keep
+               shared message traffic at or below half the unshared count
+               (the sublinearity claim of the result cache + batch
+               envelopes).
+
+  speedup      when the parallel bench emits p1_parallel rows for workers=1
+               and workers=4 and the recording machine had >= 4 cores (the
+               rows carry a "cores" field), the 4-worker wall clock must be
+               at most half the 1-worker wall clock — parallel execution
+               has to actually pay. Skipped (with a note) on narrower
+               machines, where there is nothing to measure.
+
+  memory       any row carrying a bytes_per_document field (the p1 bench's
+               p1_web_memory row describes its 10^5-document lazy web) must
+               stay at or below the per-document ceiling; the lazy
+               arena/interner representation must not regress into
+               megabytes-per-web territory.
+
+Each violation exits 1 and prints the offending metric deltas, not a bare
+failure.
 
 Usage: bench_compare.py BASELINE CURRENT [--threshold 0.15]
 Exit: 0 ok (or no baseline), 1 regression, 2 usage/parse error.
@@ -54,7 +72,8 @@ def load(path: str) -> dict[tuple[str, int], dict]:
             # Validate metric types up front so a malformed row fails with
             # the metric's name, not a TypeError deep in the comparison.
             for field in ("wall_ms", "virtual_ms", "messages", "bytes",
-                          "cache_hit_rate"):
+                          "cache_hit_rate", "cores", "bytes_per_document",
+                          "peak_rss_bytes", "documents", "materialized"):
                 if field in row and (isinstance(row[field], bool)
                                      or not isinstance(row[field],
                                                        (int, float))):
@@ -116,6 +135,90 @@ def check_sharing(current: dict[tuple[str, int], dict]) -> list[str]:
     return violations
 
 
+SPEEDUP_GATE_WORKERS = (1, 4)
+SPEEDUP_GATE_RATIO = 0.5  # wall at 4 workers <= 0.5 x wall at 1 worker
+SPEEDUP_GATE_MIN_CORES = 4
+
+
+def check_speedup(current: dict[tuple[str, int], dict]) -> list[str]:
+    """Speedup-curve gate: 4 workers must halve the 1-worker wall clock.
+
+    Evaluated within CURRENT alone whenever the p1_parallel rows are
+    present; only enforced when the rows were recorded on a machine with at
+    least SPEEDUP_GATE_MIN_CORES hardware threads (the rows say so via
+    their "cores" field — a 1-core CI runner cannot demonstrate a speedup
+    and is skipped with a note, not a vacuous pass).
+    """
+    lo, hi = SPEEDUP_GATE_WORKERS
+    base = current.get(("p1_parallel", lo))
+    wide = current.get(("p1_parallel", hi))
+    if base is None or wide is None:
+        return []
+    violations: list[str] = []
+    missing = [f"workers={row_workers}" for row_workers, row in
+               ((lo, base), (hi, wide)) if "cores" not in row]
+    if missing:
+        # Without the core count the gate cannot tell "skipped on a narrow
+        # machine" from "should have been enforced" — make that loud.
+        violations.append(
+            f"p1_parallel row(s) {', '.join(missing)} missing metric "
+            "'cores' — cannot evaluate the speedup gate")
+        return violations
+    cores = min(base["cores"], wide["cores"])
+    if cores < SPEEDUP_GATE_MIN_CORES:
+        print(f"bench_compare: speedup gate skipped: rows recorded on "
+              f"{cores} core(s), need >= {SPEEDUP_GATE_MIN_CORES}")
+        return violations
+    wall_lo, wall_hi = base["wall_ms"], wide["wall_ms"]
+    limit = wall_lo * SPEEDUP_GATE_RATIO
+    speedup = wall_lo / wall_hi if wall_hi else float("inf")
+    verdict = "VIOLATION" if wall_hi > limit else "ok"
+    print(f"bench_compare: speedup: wall {wall_lo:.3f} ms at "
+          f"workers={lo} -> {wall_hi:.3f} ms at workers={hi} "
+          f"({speedup:.2f}x, gate {1 / SPEEDUP_GATE_RATIO:.1f}x on "
+          f"{cores} cores) {verdict}")
+    if verdict == "VIOLATION":
+        violations.append(
+            f"wall_ms {wall_hi:.3f} at workers={hi} exceeds "
+            f"{limit:.3f} ({SPEEDUP_GATE_RATIO:.2f} x workers={lo} wall "
+            f"{wall_lo:.3f}; delta +{wall_hi - limit:.3f} ms)")
+    return violations
+
+
+MEMORY_GATE_BYTES_PER_DOC = 1024
+
+
+def check_memory(current: dict[tuple[str, int], dict]) -> list[str]:
+    """Memory gate: lazy-web rows must stay under the per-document ceiling.
+
+    Applies to every row that carries a bytes_per_document field (the p1
+    bench emits one p1_web_memory row for its 10^5-document web). A
+    p1_web_memory row *without* the field is itself a violation — the gate
+    must not pass vacuously because the bench stopped recording the metric.
+    """
+    violations: list[str] = []
+    for (workload, workers), row in sorted(current.items()):
+        name = f"{workload} (workers={workers})"
+        if "bytes_per_document" not in row:
+            if workload == "p1_web_memory":
+                violations.append(
+                    f"row {name} missing metric 'bytes_per_document' — "
+                    "cannot evaluate the memory gate")
+            continue
+        bpd = row["bytes_per_document"]
+        verdict = ("VIOLATION" if bpd > MEMORY_GATE_BYTES_PER_DOC else "ok")
+        docs = row.get("documents", "?")
+        print(f"bench_compare: memory: {name}: {bpd} bytes/document "
+              f"({docs} documents, gate {MEMORY_GATE_BYTES_PER_DOC}) "
+              f"{verdict}")
+        if verdict == "VIOLATION":
+            violations.append(
+                f"{name}: bytes_per_document {bpd} exceeds "
+                f"{MEMORY_GATE_BYTES_PER_DOC} "
+                f"(delta +{bpd - MEMORY_GATE_BYTES_PER_DOC})")
+    return violations
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="stored baseline JSON-lines file")
@@ -129,14 +232,19 @@ def main() -> int:
     except (OSError, ValueError) as e:
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
-    sharing_violations = check_sharing(current)
-    for violation in sharing_violations:
-        print(f"bench_compare: sharing gate: {violation}", file=sys.stderr)
+    gate_violations: list[tuple[str, str]] = []
+    for gate, check in (("sharing", check_sharing),
+                        ("speedup", check_speedup),
+                        ("memory", check_memory)):
+        for violation in check(current):
+            print(f"bench_compare: {gate} gate: {violation}",
+                  file=sys.stderr)
+            gate_violations.append((gate, violation))
 
     if not os.path.exists(args.baseline):
         print(f"bench_compare: no baseline at {args.baseline}; passing"
-              f"{' (sharing gate still enforced)' if sharing_violations else ''}")
-        return 1 if sharing_violations else 0
+              f"{' (current-run gates still enforced)' if gate_violations else ''}")
+        return 1 if gate_violations else 0
     try:
         baseline = load(args.baseline)
     except (OSError, ValueError) as e:
@@ -169,9 +277,10 @@ def main() -> int:
         print(f"bench_compare: {len(regressions)} wall-clock regression(s) "
               f"beyond {args.threshold:.0%}", file=sys.stderr)
         return 1
-    if sharing_violations:
-        print(f"bench_compare: {len(sharing_violations)} sharing gate "
-              f"violation(s)", file=sys.stderr)
+    if gate_violations:
+        gates = ", ".join(sorted({gate for gate, _ in gate_violations}))
+        print(f"bench_compare: {len(gate_violations)} gate violation(s) "
+              f"({gates})", file=sys.stderr)
         return 1
     print("bench_compare: within threshold")
     return 0

@@ -74,6 +74,18 @@ the ones whose violation breaks distributed termination or reproducibility
                 bit-identical parallel-vs-sequential oracle. Materialize
                 into a sorted container first, or iterate a std::map.
 
+  web-interned-tables
+                The arena-backed document tables in src/web/graph.h (the
+                region between the `webdis-lint: interned-tables-begin` /
+                `-end` markers) must key and store interned ids or
+                string_views into the interner arena — never owning
+                std::string copies. One raw std::string per document is the
+                difference between ~300 bytes and ~kilobytes of table
+                machinery per document at the 10^5–10^6-document scale
+                bench/p1_parallel gates on. Missing markers fail too, so the
+                audit region cannot silently disappear. Skipped when
+                src/web/graph.h is absent.
+
 Suppressions: a comment containing `webdis-lint: allow(<rule>)` on the same
 line, or anywhere in the contiguous comment block immediately above the
 flagged line, silences that rule for that line.
@@ -199,6 +211,13 @@ SERIAL_MARKER = re.compile(
 CONTROL_KEYWORDS = {"for", "if", "while", "switch", "catch", "return"}
 FUNC_QUALIFIER_TAIL = re.compile(
     r"\)\s*(?:const|noexcept|override|final|mutable|->\s*[\w:<>,*&\s]+)*\s*$")
+
+# web-interned-tables: the audited region of src/web/graph.h and the raw
+# owning-string pattern it must never contain. `std::string_view` does not
+# match (no word boundary before the underscore).
+INTERNED_TABLES_BEGIN = "webdis-lint: interned-tables-begin"
+INTERNED_TABLES_END = "webdis-lint: interned-tables-end"
+RAW_STD_STRING = re.compile(r"\bstd::string\b")
 
 ALLOW = re.compile(r"webdis-lint:\s*allow\(([\w,-]+)\)")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -652,6 +671,41 @@ class Linter:
                         "the stale annotation that closes it)")
                     break  # one cycle report is enough to fail the build
 
+    # -- web interned tables ---------------------------------------------------
+
+    def check_web_interned_tables(self) -> None:
+        rel = os.path.join("src", "web", "graph.h")
+        text = self.read(rel)
+        if text is None:
+            return  # tree has no web layer — nothing to check
+        rel = "src/web/graph.h"
+        lines = text.splitlines()
+        begin = end = None
+        for idx, raw in enumerate(lines):
+            if INTERNED_TABLES_BEGIN in raw and begin is None:
+                begin = idx
+            elif INTERNED_TABLES_END in raw and end is None:
+                end = idx
+        if begin is None or end is None or end <= begin:
+            self.error(
+                rel, 1, "web-interned-tables",
+                "interned-tables markers missing or out of order — the "
+                f"document tables must sit between `{INTERNED_TABLES_BEGIN}` "
+                f"and `{INTERNED_TABLES_END}` so their memory representation "
+                "stays auditable")
+            return
+        for idx in range(begin + 1, end):
+            code = self.strip_code(lines[idx])
+            if RAW_STD_STRING.search(code) and not self.suppressed(
+                    lines, idx, "web-interned-tables"):
+                self.error(
+                    rel, idx + 1, "web-interned-tables",
+                    "owning std::string inside the interned document "
+                    "tables — store interned ids (uint32_t) or "
+                    "std::string_view into the StringInterner arena "
+                    "instead; one owning copy per document breaks the "
+                    "bytes-per-document budget at 10^5+ documents")
+
     # -- iteration determinism -------------------------------------------------
 
     @staticmethod
@@ -757,7 +811,7 @@ def main(argv: list[str]) -> int:
     parser.add_argument(
         "--rules",
         default="wire-parity,wal-parity,clock,naked-new,confinement,"
-                "lock-order,iter-determinism",
+                "lock-order,iter-determinism,web-interned-tables",
         help="comma-separated subset of rules to run")
     args = parser.parse_args(argv)
 
@@ -781,6 +835,8 @@ def main(argv: list[str]) -> int:
         linter.check_lock_order()
     if "iter-determinism" in rules:
         linter.check_iter_determinism()
+    if "web-interned-tables" in rules:
+        linter.check_web_interned_tables()
 
     for err in linter.errors:
         print(err)

@@ -116,6 +116,8 @@ class LintTreeTest(unittest.TestCase):
             linter.check_lock_order()
         if "iter-determinism" in rules:
             linter.check_iter_determinism()
+        if "web-interned-tables" in rules:
+            linter.check_web_interned_tables()
         return linter.errors
 
     # -- wire-parity ---------------------------------------------------------
@@ -729,6 +731,74 @@ struct EchoBatch {
         errors = self.run_lint({"iter-determinism"})
         self.assertTrue(any("[iter-determinism]" in e and "counts_" in e
                             for e in errors), errors)
+
+    # -- web interned tables ---------------------------------------------------
+
+    GRAPH_H_INTERNED = """\
+class WebGraph {
+ private:
+  common::StringInterner strings_;
+  // webdis-lint: interned-tables-begin
+  // Keys are views into the interner arena — std::string would copy.
+  std::map<std::string_view, uint32_t> by_key_;
+  std::map<std::string_view, std::map<std::string_view, uint32_t>>
+      host_index_;
+  std::set<uint32_t> retired_hosts_;
+  // webdis-lint: interned-tables-end
+  std::map<std::pair<std::string, uint64_t>, std::string> history_;
+};
+"""
+
+    def test_web_interned_tables_clean_tree_passes(self):
+        self.write_consistent_tree()
+        self.write("src/web/graph.h", self.GRAPH_H_INTERNED)
+        self.assertEqual(self.run_lint({"web-interned-tables"}), [])
+
+    def test_web_interned_tables_raw_string_key_fails(self):
+        self.write_consistent_tree()
+        self.write("src/web/graph.h", self.GRAPH_H_INTERNED.replace(
+            "std::map<std::string_view, uint32_t> by_key_;",
+            "std::map<std::string, uint32_t> by_key_;"))
+        errors = self.run_lint({"web-interned-tables"})
+        self.assertTrue(any("[web-interned-tables]" in e
+                            and "std::string" in e for e in errors), errors)
+
+    def test_web_interned_tables_raw_string_value_fails(self):
+        self.write_consistent_tree()
+        self.write("src/web/graph.h", self.GRAPH_H_INTERNED.replace(
+            "std::set<uint32_t> retired_hosts_;",
+            "std::set<std::string> retired_hosts_;"))
+        errors = self.run_lint({"web-interned-tables"})
+        self.assertTrue(any("[web-interned-tables]" in e
+                            and "retired" not in e for e in errors), errors)
+
+    def test_web_interned_tables_outside_markers_exempt(self):
+        # history_ (an opt-in test oracle) sits outside the markers and may
+        # own full strings; only the audited region is constrained.
+        self.write_consistent_tree()
+        self.write("src/web/graph.h", self.GRAPH_H_INTERNED)
+        errors = self.run_lint({"web-interned-tables"})
+        self.assertFalse(any("history_" in e for e in errors), errors)
+
+    def test_web_interned_tables_missing_markers_fail(self):
+        self.write_consistent_tree()
+        self.write("src/web/graph.h", self.GRAPH_H_INTERNED.replace(
+            "  // webdis-lint: interned-tables-begin\n", ""))
+        errors = self.run_lint({"web-interned-tables"})
+        self.assertTrue(any("[web-interned-tables]" in e and "markers" in e
+                            for e in errors), errors)
+
+    def test_web_interned_tables_allow_comment_passes(self):
+        self.write_consistent_tree()
+        self.write("src/web/graph.h", self.GRAPH_H_INTERNED.replace(
+            "  std::set<uint32_t> retired_hosts_;",
+            "  // webdis-lint: allow(web-interned-tables) — audited bound\n"
+            "  std::set<std::string> retired_hosts_;"))
+        self.assertEqual(self.run_lint({"web-interned-tables"}), [])
+
+    def test_web_interned_tables_absent_file_skipped(self):
+        self.write_consistent_tree()  # no src/web/graph.h at all
+        self.assertEqual(self.run_lint({"web-interned-tables"}), [])
 
     # -- end to end ----------------------------------------------------------
 
